@@ -1,0 +1,225 @@
+// Benchmark harness: one benchmark per table and figure of the paper (run
+// with `go test -bench=. -benchmem`), plus the ablation benches DESIGN.md
+// calls out. Figure benchmarks execute the registered experiment end-to-end
+// on the shortened horizon with a single repetition; ablation benchmarks
+// additionally report the outcome metrics (colluder reputation ratio,
+// request share) via b.ReportMetric so regressions in *effectiveness* are
+// visible next to regressions in speed.
+package socialtrust_test
+
+import (
+	"io"
+	"testing"
+
+	"socialtrust"
+	"socialtrust/internal/experiments"
+	"socialtrust/internal/sim"
+)
+
+// benchOpts is the single-repetition quick-horizon configuration used for
+// per-figure benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Runs: 1, Seed: 1, Quick: true}
+}
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, benchOpts(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- trace figures (Section 3) ---
+
+func BenchmarkFig1TraceReputation(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkFig2PersonalNetwork(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig3SocialDistance(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4Interest(b *testing.B)        { benchExperiment(b, "fig4") }
+
+// --- simulation figures (Section 5) ---
+
+func BenchmarkFig7NoCollusion(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8PCMB06(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9PCMB02(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFig10PCMCompromised(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11MCMB06(b *testing.B)         { benchExperiment(b, "fig11") }
+func BenchmarkFig12MCMB02(b *testing.B)         { benchExperiment(b, "fig12") }
+func BenchmarkFig13MMMB06(b *testing.B)         { benchExperiment(b, "fig13") }
+func BenchmarkFig14MMMB02(b *testing.B)         { benchExperiment(b, "fig14") }
+func BenchmarkFig15Compromised(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFig16FalsifiedPCM(b *testing.B)   { benchExperiment(b, "fig16") }
+func BenchmarkFig17FalsifiedMCM(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkFig18FalsifiedMMM(b *testing.B)   { benchExperiment(b, "fig18") }
+func BenchmarkFig19Convergence(b *testing.B)    { benchExperiment(b, "fig19") }
+func BenchmarkFig20Distance(b *testing.B)       { benchExperiment(b, "fig20") }
+func BenchmarkTable1RequestShare(b *testing.B)  { benchExperiment(b, "table1") }
+
+// --- ablations ---
+
+// quickSim runs one shortened-horizon simulation and returns the result.
+func quickSim(b *testing.B, cfg sim.Config) *sim.Result {
+	b.Helper()
+	cfg.QueryCycles = 15
+	cfg.SimulationCycles = 12
+	res, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// collStats returns (mean colluder reputation / mean normal reputation).
+func collOverNorm(cfg sim.Config, res *sim.Result) float64 {
+	coll, norm := 0.0, 0.0
+	nColl, nNorm := 0, 0
+	for id, v := range res.FinalReputations {
+		switch cfg.Type(id) {
+		case sim.Colluder:
+			coll += v
+			nColl++
+		case sim.Normal:
+			norm += v
+			nNorm++
+		}
+	}
+	if nColl == 0 || nNorm == 0 || norm == 0 {
+		return 0
+	}
+	return (coll / float64(nColl)) / (norm / float64(nNorm))
+}
+
+// BenchmarkAblationSingleSignal compares the combined Equation 9 filter with
+// the closeness-only (Eq. 6) and similarity-only (Eq. 8) variants.
+func BenchmarkAblationSingleSignal(b *testing.B) {
+	variants := []struct {
+		name                  string
+		closeness, similarity bool
+	}{
+		{"both", true, true},
+		{"closeness-only", true, false},
+		{"similarity-only", false, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var ratio, share float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(sim.PCM, sim.EngineEigenTrust, 0.6, true)
+				cfg.Filter.UseCloseness = v.closeness
+				cfg.Filter.UseSimilarity = v.similarity
+				res := quickSim(b, cfg)
+				ratio = collOverNorm(cfg, res)
+				share = res.ColluderRequestShare()
+			}
+			b.ReportMetric(ratio, "coll/norm")
+			b.ReportMetric(share*100, "%share")
+		})
+	}
+}
+
+// BenchmarkAblationStaticSocial compares the falsification-resistant
+// weighted closeness/similarity (Equations 10/11) against the static forms
+// under the falsified-social-information attack. The sim enables the
+// weighted forms automatically when FalsifiedSocialInfo is set, so the
+// static variant disables the attack flag's hardening by running the attack
+// against a filter configured with plain parameters.
+func BenchmarkAblationStaticSocial(b *testing.B) {
+	for _, hardened := range []bool{true, false} {
+		name := "weighted-eq10-11"
+		if !hardened {
+			name = "static-eq4-7"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(sim.PCM, sim.EngineEigenTrust, 0.6, true)
+				cfg.FalsifiedSocialInfo = true
+				if !hardened {
+					// Force the static signal forms despite the attack.
+					cfg.Filter.Closeness.Weighted = false
+					cfg.Filter.Closeness.MaxPathHops = 6
+					cfg.Filter.WeightedSimilarity = false
+				}
+				res := quickSim(b, cfg)
+				ratio = collOverNorm(cfg, res)
+			}
+			b.ReportMetric(ratio, "coll/norm")
+		})
+	}
+}
+
+// BenchmarkAblationPretrustMix contrasts the paper's stated pretrust mixing
+// weight a=0.5 (which pins ≥5.5% of all trust on each pretrusted peer) with
+// the a=0.15 default the reproduction uses.
+func BenchmarkAblationPretrustMix(b *testing.B) {
+	for _, mix := range []float64{0.15, 0.5} {
+		name := "a=0.15"
+		if mix == 0.5 {
+			name = "a=0.50"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(sim.PCM, sim.EngineEigenTrust, 0.6, false)
+				cfg.PretrustMix = mix
+				res := quickSim(b, cfg)
+				ratio = collOverNorm(cfg, res)
+			}
+			b.ReportMetric(ratio, "coll/norm")
+		})
+	}
+}
+
+// BenchmarkSimQueryCycleParallel measures the simulator's concurrent
+// query-intent phase at different worker counts.
+func BenchmarkSimQueryCycleParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		name := map[int]string{1: "serial", 4: "workers-4"}[workers]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(sim.PCM, sim.EngineEigenTrust, 0.6, true)
+				cfg.QueryCycles = 10
+				cfg.SimulationCycles = 5
+				cfg.Workers = workers
+				cfg.Filter.Workers = workers
+				if _, err := sim.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFilterAdjust measures one SocialTrust filtering pass over a busy
+// interval through the public API.
+func BenchmarkFilterAdjust(b *testing.B) {
+	const n = 200
+	g := socialtrust.NewGraph(n)
+	sets := make([]socialtrust.InterestSet, n)
+	for i := 0; i < n; i++ {
+		g.AddRelationship(socialtrust.NodeID(i), socialtrust.NodeID((i+1)%n),
+			socialtrust.Relationship{Kind: socialtrust.Friendship})
+		sets[i] = socialtrust.NewInterestSet(1, socialtrust.Category(2+i%5))
+	}
+	tracker := socialtrust.NewTracker(n)
+	ledger := socialtrust.NewLedger(n)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= 5; d++ {
+			ledger.Add(socialtrust.Rating{Rater: i, Ratee: (i + d) % n, Value: 1}) //nolint:errcheck
+			g.RecordInteraction(socialtrust.NodeID(i), socialtrust.NodeID((i+d)%n), 1)
+		}
+	}
+	for k := 0; k < 300; k++ {
+		ledger.Add(socialtrust.Rating{Rater: 0, Ratee: 100, Value: 1}) //nolint:errcheck
+		g.RecordInteraction(0, 100, 1)
+	}
+	snap := ledger.EndInterval()
+	filter := socialtrust.NewFilter(socialtrust.FilterConfig{NumNodes: n},
+		g, sets, tracker, socialtrust.NewEBayEngine(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filter.Adjust(snap)
+	}
+}

@@ -1,0 +1,64 @@
+// Command socialtrust-sim regenerates the paper's evaluation tables and
+// figures. Every experiment from the paper is addressable by id:
+//
+//	socialtrust-sim -list                 # show all experiments
+//	socialtrust-sim -experiment fig8      # reproduce Figure 8
+//	socialtrust-sim -experiment table1    # reproduce Table 1
+//	socialtrust-sim -experiment fig8,fig9 # several at once
+//	socialtrust-sim -experiment all       # run everything
+//
+// Use -quick for a shortened horizon (15 query cycles × 12 simulation
+// cycles instead of the paper's 30 × 50) and -runs to change the number of
+// seeded repetitions averaged per configuration (the paper uses 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"socialtrust/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		exp    = flag.String("experiment", "", "experiment id to run (or 'all')")
+		runs   = flag.Int("runs", 5, "seeded repetitions per configuration")
+		seed   = flag.Uint64("seed", 1, "base random seed")
+		quick  = flag.Bool("quick", false, "shortened horizon for smoke runs")
+		series = flag.Bool("series", false, "also emit per-node reputation vectors as CSV")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, s := range experiments.All() {
+			fmt.Printf("  %-8s %s\n           %s\n", s.ID, s.Title, s.Description)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: socialtrust-sim -experiment <id>")
+		}
+		return
+	}
+
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, NodeSeries: *series}
+	var ids []string
+	if *exp == "all" {
+		for _, s := range experiments.All() {
+			ids = append(ids, s.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := experiments.Run(id, opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "socialtrust-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,55 @@
+package socialtrust_test
+
+import (
+	"fmt"
+
+	"socialtrust"
+)
+
+// ExampleNewFilter shows the minimal SocialTrust deployment: a social
+// graph, interest profiles, a ledger, and an engine wrapped by the filter.
+func ExampleNewFilter() {
+	const n = 4
+	g := socialtrust.NewGraph(n)
+	g.AddRelationship(0, 1, socialtrust.Relationship{Kind: socialtrust.Friendship})
+	sets := []socialtrust.InterestSet{
+		socialtrust.NewInterestSet(1, 2),
+		socialtrust.NewInterestSet(1, 2),
+		socialtrust.NewInterestSet(3),
+		socialtrust.NewInterestSet(4),
+	}
+	ledger := socialtrust.NewLedger(n)
+	filter := socialtrust.NewFilter(socialtrust.FilterConfig{NumNodes: n},
+		g, sets, socialtrust.NewTracker(n), socialtrust.NewEBayEngine(n))
+
+	_ = ledger.Add(socialtrust.Rating{Rater: 0, Ratee: 1, Value: 1})
+	g.RecordInteraction(0, 1, 1)
+	filter.Update(ledger.EndInterval())
+
+	fmt.Printf("%s: node 1 reputation %.2f\n", filter.Name(), filter.Reputation(1))
+	// Output: eBay+SocialTrust: node 1 reputation 1.00
+}
+
+// ExampleSimilarity computes the paper's interest-similarity coefficient.
+func ExampleSimilarity() {
+	a := socialtrust.NewInterestSet(1, 2, 3, 4)
+	b := socialtrust.NewInterestSet(3, 4)
+	fmt.Println(socialtrust.Similarity(a, b))
+	// Output: 1
+}
+
+// ExampleRunSim runs a scaled-down collusion experiment end to end.
+func ExampleRunSim() {
+	cfg := socialtrust.DefaultSimConfig(socialtrust.PCM, socialtrust.EngineEBay, 0.6, true)
+	cfg.NumNodes = 60
+	cfg.NumPretrusted = 3
+	cfg.NumColluders = 10
+	cfg.QueryCycles = 5
+	cfg.SimulationCycles = 3
+	res, err := socialtrust.RunSim(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.TotalRequests > 0)
+	// Output: true
+}

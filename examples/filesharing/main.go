@@ -1,0 +1,75 @@
+// Filesharing: a Maze-like P2P file-sharing network under the strongest
+// attack in the paper — multiple-and-mutual collusion (MMM) with
+// compromised pretrusted peers — comparing EigenTrust alone against
+// EigenTrust hardened with SocialTrust.
+//
+// This is the workload the paper's introduction motivates: an open
+// file-sharing community where a clique of low-quality uploaders mutually
+// inflates its reputation (and has even compromised some of the network's
+// pretrusted seed peers) to attract downloads it then serves with fakes.
+//
+//	go run ./examples/filesharing
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"socialtrust"
+)
+
+func main() {
+	fmt.Println("Maze-like file-sharing network: 200 peers, 9 pretrusted (7 compromised),")
+	fmt.Println("30 colluders in multiple-and-mutual collusion (MMM), colluder QoS B=0.2.")
+	fmt.Println()
+
+	for _, protect := range []bool{false, true} {
+		cfg := socialtrust.DefaultSimConfig(socialtrust.MMM, socialtrust.EngineEigenTrust, 0.2, protect)
+		cfg.CompromisedPretrusted = 7
+		cfg.QueryCycles = 20
+		cfg.SimulationCycles = 25
+		res, err := socialtrust.RunSim(cfg)
+		if err != nil {
+			panic(err)
+		}
+		name := "EigenTrust"
+		if protect {
+			name = "EigenTrust + SocialTrust"
+		}
+		fmt.Printf("=== %s ===\n", name)
+		fmt.Printf("  downloads served by colluders: %.1f%%\n", res.ColluderRequestShare()*100)
+		fmt.Printf("  fake files served:             %.1f%%\n",
+			100*float64(res.InauthenticServed)/float64(res.TotalRequests))
+
+		// Top-10 reputation board.
+		type peer struct {
+			id  int
+			rep float64
+		}
+		board := make([]peer, len(res.FinalReputations))
+		for i, r := range res.FinalReputations {
+			board[i] = peer{i, r}
+		}
+		sort.Slice(board, func(a, b int) bool { return board[a].rep > board[b].rep })
+		fmt.Println("  top 10 reputations:")
+		for _, p := range board[:10] {
+			fmt.Printf("    peer %3d (%s) %.4f\n", p.id, label(cfg, p.id), p.rep)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Without the filter, the colluding clique rides the compromised pretrusted")
+	fmt.Println("peers to the top of the board and soaks up downloads it serves with fakes.")
+	fmt.Println("With SocialTrust, the clique's mutual ratings are identified by their")
+	fmt.Println("frequency, social closeness and interest mismatch, and shrunk to noise.")
+}
+
+func label(cfg socialtrust.SimConfig, id int) string {
+	switch cfg.Type(id) {
+	case socialtrust.Pretrusted:
+		return "pretrusted"
+	case socialtrust.Colluder:
+		return "COLLUDER  "
+	default:
+		return "normal    "
+	}
+}

@@ -1,0 +1,3 @@
+module socialtrust
+
+go 1.22

@@ -1,0 +1,617 @@
+// Package core implements SocialTrust, the paper's contribution: a
+// collusion-deterrence layer that wraps any reputation engine and re-weights
+// suspicious ratings using two social signals, the social closeness Ωc and
+// the interest similarity Ωs between rater and ratee.
+//
+// Per Section 4.3 of the paper, at the end of each reputation-update
+// interval SocialTrust inspects the per-pair positive/negative rating
+// frequencies t+(i,j), t−(i,j). Pairs exceeding the frequency thresholds are
+// checked against the suspicious behaviors mined from the Overstock trace:
+//
+//	B1: frequent high ratings across a long social distance (Ωc very low)
+//	B2: frequent high ratings to a low-reputed but socially very close peer
+//	B3: frequent high ratings despite few common interests (Ωs very low)
+//	B4: frequent low ratings to a peer with many common interests (Ωs high)
+//
+// A matching pair's ratings are shrunk by the two-dimensional Gaussian
+// filter of Equation 9, centered on the expected closeness/similarity
+// profile, and additionally frequency-normalized — a suspected pair's
+// rating volume is scaled down to the average pair's frequency F, so spam
+// volume cannot substitute for trust — before the wrapped engine sees them.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"socialtrust/internal/interest"
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation"
+	"socialtrust/internal/socialgraph"
+	"socialtrust/internal/stats"
+)
+
+// Behavior identifies which suspicious pattern a pair matched.
+type Behavior int
+
+// The four suspicious collusion behaviors of Section 3.
+const (
+	B1 Behavior = 1 << iota // distant pair, frequent high ratings
+	B2                      // close pair, low-reputed ratee, frequent high ratings
+	B3                      // few common interests, frequent high ratings
+	B4                      // many common interests, frequent low ratings
+)
+
+// String renders the behavior set ("B1|B3").
+func (b Behavior) String() string {
+	if b == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  Behavior
+		name string
+	}{{B1, "B1"}, {B2, "B2"}, {B3, "B3"}, {B4, "B4"}}
+	out := ""
+	for _, n := range names {
+		if b&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	return out
+}
+
+// BaselineMode selects what the Gaussian filter centers on.
+type BaselineMode int
+
+const (
+	// BaselineSystem centers the filter on the empirical distribution of
+	// Ωc/Ωs over non-suspicious transacting pairs in the current interval —
+	// the paper's "average Ωc/Ωs of a pair of transaction peers in the
+	// system based on the empirical result" (Sections 4.1–4.2, with the
+	// Overstock calibration 0.423/1/0.13 as the worked example).
+	BaselineSystem BaselineMode = iota
+	// BaselinePerRater centers the filter on the rater's own profile over
+	// the peers it has rated (the literal Ω̄ci of Equation 6), falling back
+	// to the system baseline when the rater has rated too few peers for a
+	// meaningful profile.
+	BaselinePerRater
+)
+
+// Config parameterizes SocialTrust.
+type Config struct {
+	NumNodes int
+
+	// Alpha is the Gaussian peak height α (paper: 1).
+	Alpha float64
+	// Theta scales adaptive frequency thresholds: a pair is
+	// frequency-suspicious when its interval count exceeds θ·F, F being the
+	// mean per-pair frequency (θ > 1; default 3). Ignored for a polarity
+	// when the corresponding Fixed*Threshold is positive.
+	Theta float64
+	// FixedPosThreshold / FixedNegThreshold, when positive, pin T+t / T−t.
+	FixedPosThreshold float64
+	FixedNegThreshold float64
+	// LowReputation is TR, below which a ratee counts as low-reputed for
+	// B2. Zero means 2/NumNodes — twice the average normalized reputation,
+	// which matches the paper's TR=0.01 at 200 nodes.
+	LowReputation float64
+
+	// Quantiles of the baseline closeness distribution defining "very
+	// low"/"very high" closeness (Tcl, Tch). Defaults: 0.1/0.9. The
+	// similarity gates Tsl/Tsh follow the paper's Section 4.2 rule and sit
+	// at the baseline mean: B3 fires below it ("share few interests"), B4
+	// at or above it ("share many interests").
+	ClosenessLowQ, ClosenessHighQ float64
+
+	// UseCloseness / UseSimilarity enable the two signal dimensions
+	// (both true by default via New; disable one for ablations).
+	UseCloseness, UseSimilarity bool
+
+	// Closeness configures the Ωc computation; Closeness.Weighted selects
+	// the falsification-resistant Equation 10.
+	Closeness socialgraph.ClosenessParams
+	// WeightedSimilarity selects the request-weighted Equation 11.
+	WeightedSimilarity bool
+
+	// Baseline selects the Gaussian centering mode.
+	Baseline BaselineMode
+	// MinProfileSize is the minimum rated-peer count for a usable
+	// per-rater profile under BaselinePerRater (default 5).
+	MinProfileSize int
+
+	// Workers bounds the parallelism of per-pair signal computation
+	// (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.Theta == 0 {
+		c.Theta = 3
+	}
+	if c.LowReputation == 0 && c.NumNodes > 0 {
+		c.LowReputation = 2 / float64(c.NumNodes)
+	}
+	if c.ClosenessLowQ == 0 {
+		c.ClosenessLowQ = 0.1
+	}
+	if c.ClosenessHighQ == 0 {
+		c.ClosenessHighQ = 0.9
+	}
+	if c.MinProfileSize == 0 {
+		c.MinProfileSize = 5
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Closeness.MaxPathHops == 0 {
+		c.Closeness = socialgraph.DefaultClosenessParams()
+	}
+	return c
+}
+
+// PairAdjustment records how one directed pair was treated in an interval,
+// for diagnostics, metrics and tests.
+type PairAdjustment struct {
+	Pair      rating.PairKey
+	Weight    float64 // multiplicative factor applied to the pair's ratings
+	Behaviors Behavior
+	Closeness float64 // Ωc(i,j)
+	Similar   float64 // Ωs(i,j)
+}
+
+// Report summarizes one interval's filtering pass.
+type Report struct {
+	// Adjusted lists every pair whose ratings were re-weighted (Weight<1).
+	Adjusted []PairAdjustment
+	// PosThreshold / NegThreshold are the frequency thresholds used.
+	PosThreshold, NegThreshold float64
+	// Baseline stats actually used for the Gaussian center.
+	ClosenessBaseline, SimilarityBaseline BaselineStats
+}
+
+// BaselineStats describes the distribution the Gaussian centers on. The
+// filter's width uses the robust [Lo,Hi] quantile range when available
+// (falling back to Min/Max): a single legitimate heavy pair must not be able
+// to stretch the bell so wide that extreme colluder signals pass through.
+type BaselineStats struct {
+	Mean, Min, Max float64
+	Lo, Hi         float64 // robust range quantiles; both zero when unset
+	N              int
+}
+
+// width returns the Gaussian's c parameter for these stats.
+func (b BaselineStats) width() float64 {
+	if b.Hi > b.Lo {
+		return b.Hi - b.Lo
+	}
+	return b.Max - b.Min
+}
+
+// SocialTrust wraps a reputation engine with the collusion filter. It
+// implements reputation.Engine itself, so it can be dropped anywhere an
+// engine is expected.
+type SocialTrust struct {
+	cfg     Config
+	graph   *socialgraph.Graph
+	sets    []interest.Set
+	tracker *interest.Tracker
+	inner   reputation.Engine
+	hist    *rating.History
+	last    Report
+}
+
+var _ reputation.Engine = (*SocialTrust)(nil)
+
+// New builds a SocialTrust filter around inner. sets must have one interest
+// set per node; tracker may be nil when Config.WeightedSimilarity is false.
+func New(cfg Config, graph *socialgraph.Graph, sets []interest.Set, tracker *interest.Tracker, inner reputation.Engine) *SocialTrust {
+	if cfg.NumNodes <= 0 {
+		panic("core: NumNodes must be positive")
+	}
+	if graph == nil || inner == nil {
+		panic("core: graph and inner engine are required")
+	}
+	if len(sets) != cfg.NumNodes {
+		panic(fmt.Sprintf("core: %d interest sets for %d nodes", len(sets), cfg.NumNodes))
+	}
+	if cfg.WeightedSimilarity && tracker == nil {
+		panic("core: WeightedSimilarity requires a request tracker")
+	}
+	cfg = cfg.withDefaults()
+	if !cfg.UseCloseness && !cfg.UseSimilarity {
+		cfg.UseCloseness, cfg.UseSimilarity = true, true
+	}
+	return &SocialTrust{
+		cfg:     cfg,
+		graph:   graph,
+		sets:    sets,
+		tracker: tracker,
+		inner:   inner,
+		hist:    rating.NewHistory(cfg.NumNodes),
+	}
+}
+
+// Name implements reputation.Engine.
+func (s *SocialTrust) Name() string { return s.inner.Name() + "+SocialTrust" }
+
+// Reset implements reputation.Engine, clearing both the filter history and
+// the wrapped engine.
+func (s *SocialTrust) Reset() {
+	s.hist = rating.NewHistory(s.cfg.NumNodes)
+	s.last = Report{}
+	s.inner.Reset()
+}
+
+// ResetNode implements reputation.Engine: the node's rating-profile history
+// is forgotten here and the reset is forwarded to the wrapped engine. The
+// caller is responsible for the social-graph side
+// (Graph.RemoveNodeEdges) and the request tracker, which this filter only
+// reads.
+func (s *SocialTrust) ResetNode(node int) {
+	s.hist.ResetNode(node)
+	s.inner.ResetNode(node)
+}
+
+// Reputations implements reputation.Engine by delegating to the wrapped
+// engine (SocialTrust re-scales ratings, not the final vector).
+func (s *SocialTrust) Reputations() []float64 { return s.inner.Reputations() }
+
+// Reputation implements reputation.Engine.
+func (s *SocialTrust) Reputation(node int) float64 { return s.inner.Reputation(node) }
+
+// LastReport returns the filtering report of the most recent Update.
+func (s *SocialTrust) LastReport() Report { return s.last }
+
+// Update filters the snapshot per Section 4.3 and forwards the adjusted
+// ratings to the wrapped engine.
+func (s *SocialTrust) Update(snap rating.Snapshot) {
+	adjusted, report := s.Adjust(snap)
+	s.last = report
+	// Profile history uses the original (unadjusted) ratings: the rater's
+	// observed behavior, not the filtered view, defines its profile.
+	s.hist.Absorb(snap.Ratings)
+	s.inner.Update(adjusted)
+}
+
+// pairSignals caches the social signals of one directed pair.
+type pairSignals struct {
+	closeness float64
+	similar   float64
+}
+
+// Adjust computes per-pair weights for one interval snapshot and returns a
+// new snapshot with re-weighted rating values plus the filtering report. It
+// does not mutate the input and does not advance filter state, so it can be
+// used standalone for what-if analysis.
+func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
+	pairs := make([]rating.PairKey, 0, len(snap.Counts))
+	for k := range snap.Counts {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Rater != pairs[b].Rater {
+			return pairs[a].Rater < pairs[b].Rater
+		}
+		return pairs[a].Ratee < pairs[b].Ratee
+	})
+
+	signals := s.computeSignals(pairs)
+
+	posT, negT := s.frequencyThresholds(snap.Counts)
+	meanF := meanPairFrequency(snap.Counts)
+	base := s.systemBaseline(pairs, signals, snap.Counts, posT, negT)
+
+	// Closeness thresholds Tcl/Tch are percentiles of the baseline
+	// population; the similarity gates sit at the baseline mean
+	// (Section 4.2's (Ωs − Ω̄s) ≶ 0 rule).
+	tcl, tch := quantiles(base.closenessValues, s.cfg.ClosenessLowQ, s.cfg.ClosenessHighQ)
+	tsl, tsh := base.similarity.Mean, base.similarity.Mean
+	if base.similarity.N == 0 {
+		tsl, tsh = 0, math.Inf(1)
+	}
+
+	reps := s.inner.Reputations()
+
+	report := Report{
+		PosThreshold:       posT,
+		NegThreshold:       negT,
+		ClosenessBaseline:  base.closeness,
+		SimilarityBaseline: base.similarity,
+	}
+
+	weights := make(map[rating.PairKey]float64, len(pairs))
+	for _, k := range pairs {
+		c := snap.Counts[k]
+		sig := signals[k]
+		var behaviors Behavior
+		// High-side comparisons are inclusive: similarity is a ratio of
+		// small integers, so the top quantile is frequently attained
+		// exactly (e.g. Tsh = 1.0) and a strict inequality would be
+		// unreachable. The frequency gate already limits false positives.
+		if float64(c.Positive) > posT {
+			if s.cfg.UseCloseness && sig.closeness < tcl {
+				behaviors |= B1
+			}
+			if s.cfg.UseCloseness && sig.closeness >= tch && reps[k.Ratee] < s.cfg.LowReputation {
+				behaviors |= B2
+			}
+			if s.cfg.UseSimilarity && sig.similar < tsl {
+				behaviors |= B3
+			}
+		}
+		if float64(c.Negative) > negT {
+			if s.cfg.UseSimilarity && sig.similar >= tsh {
+				behaviors |= B4
+			}
+		}
+		if behaviors == 0 {
+			continue
+		}
+		// The Gaussian handles the social-signal anomaly; frequency
+		// normalization handles the volume anomaly: once a pair is
+		// suspected, its rating volume is scaled down to the average
+		// pair's frequency F, so no flagged pair can out-shout a normal
+		// one no matter how fast it rates.
+		w := s.gaussianWeight(k.Rater, sig, base) * freqScale(c, behaviors, meanF)
+		weights[k] = w
+		report.Adjusted = append(report.Adjusted, PairAdjustment{
+			Pair:      k,
+			Weight:    w,
+			Behaviors: behaviors,
+			Closeness: sig.closeness,
+			Similar:   sig.similar,
+		})
+	}
+
+	out := rating.Snapshot{
+		Ratings: make([]rating.Rating, len(snap.Ratings)),
+		Counts:  snap.Counts,
+	}
+	for i, r := range snap.Ratings {
+		if w, ok := weights[rating.PairKey{Rater: r.Rater, Ratee: r.Ratee}]; ok {
+			r.Value *= w
+		}
+		out.Ratings[i] = r
+	}
+	return out, report
+}
+
+// computeSignals evaluates Ωc and Ωs for every pair, fanning out across
+// Workers since closeness may involve BFS.
+func (s *SocialTrust) computeSignals(pairs []rating.PairKey) map[rating.PairKey]pairSignals {
+	out := make([]pairSignals, len(pairs))
+	workers := s.cfg.Workers
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for i, k := range pairs {
+			out[i] = s.signalsFor(k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		block := (len(pairs) + workers - 1) / workers
+		for lo := 0; lo < len(pairs); lo += block {
+			hi := lo + block
+			if hi > len(pairs) {
+				hi = len(pairs)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					out[i] = s.signalsFor(pairs[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	m := make(map[rating.PairKey]pairSignals, len(pairs))
+	for i, k := range pairs {
+		m[k] = out[i]
+	}
+	return m
+}
+
+func (s *SocialTrust) signalsFor(k rating.PairKey) pairSignals {
+	var sig pairSignals
+	if s.cfg.UseCloseness {
+		sig.closeness = s.graph.Closeness(socialgraph.NodeID(k.Rater), socialgraph.NodeID(k.Ratee), s.cfg.Closeness)
+	}
+	if s.cfg.UseSimilarity {
+		if s.cfg.WeightedSimilarity {
+			sig.similar = interest.WeightedSimilarity(s.sets[k.Rater], s.sets[k.Ratee], k.Rater, k.Ratee, s.tracker)
+		} else {
+			sig.similar = interest.Similarity(s.sets[k.Rater], s.sets[k.Ratee])
+		}
+	}
+	return sig
+}
+
+// frequencyThresholds derives T+t and T−t for the interval. The paper
+// defines the suspicion cut as θ·F where F is "the average rating frequency
+// from one node to another node in the system"; we compute F as the mean
+// total rating count over all transacting pairs, so no single polarity's
+// attacker can inflate its own threshold.
+func (s *SocialTrust) frequencyThresholds(counts map[rating.PairKey]rating.PairCounts) (pos, neg float64) {
+	pos, neg = s.cfg.FixedPosThreshold, s.cfg.FixedNegThreshold
+	if pos > 0 && neg > 0 {
+		return pos, neg
+	}
+	f := 0.0
+	if len(counts) > 0 {
+		total := 0
+		for _, c := range counts {
+			total += c.Total()
+		}
+		f = float64(total) / float64(len(counts))
+	}
+	if f < 1 {
+		f = 1
+	}
+	if pos <= 0 {
+		pos = s.cfg.Theta * f
+	}
+	if neg <= 0 {
+		neg = s.cfg.Theta * f
+	}
+	return pos, neg
+}
+
+// baseline aggregates the empirical signal distribution over non-suspicious
+// pairs (frequency within thresholds), the population the Gaussian centers
+// on under BaselineSystem.
+type baseline struct {
+	closeness        BaselineStats
+	similarity       BaselineStats
+	closenessValues  []float64
+	similarityValues []float64
+}
+
+func (s *SocialTrust) systemBaseline(pairs []rating.PairKey, signals map[rating.PairKey]pairSignals,
+	counts map[rating.PairKey]rating.PairCounts, posT, negT float64) baseline {
+
+	var b baseline
+	for _, k := range pairs {
+		c := counts[k]
+		if float64(c.Positive) > posT || float64(c.Negative) > negT {
+			continue // frequency-suspicious pairs must not pollute the baseline
+		}
+		sig := signals[k]
+		b.closenessValues = append(b.closenessValues, sig.closeness)
+		b.similarityValues = append(b.similarityValues, sig.similar)
+	}
+	b.closeness = summarizeBaseline(b.closenessValues)
+	b.similarity = summarizeBaseline(b.similarityValues)
+	return b
+}
+
+func summarizeBaseline(xs []float64) BaselineStats {
+	if len(xs) == 0 {
+		return BaselineStats{}
+	}
+	lo, hi, _ := stats.MinMax(xs)
+	p05, _ := stats.Percentile(xs, 5)
+	p95, _ := stats.Percentile(xs, 95)
+	return BaselineStats{Mean: stats.Mean(xs), Min: lo, Max: hi, Lo: p05, Hi: p95, N: len(xs)}
+}
+
+func quantiles(xs []float64, loQ, hiQ float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, math.Inf(1) // no baseline: nothing counts as "very low/high"
+	}
+	lo, _ = stats.Percentile(xs, loQ*100)
+	hi, _ = stats.Percentile(xs, hiQ*100)
+	return lo, hi
+}
+
+// gaussianWeight evaluates the combined filter of Equation 9:
+//
+//	w = α · exp(−[(Ωc−Ω̄c)²/(2|maxΩc−minΩc|²) + (Ωs−Ω̄s)²/(2|maxΩs−minΩs|²)])
+//
+// The center/range come from the configured baseline mode. A degenerate
+// range (max == min) keeps the weight at α when the value sits on the
+// center and collapses it to ~0 otherwise.
+func (s *SocialTrust) gaussianWeight(rater int, sig pairSignals, base baseline) float64 {
+	exponent := 0.0
+	if s.cfg.UseCloseness {
+		st := s.chooseBaseline(rater, base.closeness, s.profileCloseness)
+		exponent += deviation(sig.closeness, st)
+	}
+	if s.cfg.UseSimilarity {
+		st := s.chooseBaseline(rater, base.similarity, s.profileSimilarity)
+		exponent += deviation(sig.similar, st)
+	}
+	return s.cfg.Alpha * math.Exp(-exponent)
+}
+
+// chooseBaseline resolves the Gaussian center: the system baseline, or the
+// rater's own profile when configured and large enough.
+func (s *SocialTrust) chooseBaseline(rater int, system BaselineStats, profile func(int) BaselineStats) BaselineStats {
+	if s.cfg.Baseline == BaselineSystem {
+		return system
+	}
+	p := profile(rater)
+	if p.N < s.cfg.MinProfileSize {
+		return system
+	}
+	return p
+}
+
+func (s *SocialTrust) profileCloseness(rater int) BaselineStats {
+	peers := s.hist.RateesOf(rater)
+	ids := make([]socialgraph.NodeID, len(peers))
+	for i, p := range peers {
+		ids[i] = socialgraph.NodeID(p)
+	}
+	prof := s.graph.ProfileCloseness(socialgraph.NodeID(rater), ids, s.cfg.Closeness)
+	return BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
+}
+
+func (s *SocialTrust) profileSimilarity(rater int) BaselineStats {
+	peers := s.hist.RateesOf(rater)
+	prof := interest.ProfileSimilarity(s.sets[rater], rater, peers, s.sets, s.cfg.WeightedSimilarity, s.tracker)
+	return BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
+}
+
+// freqScale returns the frequency-normalization factor min(1, F/t) for the
+// polarity (or polarities) that triggered detection, F being the mean
+// per-pair rating frequency of the interval.
+func freqScale(c rating.PairCounts, behaviors Behavior, meanF float64) float64 {
+	scale := 1.0
+	if behaviors&(B1|B2|B3) != 0 && float64(c.Positive) > meanF {
+		scale = meanF / float64(c.Positive)
+	}
+	if behaviors&B4 != 0 && float64(c.Negative) > meanF {
+		if s := meanF / float64(c.Negative); s < scale {
+			scale = s
+		}
+	}
+	return scale
+}
+
+// meanPairFrequency computes F, the mean total rating count per transacting
+// pair in the interval (floored at 1).
+func meanPairFrequency(counts map[rating.PairKey]rating.PairCounts) float64 {
+	if len(counts) == 0 {
+		return 1
+	}
+	total := 0
+	for _, c := range counts {
+		total += c.Total()
+	}
+	f := float64(total) / float64(len(counts))
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// deviation is one exponent term of Equation 9 with a guarded denominator.
+func deviation(x float64, st BaselineStats) float64 {
+	if st.N == 0 {
+		return 0
+	}
+	d := x - st.Mean
+	rng := st.width()
+	if rng < 1e-12 {
+		if math.Abs(d) < 1e-12 {
+			return 0
+		}
+		return 50 // effectively zero weight
+	}
+	exp := (d * d) / (2 * rng * rng)
+	if exp > 50 {
+		exp = 50
+	}
+	return exp
+}

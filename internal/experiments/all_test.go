@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes every registered experiment once on the
+// shortened horizon with a single repetition. This is the harness's
+// integration test: every table and figure of the paper must regenerate
+// without error and produce its own output section.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke skipped in -short mode")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := spec.Run(Options{Runs: 1, Seed: 11, Quick: true}, &buf); err != nil {
+				t.Fatalf("%s failed: %v", spec.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, spec.ID) {
+				t.Errorf("%s output missing its marker:\n%s", spec.ID, out)
+			}
+			if len(strings.TrimSpace(out)) == 0 {
+				t.Errorf("%s produced no output", spec.ID)
+			}
+		})
+	}
+}

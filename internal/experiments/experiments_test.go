@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Runs: 2, Seed: 5, Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "table1",
+		"ext-slander", "ext-trustguard", "ext-sybil", "ext-oscillation", "ext-whitewash",
+	}
+	for _, id := range want {
+		s, ok := Get(id)
+		if !ok {
+			t.Errorf("experiment %q not registered", id)
+			continue
+		}
+		if s.Title == "" || s.Description == "" || s.Run == nil {
+			t.Errorf("experiment %q incomplete: %+v", id, s)
+		}
+	}
+	if got := len(All()); got != len(want) {
+		ids := make([]string, 0, got)
+		for _, s := range All() {
+			ids = append(ids, s.ID)
+		}
+		t.Errorf("registry has %d experiments, want %d: %v", got, len(want), ids)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i].ID < all[i-1].ID {
+			t.Fatalf("All() not sorted: %q before %q", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("nope", quickOpts(), &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestTraceFiguresRun(t *testing.T) {
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4"} {
+		var buf bytes.Buffer
+		if err := Run(id, quickOpts(), &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), id) {
+			t.Fatalf("%s output missing its own marker:\n%s", id, buf.String())
+		}
+	}
+}
+
+func TestFig8PanelRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run("fig8", quickOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EigenTrust", "eBay", "EigenTrust+SocialTrust", "eBay+SocialTrust", "share→colluders"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig8 output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 5 {
+		t.Errorf("fig8 output too short: %d lines", lines)
+	}
+}
+
+func TestFig19Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run("fig19", quickOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "B=0.2") || !strings.Contains(out, "B=0.6") {
+		t.Errorf("fig19 output missing B panels:\n%s", out)
+	}
+	if !strings.Contains(out, "median=") && !strings.Contains(out, "no colluder converged") {
+		t.Errorf("fig19 output missing percentile lines:\n%s", out)
+	}
+}
+
+func TestAggregateAveragesAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment skipped in -short mode")
+	}
+	cfg := fourSystems(0, 0.4)[0] // NoCollusion EigenTrust
+	agg, err := aggregate(cfg, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range agg.MeanReputations {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("mean reputations sum to %v, want ~1", sum)
+	}
+	if agg.RequestShare.N != 2 {
+		t.Fatalf("RequestShare aggregated %d runs, want 2", agg.RequestShare.N)
+	}
+}
+
+func TestSystemName(t *testing.T) {
+	cfgs := table1Systems(1, 0.2) // PCM
+	want := []string{
+		"eBay", "EigenTrust", "EigenTrust (Pre)",
+		"eBay+SocialTrust", "EigenTrust+SocialTrust", "EigenTrust+SocialTrust (Pre)",
+	}
+	for i, cfg := range cfgs {
+		if got := systemName(cfg); got != want[i] {
+			t.Errorf("systemName[%d] = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Runs != 5 || o.Seed != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestNodeSeriesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	o := quickOpts()
+	o.Runs = 1
+	o.NodeSeries = true
+	if err := Run("fig10", o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# series:") {
+		t.Fatalf("missing series header:\n%s", out[:200])
+	}
+	if !strings.Contains(out, "0,pretrusted,") || !strings.Contains(out, "9,colluder,") {
+		t.Errorf("per-node CSV rows missing")
+	}
+	// 2 systems × 200 nodes of CSV rows.
+	if rows := strings.Count(out, ",colluder,"); rows != 60 {
+		t.Errorf("expected 60 colluder rows, got %d", rows)
+	}
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"socialtrust/internal/sim"
+	"socialtrust/internal/socialgraph"
+	"socialtrust/internal/stats"
+	"socialtrust/internal/sybil"
+	"socialtrust/internal/xrand"
+)
+
+// Extension experiments: attack variants the paper names but does not
+// evaluate ("We consider positive ratings among colluders... Similar
+// results can be obtained for the collusion of negative ratings"; future
+// work: "other collusion patterns").
+
+func init() {
+	register(Spec{
+		ID:          "ext-trustguard",
+		Title:       "TrustGuard baseline comparison — extension",
+		Description: "The paper's closest prior-art defense (reference [12], credibility-weighted feedback + temporal blend) under PCM at B=0.6 and B=0.2, alone and wrapped with SocialTrust.",
+		Run:         runTrustGuard,
+	})
+	register(Spec{
+		ID:          "ext-sybil",
+		Title:       "Sybil-region pruning before signal computation — extension",
+		Description: "The related-work complement: a SybilGuard-style random-route detector flags fabricated identity clusters attached to the social graph and prunes them before SocialTrust computes closeness.",
+		Run:         runSybil,
+	})
+	register(Spec{
+		ID:          "ext-oscillation",
+		Title:       "Oscillation (traitor) attack — extension",
+		Description: "Colluders serve at 95% QoS until mid-run, then defect to B=0.2 while still colluding (PCM): the attack TrustGuard's fluctuation penalty targets, compared across engines with and without SocialTrust.",
+		Run:         runOscillation,
+	})
+	register(Spec{
+		ID:          "ext-whitewash",
+		Title:       "Whitewashing (identity churn) attack — extension",
+		Description: "Oscillating colluders abandon punished identities and re-enter fresh (engine state forgotten, social edges rebuilt). Measures how much service damage the repeating con extracts, with and without SocialTrust.",
+		Run:         runWhitewash,
+	})
+	register(Spec{
+		ID:          "ext-slander",
+		Title:       "Negative-rating collusion (slander campaign) — extension",
+		Description: "Colluders flood 10 high-similarity normal victims with negative ratings at the collusion frequency (the B4 pattern at network scale); with and without SocialTrust, on the eBay baseline (canonical EigenTrust clamps negative local trust and is structurally immune).",
+		Run:         runSlander,
+	})
+}
+
+func runSybil(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	fmt.Fprintln(w, "== ext-sybil: random-route detection of fabricated identity clusters ==")
+	// An honest small-world region of 200 peers with a 60-identity Sybil
+	// cluster attached through a handful of attack edges, swept over the
+	// attack-edge count (the schemes' key parameter).
+	for _, attackEdges := range []int{2, 8, 32} {
+		var caught, falsePos []float64
+		for r := 0; r < o.Runs; r++ {
+			g, honest, sybils := sybilScenario(200, 60, attackEdges, o.Seed+uint64(r))
+			det := sybil.New(g, sybil.Config{Seed: o.Seed + uint64(r)})
+			seeds := honest[:4]
+			flagged := map[socialgraph.NodeID]bool{}
+			for _, s := range det.Suspects(seeds) {
+				flagged[s] = true
+			}
+			c, fp := 0, 0
+			for _, s := range sybils {
+				if flagged[s] {
+					c++
+				}
+			}
+			for _, h := range honest {
+				if flagged[h] {
+					fp++
+				}
+			}
+			caught = append(caught, float64(c)/float64(len(sybils)))
+			falsePos = append(falsePos, float64(fp)/float64(len(honest)))
+		}
+		cs, _ := stats.Summarize(caught)
+		fs, _ := stats.Summarize(falsePos)
+		fmt.Fprintf(w, "attack edges %2d: sybils caught %.0f%%±%.0f, honest falsely flagged %.1f%%±%.1f\n",
+			attackEdges, cs.Mean*100, cs.CI95*100, fs.Mean*100, fs.CI95*100)
+	}
+	fmt.Fprintln(w, "(detection degrades as the attack-edge cut widens — the schemes' documented")
+	fmt.Fprintln(w, "limitation; SocialTrust's rating-behavior patterns cover the well-connected case)")
+	return nil
+}
+
+// sybilScenario builds the detection benchmark graph.
+func sybilScenario(nHonest, nSybil, attackEdges int, seed uint64) (*socialgraph.Graph, []socialgraph.NodeID, []socialgraph.NodeID) {
+	g := socialgraph.New(nHonest + nSybil)
+	rng := xrand.New(seed)
+	rel := socialgraph.Relationship{Kind: socialgraph.Friendship}
+	for i := 0; i < nHonest; i++ {
+		g.AddRelationship(socialgraph.NodeID(i), socialgraph.NodeID((i+1)%nHonest), rel)
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(nHonest)
+			if j != i && !g.Adjacent(socialgraph.NodeID(i), socialgraph.NodeID(j)) {
+				g.AddRelationship(socialgraph.NodeID(i), socialgraph.NodeID(j), rel)
+			}
+		}
+	}
+	for s := 0; s < nSybil; s++ {
+		id := nHonest + s
+		for k := 0; k < 3; k++ {
+			j := nHonest + rng.Intn(nSybil)
+			if j != id && !g.Adjacent(socialgraph.NodeID(id), socialgraph.NodeID(j)) {
+				g.AddRelationship(socialgraph.NodeID(id), socialgraph.NodeID(j), rel)
+			}
+		}
+	}
+	for a := 0; a < attackEdges; a++ {
+		h, s := rng.Intn(nHonest), nHonest+rng.Intn(nSybil)
+		if !g.Adjacent(socialgraph.NodeID(h), socialgraph.NodeID(s)) {
+			g.AddRelationship(socialgraph.NodeID(h), socialgraph.NodeID(s), rel)
+		}
+	}
+	honest := make([]socialgraph.NodeID, nHonest)
+	for i := range honest {
+		honest[i] = socialgraph.NodeID(i)
+	}
+	sybils := make([]socialgraph.NodeID, nSybil)
+	for i := range sybils {
+		sybils[i] = socialgraph.NodeID(nHonest + i)
+	}
+	return g, honest, sybils
+}
+
+func runTrustGuard(o Options, w io.Writer) error {
+	fmt.Fprintln(w, "== ext-trustguard: TrustGuard baseline vs SocialTrust-wrapped engines ==")
+	for _, b := range []float64{0.6, 0.2} {
+		fmt.Fprintf(w, "-- PCM, B=%.1f --\n", b)
+		cfgs := []sim.Config{
+			sim.DefaultConfig(sim.PCM, sim.EngineTrustGuard, b, false),
+			sim.DefaultConfig(sim.PCM, sim.EngineTrustGuard, b, true),
+			sim.DefaultConfig(sim.PCM, sim.EngineEigenTrust, b, true),
+		}
+		for _, cfg := range cfgs {
+			agg, err := aggregate(cfg, o)
+			if err != nil {
+				return err
+			}
+			printDistribution(w, systemName(cfg), agg)
+		}
+	}
+	return nil
+}
+
+func runWhitewash(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	fmt.Fprintln(w, "== ext-whitewash: punished colluders re-enter under fresh identities ==")
+	type variant struct {
+		label     string
+		engine    sim.EngineKind
+		st        bool
+		whitewash bool
+	}
+	variants := []variant{
+		{"eBay, no whitewashing", sim.EngineEBay, false, false},
+		{"eBay, whitewashing", sim.EngineEBay, false, true},
+		{"eBay+SocialTrust, whitewashing", sim.EngineEBay, true, true},
+		{"EigenTrust+SocialTrust, whitewashing", sim.EngineEigenTrust, true, true},
+	}
+	for _, v := range variants {
+		var badShares, collShares, washes []float64
+		for r := 0; r < o.Runs; r++ {
+			cfg := sim.DefaultConfig(sim.PCM, v.engine, 0.2, v.st)
+			cfg = applyHorizon(cfg, o)
+			cfg.OscillationCycle = 3 // honeymoon length per identity
+			if v.whitewash {
+				cfg.WhitewashThreshold = 0.002
+			}
+			cfg.Seed = o.Seed + uint64(r)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			badShares = append(badShares, float64(res.InauthenticServed)/float64(res.TotalRequests))
+			collShares = append(collShares, res.ColluderRequestShare())
+			washes = append(washes, float64(res.Whitewashes))
+		}
+		bad, _ := stats.Summarize(badShares)
+		coll, _ := stats.Summarize(collShares)
+		ws, _ := stats.Summarize(washes)
+		fmt.Fprintf(w, "%-38s inauthentic served %.1f%%±%.1f | requests→colluders %.1f%%±%.1f | identity resets %.0f\n",
+			v.label, bad.Mean*100, bad.CI95*100, coll.Mean*100, coll.CI95*100, ws.Mean)
+	}
+	fmt.Fprintln(w, "(each fresh identity buys the colluder a honeymoon of traffic before punishment")
+	fmt.Fprintln(w, "lands again; SocialTrust's frequency/social gates re-flag the resumed collusion")
+	fmt.Fprintln(w, "within the first interval of every new identity)")
+	return nil
+}
+
+func runOscillation(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	fmt.Fprintln(w, "== ext-oscillation: colluders defect mid-run after building honest reputation ==")
+	cfgs := []sim.Config{
+		sim.DefaultConfig(sim.PCM, sim.EngineEigenTrust, 0.2, false),
+		sim.DefaultConfig(sim.PCM, sim.EngineEBay, 0.2, false),
+		sim.DefaultConfig(sim.PCM, sim.EngineTrustGuard, 0.2, false),
+		sim.DefaultConfig(sim.PCM, sim.EngineEigenTrust, 0.2, true),
+		sim.DefaultConfig(sim.PCM, sim.EngineTrustGuard, 0.2, true),
+	}
+	for i := range cfgs {
+		cfgs[i] = applyHorizon(cfgs[i], o)
+		cfgs[i].OscillationCycle = cfgs[i].SimulationCycles / 2
+	}
+	fmt.Fprintf(w, "(defection at cycle %d of %d; post-defection damage = inauthentic share of all served requests)\n",
+		cfgs[0].OscillationCycle, cfgs[0].SimulationCycles)
+	for _, cfg := range cfgs {
+		agg, err := aggregate(cfg, o)
+		if err != nil {
+			return err
+		}
+		printDistribution(w, systemName(cfg), agg)
+	}
+	return nil
+}
+
+func runSlander(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	fmt.Fprintln(w, "== ext-slander: colluders bad-mouth high-similarity normal victims ==")
+	for _, protect := range []bool{false, true} {
+		// Victim selection is interest-biased, so each attacked run is
+		// compared against a same-seed control run without the campaign:
+		// reputation damage = 1 − victimMean(attacked)/victimMean(control).
+		var damages []float64
+		for r := 0; r < o.Runs; r++ {
+			attacked := sim.DefaultConfig(sim.PCM, sim.EngineEBay, 0.6, protect)
+			attacked.SlanderVictims = 10
+			// Fixed short horizon: the campaign's direct reputation damage
+			// is established within ~15 cycles; longer horizons let the
+			// winner-take-all selection chaos of borderline-elite victims
+			// dominate the attacked-vs-control comparison.
+			attacked.QueryCycles = 15
+			attacked.SimulationCycles = 15
+			attacked.Seed = o.Seed + uint64(r)
+			net, err := sim.NewNetwork(attacked)
+			if err != nil {
+				return err
+			}
+			victims := net.SlanderVictimIDs()
+			resAttacked := net.Run()
+
+			control := attacked
+			control.SlanderVictims = 0
+			resControl, err := sim.Run(control)
+			if err != nil {
+				return err
+			}
+			// Per-victim reputation averaged over the last five cycles
+			// (single-cycle snapshots are noisy), damage as the median
+			// across victims (robust to individual victims flipping in or
+			// out of the selection elite between the paired runs).
+			tail := func(res *sim.Result, id int) float64 {
+				sum, n := 0.0, 0
+				for c := len(res.History) - 5; c < len(res.History); c++ {
+					if c >= 0 {
+						sum += res.History[c][id]
+						n++
+					}
+				}
+				return sum / float64(n)
+			}
+			var perVictim []float64
+			for _, id := range victims {
+				if ctrl := tail(resControl, id); ctrl > 0 {
+					perVictim = append(perVictim, 1-tail(resAttacked, id)/ctrl)
+				}
+			}
+			if med, err := stats.Median(perVictim); err == nil {
+				damages = append(damages, med)
+			}
+		}
+		d, _ := stats.Summarize(damages)
+		name := "eBay"
+		if protect {
+			name = "eBay+SocialTrust"
+		}
+		fmt.Fprintf(w, "%-24s victim reputation damage %.1f%% ± %.1f\n", name, d.Mean*100, d.CI95*100)
+	}
+	fmt.Fprintln(w, "(without the filter the median victim is driven to zero reputation; B4 flags")
+	fmt.Fprintln(w, "every slander pair and shrinks its weight to ~0.1, leaving only the indirect")
+	fmt.Fprintln(w, "damage of the winner-take-all selection amplifying small reputation dips)")
+	return nil
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"socialtrust/internal/sim"
+	"socialtrust/internal/stats"
+)
+
+// fourSystems returns the paper's standard panel: the bare engine and the
+// SocialTrust-wrapped engine for both baselines.
+func fourSystems(model sim.CollusionModel, b float64) []sim.Config {
+	return []sim.Config{
+		sim.DefaultConfig(model, sim.EngineEigenTrust, b, false),
+		sim.DefaultConfig(model, sim.EngineEBay, b, false),
+		sim.DefaultConfig(model, sim.EngineEigenTrust, b, true),
+		sim.DefaultConfig(model, sim.EngineEBay, b, true),
+	}
+}
+
+// runPanel aggregates and prints each configuration as one panel line.
+func runPanel(o Options, w io.Writer, header string, cfgs []sim.Config) error {
+	fmt.Fprintln(w, header)
+	for _, cfg := range cfgs {
+		agg, err := aggregate(cfg, o)
+		if err != nil {
+			return err
+		}
+		printDistribution(w, systemName(cfg), agg)
+		if o.NodeSeries {
+			printNodeSeries(w, systemName(cfg), agg)
+		}
+	}
+	return nil
+}
+
+// printNodeSeries emits the per-node mean reputation vector as CSV — the
+// series a plot of the paper's figure would be drawn from.
+func printNodeSeries(w io.Writer, label string, agg *Aggregate) {
+	fmt.Fprintf(w, "# series: %s (node,type,reputation)\n", label)
+	for id, v := range agg.MeanReputations {
+		fmt.Fprintf(w, "%d,%s,%.6g\n", id, agg.Config.Type(id), v)
+	}
+}
+
+// registerDistributionPanel registers a fig7–fig18-style experiment.
+func registerDistributionPanel(id, title, description string, cfgs func() []sim.Config) {
+	register(Spec{
+		ID:          id,
+		Title:       title,
+		Description: description,
+		Run: func(o Options, w io.Writer) error {
+			return runPanel(o, w, fmt.Sprintf("== %s: %s ==", id, title), cfgs())
+		},
+	})
+}
+
+func init() {
+	register(Spec{
+		ID:          "fig7",
+		Title:       "EigenTrust and eBay without colluders",
+		Description: "Reputation distribution and percent of services provided by malicious nodes, no rating collusion (malicious QoS drawn from [0.2,0.6]).",
+		Run:         runFig7,
+	})
+
+	registerDistributionPanel("fig8",
+		"Reputation distribution in PCM with B=0.6",
+		"Pair-wise collusion, colluders serve authentic content with probability 0.6.",
+		func() []sim.Config { return fourSystems(sim.PCM, 0.6) })
+	registerDistributionPanel("fig9",
+		"Reputation distribution in PCM with B=0.2",
+		"Pair-wise collusion, low-QoS colluders.",
+		func() []sim.Config { return fourSystems(sim.PCM, 0.2) })
+
+	registerDistributionPanel("fig10",
+		"PCM with 7 compromised pretrusted nodes, B=0.2",
+		"Compromised pretrusted peers join the collusion.",
+		func() []sim.Config {
+			a := sim.DefaultConfig(sim.PCM, sim.EngineEigenTrust, 0.2, false)
+			a.CompromisedPretrusted = 7
+			b := sim.DefaultConfig(sim.PCM, sim.EngineEigenTrust, 0.2, true)
+			b.CompromisedPretrusted = 7
+			return []sim.Config{a, b}
+		})
+
+	registerDistributionPanel("fig11",
+		"Reputation distribution in MCM with B=0.6",
+		"Multiple-node collusion: boosting colluders rate 7 boosted colluders.",
+		func() []sim.Config { return fourSystems(sim.MCM, 0.6) })
+	registerDistributionPanel("fig12",
+		"Reputation distribution in MCM with B=0.2",
+		"Multiple-node collusion with low-QoS colluders.",
+		func() []sim.Config { return fourSystems(sim.MCM, 0.2) })
+	registerDistributionPanel("fig13",
+		"Reputation distribution in MMM with B=0.6",
+		"Multiple-and-mutual collusion: boosted nodes rate boosters back.",
+		func() []sim.Config { return fourSystems(sim.MMM, 0.6) })
+	registerDistributionPanel("fig14",
+		"Reputation distribution in MMM with B=0.2",
+		"Multiple-and-mutual collusion with low-QoS colluders.",
+		func() []sim.Config { return fourSystems(sim.MMM, 0.2) })
+
+	registerDistributionPanel("fig15",
+		"MCM and MMM with compromised pretrusted nodes, B=0.2",
+		"Compromised pretrusted peers in the multi-node collusion models.",
+		func() []sim.Config {
+			var out []sim.Config
+			for _, model := range []sim.CollusionModel{sim.MCM, sim.MMM} {
+				for _, st := range []bool{false, true} {
+					cfg := sim.DefaultConfig(model, sim.EngineEigenTrust, 0.2, st)
+					cfg.CompromisedPretrusted = 7
+					out = append(out, cfg)
+				}
+			}
+			return out
+		})
+
+	registerFalsified("fig16", sim.PCM)
+	registerFalsified("fig17", sim.MCM)
+	registerFalsified("fig18", sim.MMM)
+
+	register(Spec{
+		ID:          "fig19",
+		Title:       "Efficiency in combating colluders (MMM)",
+		Description: "Simulation cycles until colluder reputations stay below 0.001: 1st/50th/99th percentiles for SocialTrust, EigenTrust and eBay at B=0.2 and B=0.6.",
+		Run:         runFig19,
+	})
+
+	register(Spec{
+		ID:          "fig20",
+		Title:       "Average reputation vs colluder social distance",
+		Description: "Colluder and normal reputations under EigenTrust+SocialTrust with collusion partners placed at social distance 1-3, for PCM, MCM and MMM.",
+		Run:         runFig20,
+	})
+}
+
+// registerFalsified registers the Section 5.8 panels: SocialTrust under
+// falsified social information, compared with the accurate-information runs.
+func registerFalsified(id string, model sim.CollusionModel) {
+	registerDistributionPanel(id,
+		fmt.Sprintf("Falsified social information in %v with B=0.6", model),
+		"Colluders publish one relationship and identical fabricated interest profiles; SocialTrust uses the weighted Equations 10/11.",
+		func() []sim.Config {
+			var out []sim.Config
+			for _, engine := range []sim.EngineKind{sim.EngineEigenTrust, sim.EngineEBay} {
+				accurate := sim.DefaultConfig(model, engine, 0.6, true)
+				fals := sim.DefaultConfig(model, engine, 0.6, true)
+				fals.FalsifiedSocialInfo = true
+				out = append(out, accurate, fals)
+			}
+			return out
+		})
+}
+
+// runFig7 handles the no-collusion baseline: in Figure 7 malicious nodes'
+// QoS is drawn from [0.2,0.6]; we approximate with the midpoint B=0.4 and no
+// rating collusion.
+func runFig7(o Options, w io.Writer) error {
+	fmt.Fprintln(w, "== fig7: EigenTrust and eBay without colluders ==")
+	for _, engine := range []sim.EngineKind{sim.EngineEigenTrust, sim.EngineEBay} {
+		cfg := sim.DefaultConfig(sim.NoCollusion, engine, 0.4, false)
+		agg, err := aggregate(cfg, o)
+		if err != nil {
+			return err
+		}
+		printDistribution(w, systemName(cfg), agg)
+	}
+	fmt.Fprintln(w, "(the 'share→colluders' column is Figure 7(c): percent of services provided by malicious nodes)")
+	return nil
+}
+
+// runFig19 reports convergence percentiles.
+func runFig19(o Options, w io.Writer) error {
+	fmt.Fprintln(w, "== fig19: simulation cycles until colluder reputation < 0.001 (MMM) ==")
+	for _, b := range []float64{0.2, 0.6} {
+		fmt.Fprintf(w, "-- B=%.1f --\n", b)
+		cfgs := []sim.Config{
+			sim.DefaultConfig(sim.MMM, sim.EngineEigenTrust, b, true),
+			sim.DefaultConfig(sim.MMM, sim.EngineEigenTrust, b, false),
+			sim.DefaultConfig(sim.MMM, sim.EngineEBay, b, false),
+		}
+		for _, cfg := range cfgs {
+			agg, err := aggregate(cfg, o)
+			if err != nil {
+				return err
+			}
+			printConvergence(w, systemName(cfg), agg)
+		}
+	}
+	return nil
+}
+
+func printConvergence(w io.Writer, label string, agg *Aggregate) {
+	converged := make([]float64, 0, len(agg.ConvergenceCycles))
+	never := 0
+	for _, c := range agg.ConvergenceCycles {
+		if c < 0 {
+			never++
+			continue
+		}
+		converged = append(converged, float64(c))
+	}
+	if len(converged) == 0 {
+		fmt.Fprintf(w, "%-28s no colluder converged below 0.001 (%d never)\n", label, never)
+		return
+	}
+	sort.Float64s(converged)
+	p1, _ := stats.Percentile(converged, 1)
+	p50, _ := stats.Percentile(converged, 50)
+	p99, _ := stats.Percentile(converged, 99)
+	fmt.Fprintf(w, "%-28s cycles p1=%.0f median=%.0f p99=%.0f (never: %d of %d)\n",
+		label, p1, p50, p99, never, len(agg.ConvergenceCycles))
+}
+
+// runFig20 sweeps the collusion-partner social distance.
+func runFig20(o Options, w io.Writer) error {
+	fmt.Fprintln(w, "== fig20: average reputation vs colluder social distance (EigenTrust+SocialTrust) ==")
+	for _, model := range []sim.CollusionModel{sim.PCM, sim.MCM, sim.MMM} {
+		for dist := 1; dist <= 3; dist++ {
+			cfg := sim.DefaultConfig(model, sim.EngineEigenTrust, 0.6, true)
+			cfg.ColluderDistance = dist
+			agg, err := aggregate(cfg, o)
+			if err != nil {
+				return err
+			}
+			g := summarizeGroups(agg)
+			fmt.Fprintf(w, "%v distance=%d: colluders %.5f±%.5f, normal %.5f±%.5f\n",
+				model, dist, g.Colluder.Mean, g.Colluder.CI95, g.Normal.Mean, g.Normal.CI95)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"socialtrust/internal/sim"
+)
+
+func init() {
+	register(Spec{
+		ID:          "table1",
+		Title:       "Percentage of requests sent to colluders",
+		Description: "Every collusion model × B ∈ {0.2, 0.6} × {eBay, EigenTrust, EigenTrust (Pre), eBay+SocialTrust, EigenTrust+SocialTrust, EigenTrust+SocialTrust (Pre)}.",
+		Run:         runTable1,
+	})
+}
+
+// table1Systems builds the six system configurations of one table cell
+// group.
+func table1Systems(model sim.CollusionModel, b float64) []sim.Config {
+	mk := func(engine sim.EngineKind, st bool, pre int) sim.Config {
+		cfg := sim.DefaultConfig(model, engine, b, st)
+		cfg.CompromisedPretrusted = pre
+		return cfg
+	}
+	return []sim.Config{
+		mk(sim.EngineEBay, false, 0),
+		mk(sim.EngineEigenTrust, false, 0),
+		mk(sim.EngineEigenTrust, false, 7),
+		mk(sim.EngineEBay, true, 0),
+		mk(sim.EngineEigenTrust, true, 0),
+		mk(sim.EngineEigenTrust, true, 7),
+	}
+}
+
+func runTable1(o Options, w io.Writer) error {
+	fmt.Fprintln(w, "== table1: percentage of requests sent to colluders ==")
+	for _, model := range []sim.CollusionModel{sim.PCM, sim.MCM, sim.MMM} {
+		fmt.Fprintf(w, "-- %v --\n", model)
+		for _, b := range []float64{0.2, 0.6} {
+			fmt.Fprintf(w, "B=%.1f:\n", b)
+			for _, cfg := range table1Systems(model, b) {
+				agg, err := aggregate(cfg, o)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "  %-32s %5.1f%% ± %.1f\n",
+					systemName(cfg), agg.RequestShare.Mean*100, agg.RequestShare.CI95*100)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"socialtrust/internal/trace"
+)
+
+func init() {
+	register(Spec{
+		ID:          "fig1",
+		Title:       "Effect of reputation on transactions (Overstock trace)",
+		Description: "Fig 1(a): business-network size vs reputation (paper C=0.996); Fig 1(b): transactions vs reputation.",
+		Run: traceRun(func(ds *trace.Dataset, w io.Writer) {
+			biz := ds.BusinessNetworkVsReputation()
+			fmt.Fprintf(w, "fig1a: C(reputation, business network size) = %.3f (paper: 0.996), %d users\n",
+				biz.C, len(biz.Reputation))
+			tx := ds.TransactionsVsReputation()
+			fmt.Fprintf(w, "fig1b: C(reputation, transactions) = %.3f (proportional in the paper)\n", tx.C)
+		}),
+	})
+	register(Spec{
+		ID:          "fig2",
+		Title:       "Personal network size vs reputation (Overstock trace)",
+		Description: "Weak correlation (paper C=0.092): a low-reputed user may still have many friends to collude with (I2).",
+		Run: traceRun(func(ds *trace.Dataset, w io.Writer) {
+			per := ds.PersonalNetworkVsReputation()
+			fmt.Fprintf(w, "fig2: C(reputation, personal network size) = %.3f (paper: 0.092)\n", per.C)
+		}),
+	})
+	register(Spec{
+		ID:          "fig3",
+		Title:       "Impact of social distance on ratings (Overstock trace)",
+		Description: "Fig 3(a): average rating value by social distance 1-4; Fig 3(b): average number of ratings per pair.",
+		Run: traceRun(func(ds *trace.Dataset, w io.Writer) {
+			for _, b := range ds.RatingsByDistance() {
+				fmt.Fprintf(w, "fig3: distance=%d avgRating=%.2f avgRatings/pair=%.2f (%d pairs)\n",
+					b.Distance, b.AvgRating, b.AvgCount, b.Pairs)
+			}
+			fmt.Fprintln(w, "(both series decrease with distance: observations O3/O4)")
+		}),
+	})
+	register(Spec{
+		ID:          "fig4",
+		Title:       "Impact of interests on purchasing patterns (Overstock trace)",
+		Description: "Fig 4(a): CDF of purchase share by category rank (paper: top-3 ≈ 88%); Fig 4(b): CDF of transactions vs interest similarity (paper: 60% above 0.3).",
+		Run: traceRun(func(ds *trace.Dataset, w io.Writer) {
+			for _, r := range ds.CategoryRankCDF(7, 5) {
+				fmt.Fprintf(w, "fig4a: rank=%d share=%.3f cdf=%.3f\n", r.Rank, r.Share, r.CDF)
+			}
+			for _, b := range ds.TransactionsBySimilarity(10) {
+				fmt.Fprintf(w, "fig4b: similarity<=%.1f cdf=%.3f\n", b.Similarity, b.CDF)
+			}
+			fmt.Fprintf(w, "fig4b: share of transactions above 0.3 similarity = %.3f (paper ≈ 0.6)\n",
+				ds.ShareAboveSimilarity(0.3))
+			mean, min, max := ds.PairSimilarityStats()
+			fmt.Fprintf(w, "calibration: transacting-pair similarity mean/min/max = %.3f/%.2f/%.2f (paper 0.423/0.13/1)\n",
+				mean, min, max)
+			fs := ds.RatingFrequencies()
+			fmt.Fprintf(w, "calibration: mean rating frequency = %.2f/month (paper 2.2), max positive %g, max negative %g\n",
+				fs.MeanPerMonth, fs.MaxPositive, fs.MaxNegative)
+		}),
+	})
+}
+
+// traceRun wraps a trace analyzer as an experiment Run function, sharing one
+// generated dataset per invocation.
+func traceRun(analyze func(*trace.Dataset, io.Writer)) func(Options, io.Writer) error {
+	return func(o Options, w io.Writer) error {
+		cfg := trace.Default()
+		cfg.Seed = o.withDefaults().Seed
+		if o.Quick {
+			cfg.NumUsers = 800
+			cfg.Months = 12
+			cfg.TransactionsPerMonth = 800
+		}
+		ds, err := trace.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		analyze(ds, w)
+		return nil
+	}
+}

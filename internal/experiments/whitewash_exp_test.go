@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtWhitewashQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run("ext-whitewash", Options{Runs: 2, Seed: 4, Quick: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "identity resets") {
+		t.Fatalf("missing reset counts:\n%s", out)
+	}
+	// The whitewashing variants must actually reset identities.
+	lines := strings.Split(out, "\n")
+	sawResets := false
+	for _, l := range lines {
+		if strings.Contains(l, "whitewashing") && !strings.Contains(l, "no whitewashing") &&
+			!strings.HasSuffix(strings.TrimSpace(l), "identity resets 0") {
+			sawResets = true
+		}
+	}
+	if !sawResets {
+		t.Fatalf("no variant recorded identity resets:\n%s", out)
+	}
+}

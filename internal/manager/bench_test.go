@@ -1,0 +1,20 @@
+package manager
+
+import "testing"
+
+func BenchmarkPushSum16x200(b *testing.B) {
+	parts := make([][]float64, 16)
+	for i := range parts {
+		parts[i] = make([]float64, 200)
+		for d := range parts[i] {
+			parts[i][d] = float64(i + d)
+		}
+	}
+	rounds := GossipRounds(16, 1e-6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PushSum(parts, rounds, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

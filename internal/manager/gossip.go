@@ -1,0 +1,117 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+
+	"socialtrust/internal/xrand"
+)
+
+// PushSum runs the push-sum gossip protocol (Kempe et al.) among the given
+// participants, each holding a partial score vector — the aggregation style
+// of GossipTrust, the decentralized alternative the paper's related work
+// cites for networks without trusted resource managers. After enough rounds
+// (O(log k + log 1/ε)), every participant's estimate converges to the
+// element-wise average of all partial vectors; multiplying by the
+// participant count recovers the global sum that a centralized merge would
+// compute for additive reputation scores.
+//
+// Each round every participant concurrently halves its (vector, weight)
+// mass and pushes one half to a peer drawn from its own deterministic
+// stream; deliveries apply in participant order, so the result is
+// bit-reproducible for a given seed. Returns each participant's estimate of
+// the average vector.
+func PushSum(parts [][]float64, rounds int, seed uint64) ([][]float64, error) {
+	k := len(parts)
+	if k == 0 {
+		return nil, fmt.Errorf("manager: PushSum needs at least one participant")
+	}
+	dim := len(parts[0])
+	for i, p := range parts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("manager: participant %d has %d elements, want %d", i, len(p), dim)
+		}
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("manager: negative rounds")
+	}
+
+	values := make([][]float64, k)
+	weights := make([]float64, k)
+	streams := make([]*xrand.Stream, k)
+	root := xrand.New(seed)
+	for i := range parts {
+		values[i] = append([]float64(nil), parts[i]...)
+		weights[i] = 1
+		streams[i] = root.Split(uint64(i))
+	}
+
+	type push struct {
+		to     int
+		vector []float64
+		weight float64
+	}
+	outbox := make([]push, k)
+	for r := 0; r < rounds; r++ {
+		// Concurrent phase: every participant halves its mass and
+		// addresses one half, touching only its own state.
+		var wg sync.WaitGroup
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				target := i
+				if k > 1 {
+					target = streams[i].Intn(k - 1)
+					if target >= i {
+						target++ // uniform over peers other than self
+					}
+				}
+				half := make([]float64, dim)
+				for d := 0; d < dim; d++ {
+					values[i][d] /= 2
+					half[d] = values[i][d]
+				}
+				weights[i] /= 2
+				outbox[i] = push{to: target, vector: half, weight: weights[i]}
+			}(i)
+		}
+		wg.Wait()
+		// Serial delivery in participant order keeps float summation
+		// deterministic.
+		for i := 0; i < k; i++ {
+			msg := outbox[i]
+			for d := 0; d < dim; d++ {
+				values[msg.to][d] += msg.vector[d]
+			}
+			weights[msg.to] += msg.weight
+		}
+	}
+
+	out := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			out[i][d] = values[i][d] / weights[i]
+		}
+	}
+	return out, nil
+}
+
+// GossipRounds returns a round count that converges PushSum to within
+// roughly epsilon relative error for k participants: the protocol halves
+// the potential every round, so c·(log2 k + log2 1/ε) rounds suffice; we
+// use c = 2 for margin.
+func GossipRounds(k int, epsilon float64) int {
+	if k <= 1 {
+		return 1
+	}
+	rounds := 0
+	for size := 1; size < k; size *= 2 {
+		rounds++
+	}
+	for e := 1.0; e > epsilon; e /= 2 {
+		rounds++
+	}
+	return 2 * rounds
+}

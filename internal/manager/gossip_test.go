@@ -1,0 +1,136 @@
+package manager
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPushSumValidation(t *testing.T) {
+	if _, err := PushSum(nil, 5, 1); err == nil {
+		t.Error("empty participants should error")
+	}
+	if _, err := PushSum([][]float64{{1, 2}, {1}}, 5, 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if _, err := PushSum([][]float64{{1}}, -1, 1); err == nil {
+		t.Error("negative rounds should error")
+	}
+}
+
+func TestPushSumSingleParticipant(t *testing.T) {
+	out, err := PushSum([][]float64{{3, 4}}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 3 || out[0][1] != 4 {
+		t.Fatalf("single participant estimate = %v", out[0])
+	}
+}
+
+func TestPushSumZeroRoundsIsLocalValue(t *testing.T) {
+	out, err := PushSum([][]float64{{2}, {4}}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 2 || out[1][0] != 4 {
+		t.Fatalf("zero-round estimates = %v", out)
+	}
+}
+
+func TestPushSumConvergesToAverage(t *testing.T) {
+	const k, dim = 16, 8
+	parts := make([][]float64, k)
+	want := make([]float64, dim)
+	for i := range parts {
+		parts[i] = make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			parts[i][d] = float64(i*dim + d)
+			want[d] += parts[i][d] / k
+		}
+	}
+	rounds := GossipRounds(k, 1e-6)
+	out, err := PushSum(parts, rounds, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		for d := 0; d < dim; d++ {
+			if rel := math.Abs(out[i][d]-want[d]) / (math.Abs(want[d]) + 1e-12); rel > 1e-3 {
+				t.Fatalf("participant %d dim %d: estimate %v vs average %v (rel %v after %d rounds)",
+					i, d, out[i][d], want[d], rel, rounds)
+			}
+		}
+	}
+}
+
+func TestPushSumConservesMass(t *testing.T) {
+	// Push-sum's invariant: the weighted total never changes.
+	parts := [][]float64{{1}, {5}, {9}, {100}}
+	out, err := PushSum(parts, 3, 7) // deliberately under-converged
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even under-converged, every estimate lies within [min,max] of the
+	// inputs (each estimate is a convex combination of the inputs).
+	for i, est := range out {
+		if est[0] < 1-1e-9 || est[0] > 100+1e-9 {
+			t.Fatalf("participant %d estimate %v outside input hull", i, est[0])
+		}
+	}
+}
+
+func TestPushSumDeterministic(t *testing.T) {
+	parts := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	a, err := PushSum(parts, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PushSum(parts, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				t.Fatalf("nondeterministic at %d/%d", i, d)
+			}
+		}
+	}
+	// Input must not be mutated.
+	if parts[0][0] != 1 || parts[2][1] != 6 {
+		t.Fatal("PushSum mutated its input")
+	}
+}
+
+func TestGossipRounds(t *testing.T) {
+	if GossipRounds(1, 1e-3) != 1 {
+		t.Fatal("single participant needs one round")
+	}
+	if GossipRounds(16, 1e-6) < 20 {
+		t.Fatalf("rounds for k=16 eps=1e-6 = %d, want enough margin", GossipRounds(16, 1e-6))
+	}
+	if GossipRounds(1024, 0.5) <= GossipRounds(4, 0.5) {
+		t.Fatal("rounds should grow with k")
+	}
+}
+
+func TestPushSumRecoverGlobalSumFromShards(t *testing.T) {
+	// The overlay use-case: shard-partial additive score vectors gossiped
+	// to a global sum without a coordinator.
+	shards := [][]float64{
+		{1, 0, 2},
+		{0, 3, 1},
+		{2, 0, 0},
+	}
+	wantSum := []float64{3, 3, 3}
+	out, err := PushSum(shards, GossipRounds(3, 1e-9), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		got := out[0][d] * float64(len(shards))
+		if math.Abs(got-wantSum[d]) > 1e-6 {
+			t.Fatalf("recovered sum[%d] = %v, want %v", d, got, wantSum[d])
+		}
+	}
+}

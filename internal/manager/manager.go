@@ -1,0 +1,256 @@
+// Package manager implements the paper's resource-manager overlay
+// (Section 4.3): "one or a number of trustworthy nodes function as resource
+// managers. Each resource manager is responsible for collecting the ratings
+// and calculating the global reputation of certain nodes."
+//
+// The overlay shards the peer population across manager goroutines by
+// ratee ID. Peers submit ratings to, and query reputations from, the manager
+// responsible for the node in question; all communication flows through
+// per-manager mailboxes (channels), so the overlay behaves like a message-
+// passing distributed system while running in one process. At the end of
+// each reputation-update interval the coordinator drains every manager's
+// shard ledger, merges the snapshots, runs the (optionally
+// SocialTrust-wrapped) reputation engine — the paper's periodic global
+// reputation calculation — and broadcasts the fresh reputation vector back
+// to every manager, which then serves queries from its local copy.
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation"
+)
+
+// message is the manager mailbox protocol.
+type message struct {
+	kind  msgKind
+	r     rating.Rating
+	node  int
+	repC  chan float64
+	snapC chan rating.Snapshot
+	reps  []float64
+	errC  chan error
+}
+
+type msgKind int
+
+const (
+	msgSubmit msgKind = iota
+	msgQuery
+	msgDrain
+	msgUpdateReps
+)
+
+// shard is one manager goroutine's state.
+type shard struct {
+	id     int
+	inbox  chan message
+	ledger *rating.Ledger
+	reps   []float64
+}
+
+// Overlay is a running resource-manager overlay.
+type Overlay struct {
+	numNodes int
+	shards   []*shard
+	engine   reputation.Engine
+
+	mu     sync.Mutex // guards engine updates and Close
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// ErrClosed is returned by operations on a closed overlay.
+var ErrClosed = fmt.Errorf("manager: overlay is closed")
+
+// New starts an overlay of numManagers manager goroutines fronting the
+// given reputation engine. The engine may be a bare baseline or a
+// SocialTrust-wrapped one; the overlay treats it as the global reputation
+// calculation of the paper's design.
+func New(numNodes, numManagers int, engine reputation.Engine) (*Overlay, error) {
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("manager: numNodes must be positive")
+	}
+	if numManagers <= 0 || numManagers > numNodes {
+		return nil, fmt.Errorf("manager: numManagers %d invalid for %d nodes", numManagers, numNodes)
+	}
+	if engine == nil {
+		return nil, fmt.Errorf("manager: engine is required")
+	}
+	o := &Overlay{numNodes: numNodes, engine: engine, closed: make(chan struct{})}
+	initial := engine.Reputations()
+	for m := 0; m < numManagers; m++ {
+		s := &shard{
+			id:     m,
+			inbox:  make(chan message, 256),
+			ledger: rating.NewLedger(numNodes),
+			reps:   append([]float64(nil), initial...),
+		}
+		o.shards = append(o.shards, s)
+		o.wg.Add(1)
+		go o.serve(s)
+	}
+	return o, nil
+}
+
+// serve is a manager goroutine's event loop. It exits on the overlay's
+// closed signal; inbox channels are never closed, so senders cannot panic.
+func (o *Overlay) serve(s *shard) {
+	defer o.wg.Done()
+	for {
+		select {
+		case <-o.closed:
+			return
+		case msg := <-s.inbox:
+			switch msg.kind {
+			case msgSubmit:
+				msg.errC <- s.ledger.Add(msg.r)
+			case msgQuery:
+				if msg.node < 0 || msg.node >= o.numNodes {
+					msg.repC <- 0
+					continue
+				}
+				msg.repC <- s.reps[msg.node]
+			case msgDrain:
+				msg.snapC <- s.ledger.EndInterval()
+			case msgUpdateReps:
+				s.reps = msg.reps
+				msg.errC <- nil
+			}
+		}
+	}
+}
+
+// ManagerOf returns the manager index responsible for a node.
+func (o *Overlay) ManagerOf(node int) int { return node % len(o.shards) }
+
+// NumManagers reports the overlay size.
+func (o *Overlay) NumManagers() int { return len(o.shards) }
+
+// Submit routes one rating to the ratee's manager. Safe for concurrent use;
+// returns ErrClosed after Close.
+func (o *Overlay) Submit(r rating.Rating) error {
+	if r.Ratee < 0 || r.Ratee >= o.numNodes {
+		return fmt.Errorf("manager: ratee %d out of range", r.Ratee)
+	}
+	errC := make(chan error, 1)
+	select {
+	case <-o.closed:
+		return ErrClosed
+	case o.shards[o.ManagerOf(r.Ratee)].inbox <- message{kind: msgSubmit, r: r, errC: errC}:
+	}
+	select {
+	case err := <-errC:
+		return err
+	case <-o.closed:
+		return ErrClosed // shut down before the manager processed it
+	}
+}
+
+// Reputation queries the manager responsible for node for its current
+// global reputation. Safe for concurrent use; returns 0 after Close.
+func (o *Overlay) Reputation(node int) float64 {
+	if node < 0 || node >= o.numNodes {
+		return 0
+	}
+	repC := make(chan float64, 1)
+	select {
+	case <-o.closed:
+		return 0
+	case o.shards[o.ManagerOf(node)].inbox <- message{kind: msgQuery, node: node, repC: repC}:
+	}
+	select {
+	case rep := <-repC:
+		return rep
+	case <-o.closed:
+		return 0
+	}
+}
+
+// EndInterval performs the paper's periodic global reputation update: it
+// drains every manager's shard, merges the snapshots in deterministic
+// order, feeds them to the engine (where a wrapped SocialTrust filter
+// performs its B1–B4 adjustment), and broadcasts the new reputation vector
+// back to all managers. Returns the updated vector.
+func (o *Overlay) EndInterval() []float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	select {
+	case <-o.closed:
+		return make([]float64, o.numNodes)
+	default:
+	}
+	// Phase 1: drain all shards concurrently.
+	snaps := make([]rating.Snapshot, len(o.shards))
+	var wg sync.WaitGroup
+	for i, s := range o.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			snapC := make(chan rating.Snapshot, 1)
+			s.inbox <- message{kind: msgDrain, snapC: snapC}
+			snaps[i] = <-snapC
+		}(i, s)
+	}
+	wg.Wait()
+	// Phase 2: merge into one global snapshot.
+	merged := mergeSnapshots(snaps)
+	// Phase 3: global reputation calculation.
+	o.engine.Update(merged)
+	reps := o.engine.Reputations()
+	// Phase 4: broadcast.
+	for _, s := range o.shards {
+		errC := make(chan error, 1)
+		s.inbox <- message{kind: msgUpdateReps, reps: append([]float64(nil), reps...), errC: errC}
+		<-errC
+	}
+	return reps
+}
+
+// mergeSnapshots combines per-shard interval snapshots into one, restoring
+// the deterministic global ordering rating.Ledger guarantees.
+func mergeSnapshots(snaps []rating.Snapshot) rating.Snapshot {
+	out := rating.Snapshot{Counts: make(map[rating.PairKey]rating.PairCounts)}
+	for _, s := range snaps {
+		out.Ratings = append(out.Ratings, s.Ratings...)
+		for k, c := range s.Counts {
+			agg := out.Counts[k]
+			agg.Positive += c.Positive
+			agg.Negative += c.Negative
+			out.Counts[k] = agg
+		}
+	}
+	sort.SliceStable(out.Ratings, func(a, b int) bool {
+		x, y := out.Ratings[a], out.Ratings[b]
+		switch {
+		case x.Ratee != y.Ratee:
+			return x.Ratee < y.Ratee
+		case x.Rater != y.Rater:
+			return x.Rater < y.Rater
+		case x.Cycle != y.Cycle:
+			return x.Cycle < y.Cycle
+		case x.Category != y.Category:
+			return x.Category < y.Category
+		default:
+			return x.Value < y.Value
+		}
+	})
+	return out
+}
+
+// Close shuts all manager goroutines down. Close is idempotent and safe to
+// race against in-flight calls: Submit returns ErrClosed, queries return 0,
+// and EndInterval returns a zero vector once the overlay is closed. Ratings
+// still queued in manager inboxes at close time are dropped.
+func (o *Overlay) Close() {
+	o.once.Do(func() {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		close(o.closed)
+		o.wg.Wait()
+	})
+}

@@ -1,0 +1,229 @@
+package manager
+
+import (
+	"sync"
+	"testing"
+
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation/ebay"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, ebay.New(4)); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := New(4, 0, ebay.New(4)); err == nil {
+		t.Error("zero managers should error")
+	}
+	if _, err := New(4, 9, ebay.New(4)); err == nil {
+		t.Error("more managers than nodes should error")
+	}
+	if _, err := New(4, 2, nil); err == nil {
+		t.Error("nil engine should error")
+	}
+}
+
+func TestRoutingAndShardCount(t *testing.T) {
+	o, err := New(10, 3, ebay.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if o.NumManagers() != 3 {
+		t.Fatalf("NumManagers = %d", o.NumManagers())
+	}
+	for node := 0; node < 10; node++ {
+		if got := o.ManagerOf(node); got != node%3 {
+			t.Fatalf("ManagerOf(%d) = %d", node, got)
+		}
+	}
+}
+
+func TestSubmitQueryUpdateRoundTrip(t *testing.T) {
+	o, err := New(6, 2, ebay.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if err := o.Submit(rating.Rating{Rater: 0, Ratee: 1, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Reputation(1); got != 0 {
+		t.Fatalf("reputation before interval end = %v, want 0", got)
+	}
+	reps := o.EndInterval()
+	if reps[1] != 1 {
+		t.Fatalf("reputation after update = %v, want 1", reps[1])
+	}
+	// Queries now served from each manager's broadcast copy.
+	if got := o.Reputation(1); got != 1 {
+		t.Fatalf("queried reputation = %v, want 1", got)
+	}
+	if got := o.Reputation(0); got != 0 {
+		t.Fatalf("queried reputation of unrated node = %v", got)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	o, err := New(4, 2, ebay.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if err := o.Submit(rating.Rating{Rater: 0, Ratee: 9, Value: 1}); err == nil {
+		t.Error("out-of-range ratee should error")
+	}
+	if err := o.Submit(rating.Rating{Rater: 2, Ratee: 2, Value: 1}); err == nil {
+		t.Error("self-rating should propagate the ledger error")
+	}
+	if got := o.Reputation(-1); got != 0 {
+		t.Error("out-of-range query should return 0")
+	}
+}
+
+func TestMatchesCentralizedLedger(t *testing.T) {
+	// The distributed overlay must produce exactly the reputations a
+	// single centralized ledger + engine would.
+	const n = 16
+	events := []rating.Rating{}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= 3; d++ {
+			events = append(events, rating.Rating{Rater: i, Ratee: (i + d) % n, Value: float64(d%2)*2 - 1})
+		}
+	}
+
+	central := ebay.New(n)
+	ledger := rating.NewLedger(n)
+	for _, r := range events {
+		if err := ledger.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	central.Update(ledger.EndInterval())
+
+	o, err := New(n, 5, ebay.New(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	for _, r := range events {
+		if err := o.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := o.EndInterval()
+	want := central.Reputations()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d: overlay %v vs centralized %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentSubmitsAndQueries(t *testing.T) {
+	const n = 32
+	o, err := New(n, 4, ebay.New(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				ratee := (w + k%31 + 1) % n
+				if ratee == w {
+					ratee = (ratee + 1) % n
+				}
+				if err := o.Submit(rating.Rating{Rater: w, Ratee: ratee, Value: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = o.Reputation(ratee)
+			}
+		}(w)
+	}
+	wg.Wait()
+	reps := o.EndInterval()
+	sum := 0.0
+	for _, v := range reps {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("reputations sum to %v", sum)
+	}
+}
+
+func TestMultipleIntervals(t *testing.T) {
+	o, err := New(4, 2, ebay.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	for k := 0; k < 3; k++ {
+		if err := o.Submit(rating.Rating{Rater: 0, Ratee: 1, Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+		o.EndInterval()
+	}
+	if got := o.Reputation(1); got != 1 {
+		t.Fatalf("after 3 intervals reputation = %v, want 1 (only rated node)", got)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	o, err := New(4, 2, ebay.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	o.Close() // must not panic
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := rating.Snapshot{
+		Ratings: []rating.Rating{{Rater: 1, Ratee: 0, Value: 1}},
+		Counts:  map[rating.PairKey]rating.PairCounts{{Rater: 1, Ratee: 0}: {Positive: 1}},
+	}
+	b := rating.Snapshot{
+		Ratings: []rating.Rating{{Rater: 0, Ratee: 1, Value: -1}, {Rater: 1, Ratee: 0, Value: 1}},
+		Counts: map[rating.PairKey]rating.PairCounts{
+			{Rater: 0, Ratee: 1}: {Negative: 1},
+			{Rater: 1, Ratee: 0}: {Positive: 1},
+		},
+	}
+	m := mergeSnapshots([]rating.Snapshot{a, b})
+	if len(m.Ratings) != 3 {
+		t.Fatalf("merged %d ratings", len(m.Ratings))
+	}
+	for i := 1; i < len(m.Ratings); i++ {
+		if m.Ratings[i].Ratee < m.Ratings[i-1].Ratee {
+			t.Fatal("merged ratings not sorted")
+		}
+	}
+	if c := m.Counts[rating.PairKey{Rater: 1, Ratee: 0}]; c.Positive != 2 {
+		t.Fatalf("merged counts = %+v", c)
+	}
+}
+
+func TestOperationsAfterClose(t *testing.T) {
+	o, err := New(4, 2, ebay.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	if err := o.Submit(rating.Rating{Rater: 0, Ratee: 1, Value: 1}); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if got := o.Reputation(1); got != 0 {
+		t.Fatalf("Reputation after Close = %v, want 0", got)
+	}
+	reps := o.EndInterval()
+	for _, v := range reps {
+		if v != 0 {
+			t.Fatalf("EndInterval after Close = %v, want zeros", reps)
+		}
+	}
+}

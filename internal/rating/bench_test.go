@@ -1,0 +1,44 @@
+package rating
+
+import (
+	"sync"
+	"testing"
+)
+
+func BenchmarkLedgerAddSerial(b *testing.B) {
+	l := NewLedger(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Add(Rating{Rater: i % 1000, Ratee: (i + 1) % 1000, Value: 1}) //nolint:errcheck
+	}
+}
+
+func BenchmarkLedgerAddParallel(b *testing.B) {
+	l := NewLedger(1000)
+	var ctr sync.Mutex
+	next := 0
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctr.Lock()
+		base := next
+		next += 1000003
+		ctr.Unlock()
+		i := base
+		for pb.Next() {
+			l.Add(Rating{Rater: i % 1000, Ratee: (i + 1) % 1000, Value: 1}) //nolint:errcheck
+			i++
+		}
+	})
+}
+
+func BenchmarkEndInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := NewLedger(1000)
+		for k := 0; k < 10000; k++ {
+			l.Add(Rating{Rater: k % 1000, Ratee: (k + 7) % 1000, Value: 1}) //nolint:errcheck
+		}
+		b.StartTimer()
+		l.EndInterval()
+	}
+}

@@ -1,0 +1,307 @@
+// Package rating implements the rating substrate of a P2P reputation system:
+// an append-only, concurrency-safe ledger of service ratings, per-interval
+// positive/negative frequency counters t+(i,j) and t−(i,j) (the quantities a
+// resource manager inspects in Section 4.3 of the paper), and system-wide
+// rating-frequency statistics used to derive the suspicion thresholds θ·F.
+package rating
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Rating is one service rating issued by Rater about Ratee. The paper's P2P
+// evaluation uses Value ∈ {+1,−1}; the Overstock trace uses [−2,+2]. Cycle
+// is the query cycle the rating was issued in and Category the interest
+// category of the underlying transaction.
+type Rating struct {
+	Rater    int
+	Ratee    int
+	Value    float64
+	Cycle    int
+	Category int
+}
+
+// PairKey identifies a directed (rater, ratee) pair.
+type PairKey struct{ Rater, Ratee int }
+
+// PairCounts is the per-interval frequency record for one directed pair.
+type PairCounts struct {
+	Positive int // t+(i,j): ratings with Value > 0 this interval
+	Negative int // t−(i,j): ratings with Value < 0 this interval
+}
+
+// Total returns the total number of ratings in the interval for the pair.
+func (p PairCounts) Total() int { return p.Positive + p.Negative }
+
+const numShards = 16
+
+// Ledger collects ratings for the current reputation-update interval T.
+// Writes are sharded by ratee so concurrent clients rating different servers
+// rarely contend. EndInterval atomically drains the interval.
+type Ledger struct {
+	numNodes int
+	shards   [numShards]ledgerShard
+}
+
+type ledgerShard struct {
+	mu      sync.Mutex
+	ratings []Rating
+	counts  map[PairKey]PairCounts
+}
+
+// NewLedger creates a ledger for a population of numNodes peers.
+func NewLedger(numNodes int) *Ledger {
+	if numNodes < 0 {
+		panic("rating: negative node count")
+	}
+	l := &Ledger{numNodes: numNodes}
+	for i := range l.shards {
+		l.shards[i].counts = make(map[PairKey]PairCounts)
+	}
+	return l
+}
+
+// NumNodes reports the population size the ledger was created for.
+func (l *Ledger) NumNodes() int { return l.numNodes }
+
+func (l *Ledger) shard(ratee int) *ledgerShard {
+	return &l.shards[ratee%numShards]
+}
+
+// Add appends a rating to the current interval. It panics on out-of-range
+// node IDs (experiment construction errors) and rejects self-ratings, which
+// no reputation system accepts.
+func (l *Ledger) Add(r Rating) error {
+	if r.Rater < 0 || r.Rater >= l.numNodes || r.Ratee < 0 || r.Ratee >= l.numNodes {
+		panic(fmt.Sprintf("rating: node out of range in %+v (numNodes=%d)", r, l.numNodes))
+	}
+	if r.Rater == r.Ratee {
+		return fmt.Errorf("rating: self-rating by node %d rejected", r.Rater)
+	}
+	s := l.shard(r.Ratee)
+	s.mu.Lock()
+	s.ratings = append(s.ratings, r)
+	key := PairKey{r.Rater, r.Ratee}
+	c := s.counts[key]
+	if r.Value > 0 {
+		c.Positive++
+	} else if r.Value < 0 {
+		c.Negative++
+	}
+	s.counts[key] = c
+	s.mu.Unlock()
+	return nil
+}
+
+// Counts returns the current-interval t+/t− counters for the directed pair.
+func (l *Ledger) Counts(rater, ratee int) PairCounts {
+	s := l.shard(ratee)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[PairKey{rater, ratee}]
+}
+
+// IntervalSize returns the number of ratings accumulated this interval.
+func (l *Ledger) IntervalSize() int {
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += len(s.ratings)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot is the drained content of one reputation-update interval.
+type Snapshot struct {
+	Ratings []Rating
+	Counts  map[PairKey]PairCounts
+}
+
+// EndInterval atomically drains and returns the interval's ratings and
+// frequency counters, resetting the ledger for the next interval. Ratings
+// are returned in deterministic order (by ratee, then insertion order) so
+// downstream reputation updates are reproducible.
+func (l *Ledger) EndInterval() Snapshot {
+	snap := Snapshot{Counts: make(map[PairKey]PairCounts)}
+	type chunk struct {
+		shard   int
+		ratings []Rating
+	}
+	chunks := make([]chunk, 0, numShards)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		if len(s.ratings) > 0 {
+			chunks = append(chunks, chunk{i, s.ratings})
+		}
+		for k, v := range s.counts {
+			snap.Counts[k] = v
+		}
+		s.ratings = nil
+		s.counts = make(map[PairKey]PairCounts)
+		s.mu.Unlock()
+	}
+	for _, c := range chunks {
+		snap.Ratings = append(snap.Ratings, c.ratings...)
+	}
+	sort.SliceStable(snap.Ratings, func(a, b int) bool {
+		x, y := snap.Ratings[a], snap.Ratings[b]
+		switch {
+		case x.Ratee != y.Ratee:
+			return x.Ratee < y.Ratee
+		case x.Rater != y.Rater:
+			return x.Rater < y.Rater
+		case x.Cycle != y.Cycle:
+			return x.Cycle < y.Cycle
+		case x.Category != y.Category:
+			return x.Category < y.Category
+		default:
+			return x.Value < y.Value
+		}
+	})
+	return snap
+}
+
+// FrequencyStats describes the distribution of per-pair rating frequencies
+// in one interval, the empirical basis of the paper's thresholds (e.g.
+// Overstock's mean 2.2 ratings/month, max positive 21, max negative 2).
+type FrequencyStats struct {
+	MeanPositive, MaxPositive, MinPositive float64
+	MeanNegative, MaxNegative, MinNegative float64
+	Pairs                                  int
+}
+
+// Frequencies computes FrequencyStats over a drained interval's counters.
+// Pairs with zero activity do not exist in the map and are excluded, as in
+// the paper's trace statistics (only observed rating pairs are counted).
+func Frequencies(counts map[PairKey]PairCounts) FrequencyStats {
+	var fs FrequencyStats
+	first := true
+	var sumP, sumN float64
+	nP, nN := 0, 0
+	for _, c := range counts {
+		fs.Pairs++
+		p, n := float64(c.Positive), float64(c.Negative)
+		if c.Positive > 0 {
+			sumP += p
+			nP++
+			if first || p > fs.MaxPositive {
+				fs.MaxPositive = p
+			}
+			if fs.MinPositive == 0 || p < fs.MinPositive {
+				fs.MinPositive = p
+			}
+		}
+		if c.Negative > 0 {
+			sumN += n
+			nN++
+			if n > fs.MaxNegative {
+				fs.MaxNegative = n
+			}
+			if fs.MinNegative == 0 || n < fs.MinNegative {
+				fs.MinNegative = n
+			}
+		}
+		first = false
+	}
+	if nP > 0 {
+		fs.MeanPositive = sumP / float64(nP)
+	}
+	if nN > 0 {
+		fs.MeanNegative = sumN / float64(nN)
+	}
+	return fs
+}
+
+// History accumulates per-pair rating aggregates across the whole run —
+// the all-time sums reputation engines such as EigenTrust consume for local
+// trust values. It is not concurrency-safe; feed it drained Snapshots from
+// the single-threaded reputation-update phase.
+type History struct {
+	numNodes int
+	sums     map[PairKey]float64
+	counts   map[PairKey]int
+	raters   map[int]map[int]bool // ratee -> set of raters (and vice versa below)
+	ratees   map[int]map[int]bool // rater -> set of ratees
+}
+
+// NewHistory creates an empty all-time aggregate table.
+func NewHistory(numNodes int) *History {
+	return &History{
+		numNodes: numNodes,
+		sums:     make(map[PairKey]float64),
+		counts:   make(map[PairKey]int),
+		raters:   make(map[int]map[int]bool),
+		ratees:   make(map[int]map[int]bool),
+	}
+}
+
+// Absorb folds a drained interval into the all-time aggregates. Ratings may
+// carry adjusted (re-weighted) values; History stores whatever it is given.
+func (h *History) Absorb(ratings []Rating) {
+	for _, r := range ratings {
+		k := PairKey{r.Rater, r.Ratee}
+		h.sums[k] += r.Value
+		h.counts[k]++
+		if h.raters[r.Ratee] == nil {
+			h.raters[r.Ratee] = make(map[int]bool)
+		}
+		h.raters[r.Ratee][r.Rater] = true
+		if h.ratees[r.Rater] == nil {
+			h.ratees[r.Rater] = make(map[int]bool)
+		}
+		h.ratees[r.Rater][r.Ratee] = true
+	}
+}
+
+// Sum returns the all-time accumulated rating value from rater about ratee.
+func (h *History) Sum(rater, ratee int) float64 {
+	return h.sums[PairKey{rater, ratee}]
+}
+
+// Count returns the all-time number of ratings from rater about ratee.
+func (h *History) Count(rater, ratee int) int {
+	return h.counts[PairKey{rater, ratee}]
+}
+
+// ResetNode forgets all aggregates involving the node, in either role.
+func (h *History) ResetNode(node int) {
+	for k := range h.sums {
+		if k.Rater == node || k.Ratee == node {
+			delete(h.sums, k)
+			delete(h.counts, k)
+		}
+	}
+	delete(h.raters, node)
+	delete(h.ratees, node)
+	for _, m := range h.raters {
+		delete(m, node)
+	}
+	for _, m := range h.ratees {
+		delete(m, node)
+	}
+}
+
+// RatersOf returns the sorted set of peers that have ever rated ratee.
+func (h *History) RatersOf(ratee int) []int {
+	return sortedKeys(h.raters[ratee])
+}
+
+// RateesOf returns the sorted set of peers that rater has ever rated — the
+// peer set the Gaussian filter profiles a rater against.
+func (h *History) RateesOf(rater int) []int {
+	return sortedKeys(h.ratees[rater])
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,127 @@
+// Package ebay implements the eBay-style reputation baseline of the paper's
+// evaluation.
+//
+// eBay's defining property against rating-frequency attacks is per-interval
+// deduplication: "no matter how frequently a node rates the other node in a
+// simulation cycle, eBay only counts all the ratings as one rating". Each
+// (rater, ratee) pair contributes at most one unit of feedback per interval:
+// the sign of the rater's net feedback ("whether the node offers more
+// authentic files than inauthentic files in each simulation cycle"), scaled
+// by the mean rating magnitude so that values shrunk by a collusion filter
+// contribute only their shrunk weight instead of rounding back up to a full
+// ±1. Scores accumulate across intervals and are normalized to Ri/ΣRk as in
+// the paper.
+package ebay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation"
+)
+
+// Engine is an eBay-style accumulator. Not safe for concurrent mutation.
+type Engine struct {
+	numNodes int
+	scores   []float64
+}
+
+// New creates an eBay engine for numNodes peers.
+func New(numNodes int) *Engine {
+	if numNodes <= 0 {
+		panic("ebay: NumNodes must be positive")
+	}
+	return &Engine{numNodes: numNodes, scores: make([]float64, numNodes)}
+}
+
+// Name implements reputation.Engine.
+func (e *Engine) Name() string { return "eBay" }
+
+// Reset implements reputation.Engine.
+func (e *Engine) Reset() { e.scores = make([]float64, e.numNodes) }
+
+// ResetNode implements reputation.Engine: the node's accumulated feedback
+// score is forgotten. (eBay keys nothing on the rater side across
+// intervals, so there is no issued-rating state to clear.)
+func (e *Engine) ResetNode(node int) {
+	if node < 0 || node >= e.numNodes {
+		panic(fmt.Sprintf("ebay: node %d out of range", node))
+	}
+	e.scores[node] = 0
+}
+
+// Update folds one interval: each (rater, ratee) pair contributes the mean
+// of its rating values this interval, clamped to [−1, +1].
+func (e *Engine) Update(snap rating.Snapshot) {
+	type agg struct {
+		sum    float64
+		absSum float64
+		n      int
+	}
+	pairs := make(map[rating.PairKey]*agg, len(snap.Counts))
+	for _, r := range snap.Ratings {
+		k := rating.PairKey{Rater: r.Rater, Ratee: r.Ratee}
+		a := pairs[k]
+		if a == nil {
+			a = &agg{}
+			pairs[k] = a
+		}
+		a.sum += r.Value
+		a.absSum += math.Abs(r.Value)
+		a.n++
+	}
+	// Apply contributions in sorted pair order so float accumulation is
+	// deterministic regardless of map iteration.
+	keys := make([]rating.PairKey, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Ratee != keys[j].Ratee {
+			return keys[i].Ratee < keys[j].Ratee
+		}
+		return keys[i].Rater < keys[j].Rater
+	})
+	for _, k := range keys {
+		a := pairs[k]
+		e.scores[k.Ratee] += contribution(a.sum, a.absSum, a.n)
+	}
+}
+
+// Reputations implements reputation.Engine.
+func (e *Engine) Reputations() []float64 {
+	return reputation.NormalizeScores(e.scores)
+}
+
+// Reputation implements reputation.Engine.
+func (e *Engine) Reputation(node int) float64 {
+	if node < 0 || node >= e.numNodes {
+		panic(fmt.Sprintf("ebay: node %d out of range", node))
+	}
+	return e.Reputations()[node]
+}
+
+// RawScore exposes the unnormalized accumulated feedback score.
+func (e *Engine) RawScore(node int) float64 { return e.scores[node] }
+
+// contribution is one rater's deduplicated feedback for the interval:
+// the sign of the rater's net feedback, scaled by the mean rating magnitude
+// capped at 1. For raw ±1 ratings this is the pure eBay weekly sign (+1 when
+// the ratee served the rater more authentic than inauthentic content);
+// ratings shrunk by a collusion filter contribute only their shrunk
+// magnitude, so down-weighted spam cannot round back up to a full +1.
+func contribution(sum, absSum float64, n int) float64 {
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	mag := absSum / float64(n)
+	if mag > 1 {
+		mag = 1
+	}
+	if sum < 0 {
+		return -mag
+	}
+	return mag
+}

@@ -1,0 +1,38 @@
+package eigentrust
+
+import (
+	"testing"
+
+	"socialtrust/internal/rating"
+)
+
+func benchSnapshot(n int) rating.Snapshot {
+	var rs []rating.Rating
+	for i := 0; i < n; i++ {
+		for d := 1; d <= 5; d++ {
+			rs = append(rs, rating.Rating{Rater: i, Ratee: (i + d) % n, Value: float64(d%3) - 1})
+		}
+	}
+	return rating.Snapshot{Ratings: rs}
+}
+
+func benchmarkPowerIteration(b *testing.B, n, workers int) {
+	snap := benchSnapshot(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(Config{NumNodes: n, Pretrusted: []int{0, 1, 2}, Workers: workers})
+		e.Update(snap)
+	}
+}
+
+func BenchmarkPowerIterationSerial500(b *testing.B)   { benchmarkPowerIteration(b, 500, 1) }
+func BenchmarkPowerIterationParallel500(b *testing.B) { benchmarkPowerIteration(b, 500, 4) }
+
+func BenchmarkIterativeUpdate500(b *testing.B) {
+	snap := benchSnapshot(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewIterative(IterativeConfig{NumNodes: 500, Pretrusted: []int{0, 1, 2}})
+		e.Update(snap)
+	}
+}

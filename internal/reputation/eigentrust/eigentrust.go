@@ -1,0 +1,278 @@
+// Package eigentrust implements the EigenTrust reputation algorithm
+// (Kamvar, Schlosser, Garcia-Molina, WWW 2003), one of the two baseline
+// systems the paper evaluates SocialTrust against.
+//
+// Each peer i accumulates a local trust value s_ij = Σ ratings it issued
+// about j. Local values are clamped non-negative and row-normalized into
+// c_ij; the global trust vector is the stationary point of
+//
+//	t ← (1−a)·Cᵀt + a·p
+//
+// where p is the pretrusted-peer distribution and a the pretrust weight
+// (the paper's experiments use a = 0.5). Rows with no positive local trust
+// fall back to p, exactly as in the original algorithm. The power iteration
+// parallelizes the Cᵀt product across row blocks.
+package eigentrust
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"socialtrust/internal/rating"
+)
+
+// Config parameterizes an EigenTrust engine.
+type Config struct {
+	NumNodes int
+	// Pretrusted lists the pretrusted peer IDs (distribution p is uniform
+	// over them). Empty means p is uniform over all peers.
+	Pretrusted []int
+	// PretrustWeight is a ∈ [0,1); the paper sets 0.5. Defaults to 0.5
+	// when zero.
+	PretrustWeight float64
+	// Epsilon is the L1 convergence threshold of the power iteration
+	// (default 1e-10).
+	Epsilon float64
+	// MaxIter bounds the power iteration (default 200).
+	MaxIter int
+	// Workers sets the parallelism of the matrix–vector product; 0 means
+	// GOMAXPROCS, 1 forces the serial path.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PretrustWeight == 0 {
+		c.PretrustWeight = 0.5
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-10
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 200
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Engine is an EigenTrust instance. Not safe for concurrent mutation.
+type Engine struct {
+	cfg  Config
+	p    []float64 // pretrust distribution
+	sums map[rating.PairKey]float64
+	out  map[int]map[int]float64 // rater -> ratee -> positive local trust
+	t    []float64
+	// scratch buffers reused across updates
+	next []float64
+}
+
+// New creates an EigenTrust engine. It panics on invalid configuration
+// (experiment-construction errors).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	if cfg.NumNodes <= 0 {
+		panic("eigentrust: NumNodes must be positive")
+	}
+	if cfg.PretrustWeight < 0 || cfg.PretrustWeight >= 1 {
+		panic("eigentrust: PretrustWeight must be in [0,1)")
+	}
+	p := make([]float64, cfg.NumNodes)
+	if len(cfg.Pretrusted) == 0 {
+		for i := range p {
+			p[i] = 1 / float64(cfg.NumNodes)
+		}
+	} else {
+		for _, id := range cfg.Pretrusted {
+			if id < 0 || id >= cfg.NumNodes {
+				panic(fmt.Sprintf("eigentrust: pretrusted peer %d out of range", id))
+			}
+			p[id] = 1 / float64(len(cfg.Pretrusted))
+		}
+	}
+	e := &Engine{cfg: cfg, p: p}
+	e.Reset()
+	return e
+}
+
+// Name implements reputation.Engine.
+func (e *Engine) Name() string { return "EigenTrust" }
+
+// Reset clears all local trust and restarts the global vector at p.
+func (e *Engine) Reset() {
+	e.sums = make(map[rating.PairKey]float64)
+	e.out = make(map[int]map[int]float64)
+	e.t = append([]float64(nil), e.p...)
+	e.next = make([]float64, e.cfg.NumNodes)
+}
+
+// ResetNode implements reputation.Engine: all local trust issued by or
+// about the node is forgotten and the global vector recomputed.
+func (e *Engine) ResetNode(node int) {
+	if node < 0 || node >= e.cfg.NumNodes {
+		panic(fmt.Sprintf("eigentrust: node %d out of range", node))
+	}
+	for k := range e.sums {
+		if k.Rater == node || k.Ratee == node {
+			old := e.sums[k]
+			delete(e.sums, k)
+			e.applyLocal(k, old, 0)
+		}
+	}
+	e.powerIterate()
+}
+
+// Update folds the interval's ratings into local trust and re-runs the
+// power iteration.
+func (e *Engine) Update(snap rating.Snapshot) {
+	for _, r := range snap.Ratings {
+		k := rating.PairKey{Rater: r.Rater, Ratee: r.Ratee}
+		old := e.sums[k]
+		e.sums[k] = old + r.Value
+		e.applyLocal(k, old, e.sums[k])
+	}
+	e.powerIterate()
+}
+
+// applyLocal maintains the positive-part outlink map incrementally.
+func (e *Engine) applyLocal(k rating.PairKey, old, now float64) {
+	oldPos, nowPos := old > 0, now > 0
+	switch {
+	case nowPos:
+		row := e.out[k.Rater]
+		if row == nil {
+			row = make(map[int]float64)
+			e.out[k.Rater] = row
+		}
+		row[k.Ratee] = now
+	case oldPos && !nowPos:
+		delete(e.out[k.Rater], k.Ratee)
+		if len(e.out[k.Rater]) == 0 {
+			delete(e.out, k.Rater)
+		}
+	}
+}
+
+// inEntry is one transposed matrix entry: trust flowing into a node.
+type inEntry struct {
+	from int
+	c    float64
+}
+
+// powerIterate recomputes the global trust vector t.
+func (e *Engine) powerIterate() {
+	n := e.cfg.NumNodes
+	// Build the transposed, row-normalized matrix. Rows with no positive
+	// outlink are "dangling": their mass goes to the pretrust distribution,
+	// handled in aggregate via danglingMass below.
+	in := make([][]inEntry, n)
+	rowTotal := make([]float64, n)
+	// Walk raters and ratees in ID order so the transposed entry lists (and
+	// therefore the float summation order) are deterministic.
+	for i := 0; i < n; i++ {
+		row := e.out[i]
+		if len(row) == 0 {
+			continue
+		}
+		ratees := make([]int, 0, len(row))
+		for j := range row {
+			ratees = append(ratees, j)
+		}
+		sort.Ints(ratees)
+		total := 0.0
+		for _, j := range ratees {
+			total += row[j]
+		}
+		rowTotal[i] = total
+		for _, j := range ratees {
+			in[j] = append(in[j], inEntry{from: i, c: row[j] / total})
+		}
+	}
+	hasOut := func(i int) bool { return rowTotal[i] > 0 }
+
+	a := e.cfg.PretrustWeight
+	t := e.t
+	next := e.next
+	for iter := 0; iter < e.cfg.MaxIter; iter++ {
+		// Mass held by dangling rows redistributes along p.
+		dangling := 0.0
+		for i := 0; i < n; i++ {
+			if !hasOut(i) {
+				dangling += t[i]
+			}
+		}
+		e.applyStep(in, t, next, a, dangling)
+		diff := 0.0
+		for i := range t {
+			d := next[i] - t[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		t, next = next, t
+		if diff < e.cfg.Epsilon {
+			break
+		}
+	}
+	e.t, e.next = t, next
+}
+
+// applyStep computes next = (1−a)·(Cᵀt + dangling·p) + a·p, parallelized
+// across destination-node blocks when cfg.Workers > 1.
+func (e *Engine) applyStep(in [][]inEntry, t, next []float64, a, dangling float64) {
+	n := len(t)
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	compute := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			sum := 0.0
+			for _, entry := range in[j] {
+				sum += entry.c * t[entry.from]
+			}
+			next[j] = (1-a)*(sum+dangling*e.p[j]) + a*e.p[j]
+		}
+	}
+	if workers <= 1 {
+		compute(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	block := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			compute(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Reputations implements reputation.Engine: a copy of the trust vector,
+// which sums to 1 by construction.
+func (e *Engine) Reputations() []float64 {
+	return append([]float64(nil), e.t...)
+}
+
+// Reputation returns the global trust of one node.
+func (e *Engine) Reputation(node int) float64 {
+	if node < 0 || node >= e.cfg.NumNodes {
+		panic(fmt.Sprintf("eigentrust: node %d out of range", node))
+	}
+	return e.t[node]
+}
+
+// LocalTrust exposes the accumulated (pre-normalization) local trust value
+// s_ij, useful for tests and diagnostics.
+func (e *Engine) LocalTrust(i, j int) float64 {
+	return e.sums[rating.PairKey{Rater: i, Ratee: j}]
+}

@@ -1,0 +1,174 @@
+package eigentrust
+
+import (
+	"math"
+	"testing"
+
+	"socialtrust/internal/rating"
+)
+
+func TestIterativeValidation(t *testing.T) {
+	for _, bad := range []IterativeConfig{
+		{NumNodes: 0},
+		{NumNodes: 3, Pretrusted: []int{7}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", bad)
+				}
+			}()
+			NewIterative(bad)
+		}()
+	}
+}
+
+func TestIterativeInitialState(t *testing.T) {
+	e := NewIterative(IterativeConfig{NumNodes: 3, Pretrusted: []int{0}})
+	for _, v := range e.Reputations() {
+		if v != 0 {
+			t.Fatal("initial reputations should be zero")
+		}
+	}
+	if e.Name() != "EigenTrust" {
+		t.Fatal("Name mismatch")
+	}
+}
+
+func TestIterativePretrustedRatingsCarryWeight(t *testing.T) {
+	// A rating from a pretrusted peer (weight 0.5) must dominate one from
+	// an unknown peer (BaseWeight).
+	e := NewIterative(IterativeConfig{NumNodes: 4, Pretrusted: []int{0}})
+	e.Update(rating.Snapshot{Ratings: []rating.Rating{
+		{Rater: 0, Ratee: 1, Value: 1}, // pretrusted endorses node 1
+		{Rater: 3, Ratee: 2, Value: 1}, // nobody endorses node 2's rater
+	}})
+	r := e.Reputations()
+	if r[1] <= r[2] {
+		t.Fatalf("pretrusted endorsement should dominate: %v", r)
+	}
+	if s := r[1] + r[2]; math.Abs(s-1) > 1e-9 {
+		t.Fatalf("normalization broken: %v", r)
+	}
+}
+
+func TestIterativeReputationWeightFeedback(t *testing.T) {
+	// A rater that earned reputation in cycle 1 has a stronger voice in
+	// cycle 2 than a zero-reputation rater issuing the same rating.
+	e := NewIterative(IterativeConfig{NumNodes: 5, Pretrusted: []int{0}})
+	e.Update(rating.Snapshot{Ratings: []rating.Rating{
+		{Rater: 0, Ratee: 1, Value: 10}, // node 1 becomes reputable
+	}})
+	e.Update(rating.Snapshot{Ratings: []rating.Rating{
+		{Rater: 1, Ratee: 2, Value: 1}, // reputable rater
+		{Rater: 4, Ratee: 3, Value: 1}, // zero-reputation rater
+	}})
+	r := e.Reputations()
+	if r[2] <= r[3] {
+		t.Fatalf("reputable rater's rating should weigh more: %v", r)
+	}
+}
+
+func TestIterativeNegativeFeedbackSuppresses(t *testing.T) {
+	e := NewIterative(IterativeConfig{NumNodes: 4, Pretrusted: []int{0}})
+	e.Update(rating.Snapshot{Ratings: []rating.Rating{
+		{Rater: 0, Ratee: 1, Value: 5},
+		{Rater: 0, Ratee: 2, Value: -5},
+	}})
+	r := e.Reputations()
+	if r[2] != 0 {
+		t.Fatalf("net-negative node reputation = %v, want 0", r[2])
+	}
+	if r[1] != 1 {
+		t.Fatalf("endorsed node reputation = %v, want 1", r[1])
+	}
+}
+
+func TestIterativeCollusionRunawayWithoutDefense(t *testing.T) {
+	// PCM dynamics at good-behavior colluders: mutual high-frequency
+	// ratings compound across cycles and overtake normal peers — the
+	// weakness SocialTrust closes.
+	const n = 20
+	e := NewIterative(IterativeConfig{NumNodes: n, Pretrusted: []int{0}})
+	for cycle := 0; cycle < 10; cycle++ {
+		var rs []rating.Rating
+		// Pretrusted and normal peers trade modest honest ratings.
+		for i := 1; i < 18; i++ {
+			rs = append(rs, rating.Rating{Rater: 0, Ratee: i, Value: 1})
+			rs = append(rs, rating.Rating{Rater: i, Ratee: (i%17 + 1), Value: 1})
+		}
+		// Colluders 18, 19 also earn some honest inflow (B=0.6 behavior)...
+		rs = append(rs, rating.Rating{Rater: 1, Ratee: 18, Value: 1})
+		rs = append(rs, rating.Rating{Rater: 2, Ratee: 19, Value: 1})
+		// ...and spam each other.
+		for k := 0; k < 200; k++ {
+			rs = append(rs, rating.Rating{Rater: 18, Ratee: 19, Value: 1})
+			rs = append(rs, rating.Rating{Rater: 19, Ratee: 18, Value: 1})
+		}
+		e.Update(rating.Snapshot{Ratings: rs})
+	}
+	r := e.Reputations()
+	maxNormal := 0.0
+	for i := 1; i < 18; i++ {
+		if r[i] > maxNormal {
+			maxNormal = r[i]
+		}
+	}
+	if r[18] <= maxNormal || r[19] <= maxNormal {
+		t.Fatalf("colluders should overtake normal peers: colluders %v/%v, normal max %v",
+			r[18], r[19], maxNormal)
+	}
+}
+
+func TestIterativeSuppressedRatingsStopRunaway(t *testing.T) {
+	// Same scenario, but collusion ratings pre-shrunk (as SocialTrust
+	// would): colluders stay below normal peers.
+	const n = 20
+	e := NewIterative(IterativeConfig{NumNodes: n, Pretrusted: []int{0}})
+	for cycle := 0; cycle < 10; cycle++ {
+		var rs []rating.Rating
+		for i := 1; i < 18; i++ {
+			rs = append(rs, rating.Rating{Rater: 0, Ratee: i, Value: 1})
+			rs = append(rs, rating.Rating{Rater: i, Ratee: (i%17 + 1), Value: 1})
+		}
+		for k := 0; k < 200; k++ {
+			rs = append(rs, rating.Rating{Rater: 18, Ratee: 19, Value: 0.01})
+			rs = append(rs, rating.Rating{Rater: 19, Ratee: 18, Value: 0.01})
+		}
+		e.Update(rating.Snapshot{Ratings: rs})
+	}
+	r := e.Reputations()
+	minNormal := math.Inf(1)
+	for i := 1; i < 18; i++ {
+		if r[i] < minNormal {
+			minNormal = r[i]
+		}
+	}
+	if r[18] >= minNormal || r[19] >= minNormal {
+		t.Fatalf("suppressed colluders should stay below normal peers: colluders %v/%v, normal min %v",
+			r[18], r[19], minNormal)
+	}
+}
+
+func TestIterativeReset(t *testing.T) {
+	e := NewIterative(IterativeConfig{NumNodes: 3, Pretrusted: []int{0}})
+	e.Update(rating.Snapshot{Ratings: []rating.Rating{{Rater: 0, Ratee: 1, Value: 1}}})
+	e.Reset()
+	for _, v := range e.Reputations() {
+		if v != 0 {
+			t.Fatal("Reset failed")
+		}
+	}
+	if e.LocalTrust(0, 1) != 0 {
+		t.Fatal("sums survived Reset")
+	}
+}
+
+func TestIterativeReputationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIterative(IterativeConfig{NumNodes: 2}).Reputation(5)
+}

@@ -1,0 +1,66 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeScoresBasic(t *testing.T) {
+	out := NormalizeScores([]float64{1, 3, 0})
+	if out[0] != 0.25 || out[1] != 0.75 || out[2] != 0 {
+		t.Fatalf("NormalizeScores = %v", out)
+	}
+}
+
+func TestNormalizeScoresClampsNegatives(t *testing.T) {
+	out := NormalizeScores([]float64{-5, 2, 2})
+	if out[0] != 0 {
+		t.Fatalf("negative score normalized to %v, want 0", out[0])
+	}
+	if out[1] != 0.5 || out[2] != 0.5 {
+		t.Fatalf("NormalizeScores = %v", out)
+	}
+}
+
+func TestNormalizeScoresAllZeroOrNegative(t *testing.T) {
+	for _, in := range [][]float64{{0, 0}, {-1, -2}, {}} {
+		out := NormalizeScores(in)
+		for i, v := range out {
+			if v != 0 {
+				t.Fatalf("NormalizeScores(%v)[%d] = %v, want 0", in, i, v)
+			}
+		}
+	}
+}
+
+func TestNormalizeScoresProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		clean := make([]float64, 0, len(raw))
+		anyPos := false
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue
+			}
+			clean = append(clean, v)
+			if v > 0 {
+				anyPos = true
+			}
+		}
+		out := NormalizeScores(clean)
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		if !anyPos {
+			return sum == 0
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+func TestOscillationSwitchesColluderQoS(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.2, false)
+	cfg.OscillationCycle = 4
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	// After Run, colluders must be on their defected QoS.
+	for _, id := range cfg.ColluderIDs() {
+		if net.Nodes[id].Good != 0.2 {
+			t.Fatalf("colluder %d Good = %v after defection, want 0.2", id, net.Nodes[id].Good)
+		}
+	}
+	if res.TotalRequests == 0 {
+		t.Fatal("no requests")
+	}
+}
+
+func TestOscillationBuildsThenLosesReputation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale dynamics test skipped in -short mode")
+	}
+	cfg := paperConfig(PCM, EngineEBay, 0.2, false)
+	cfg.OscillationCycle = cfg.SimulationCycles / 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colluders := cfg.ColluderIDs()
+	atPeak := meanRep(res.History[cfg.OscillationCycle-1], colluders)
+	atEnd := meanRep(res.FinalReputations, colluders)
+	if atPeak <= 0 {
+		t.Fatal("colluders built no reputation during the honest phase")
+	}
+	if atEnd >= atPeak {
+		t.Fatalf("defection did not cost reputation: peak %v vs end %v", atPeak, atEnd)
+	}
+}
+
+func TestOscillationDisabledByDefault(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.2, false)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	for _, id := range cfg.ColluderIDs() {
+		if net.Nodes[id].Good != 0.2 {
+			t.Fatalf("colluder QoS changed without oscillation config")
+		}
+	}
+}

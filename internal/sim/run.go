@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"sync"
+
+	"socialtrust/internal/interest"
+	"socialtrust/internal/rating"
+	"socialtrust/internal/socialgraph"
+)
+
+// Result collects everything the paper's figures and tables read off a run.
+type Result struct {
+	// FinalReputations is the normalized reputation vector after the last
+	// simulation cycle.
+	FinalReputations []float64
+	// History holds the reputation vector after each simulation cycle.
+	History [][]float64
+
+	// Request accounting over the whole run.
+	TotalRequests       int
+	RequestsToColluders int
+	AuthenticServed     int
+	InauthenticServed   int
+	ServedByType        map[NodeType]int
+
+	// ConvergenceCycles[c] is, per colluder (indexed as in ColluderIDs),
+	// the 1-based simulation cycle after which its reputation stayed below
+	// ConvergenceThreshold; -1 when it never settled below it.
+	ConvergenceCycles []int
+
+	// Whitewashes counts colluder identity resets (whitewashing attack).
+	Whitewashes int
+
+	// PerCycleColluderShare records the fraction of each simulation cycle's
+	// requests served by colluders.
+	PerCycleColluderShare []float64
+}
+
+// ConvergenceThreshold is the colluder-reputation level of the paper's
+// Section 5.9 efficiency measurement.
+const ConvergenceThreshold = 0.001
+
+// ColluderRequestShare returns the fraction of requests served by colluders
+// (Table 1; Figure 7(c) uses the same accounting for malicious nodes).
+func (r *Result) ColluderRequestShare() float64 {
+	if r.TotalRequests == 0 {
+		return 0
+	}
+	return float64(r.RequestsToColluders) / float64(r.TotalRequests)
+}
+
+// intent is one client's pre-drawn decision for a query cycle: the category
+// it requests, its shuffled candidate preference order, and the uniform
+// draw that decides service authenticity. Intents are computed concurrently;
+// the cheap capacity-respecting assignment runs serially in node-ID order so
+// results do not depend on goroutine scheduling.
+type intent struct {
+	client   int
+	category interest.Category
+	order    []int
+	outcome  float64
+	explore  bool // pick uniformly, ignoring reputation (exploration)
+}
+
+// Run executes the configured experiment and returns its Result.
+func Run(cfg Config) (*Result, error) {
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return net.Run(), nil
+}
+
+// Run executes the simulation on a constructed network.
+func (n *Network) Run() *Result {
+	cfg := n.Cfg
+	res := &Result{
+		ServedByType:      make(map[NodeType]int),
+		ConvergenceCycles: make([]int, cfg.NumColluders),
+	}
+	capacities := make([]int, cfg.NumNodes)
+	reps := n.Engine.Reputations()
+	intents := make([]intent, cfg.NumNodes)
+
+	lastAbove := make([]int, cfg.NumColluders) // last 1-based cycle with rep >= threshold
+	everAbove := make([]bool, cfg.NumColluders)
+	lastTotal, lastColl := 0, 0
+
+	// Oscillation attack: colluders start on their best behavior and
+	// defect when their honeymoon expires.
+	if cfg.OscillationCycle > 0 {
+		for _, id := range cfg.ColluderIDs() {
+			n.startHoneymoon(n.Nodes[id])
+		}
+	}
+
+	for sc := 0; sc < cfg.SimulationCycles; sc++ {
+		if cfg.OscillationCycle > 0 {
+			for _, id := range cfg.ColluderIDs() {
+				node := n.Nodes[id]
+				if node.honeymoon > 0 {
+					node.honeymoon--
+					if node.honeymoon == 0 {
+						node.Good = cfg.ColluderGood // defect
+					}
+				}
+			}
+		}
+		for qc := 0; qc < cfg.QueryCycles; qc++ {
+			cycle := sc*cfg.QueryCycles + qc
+			for i := range capacities {
+				capacities[i] = cfg.Capacity
+			}
+			n.computeIntents(intents, reps)
+			n.assign(intents, capacities, reps, cycle, res)
+			n.collude(cycle)
+		}
+		res.PerCycleColluderShare = append(res.PerCycleColluderShare,
+			cycleShare(res, &lastTotal, &lastColl))
+		snap := n.Ledger.EndInterval()
+		n.Engine.Update(snap)
+		n.Tracker.Reset() // Equation 11 weights are per simulation cycle
+		reps = n.Engine.Reputations()
+		// Whitewashing: punished colluders abandon their identities.
+		if cfg.WhitewashThreshold > 0 {
+			washed := false
+			for _, id := range cfg.ColluderIDs() {
+				if reps[id] < cfg.WhitewashThreshold {
+					n.whitewash(id)
+					res.Whitewashes++
+					washed = true
+				}
+			}
+			if washed {
+				reps = n.Engine.Reputations()
+			}
+		}
+		res.History = append(res.History, reps)
+		for ci, id := range cfg.ColluderIDs() {
+			if reps[id] >= ConvergenceThreshold {
+				lastAbove[ci] = sc + 1
+				everAbove[ci] = true
+			}
+		}
+	}
+	res.FinalReputations = reps
+	for ci := range res.ConvergenceCycles {
+		switch {
+		case !everAbove[ci]:
+			res.ConvergenceCycles[ci] = 1
+		case lastAbove[ci] >= cfg.SimulationCycles:
+			res.ConvergenceCycles[ci] = -1 // still above at the end
+		default:
+			res.ConvergenceCycles[ci] = lastAbove[ci] + 1
+		}
+	}
+	return res
+}
+
+// cycleShare computes the colluder request share since the previous call.
+func cycleShare(res *Result, lastTotal, lastColl *int) float64 {
+	dTotal := res.TotalRequests - *lastTotal
+	dColl := res.RequestsToColluders - *lastColl
+	*lastTotal, *lastColl = res.TotalRequests, res.RequestsToColluders
+	if dTotal == 0 {
+		return 0
+	}
+	return float64(dColl) / float64(dTotal)
+}
+
+// computeIntents fans the per-client decision work across Workers. Each
+// client uses only its own RNG stream, so the result is independent of
+// scheduling.
+func (n *Network) computeIntents(out []intent, reps []float64) {
+	workers := n.Cfg.Workers
+	if workers > len(n.Nodes) {
+		workers = len(n.Nodes)
+	}
+	var wg sync.WaitGroup
+	block := (len(n.Nodes) + workers - 1) / workers
+	for lo := 0; lo < len(n.Nodes); lo += block {
+		hi := lo + block
+		if hi > len(n.Nodes) {
+			hi = len(n.Nodes)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				out[id] = n.intentFor(n.Nodes[id])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// intentFor draws one node's query intent. An inactive node yields
+// client == -1.
+func (n *Network) intentFor(node *Node) intent {
+	rng := node.rng
+	if !rng.Bool(node.Activity) {
+		return intent{client: -1}
+	}
+	// Request category: power-law over the node's own interests (trace
+	// observation O5 — a user mostly requests its top categories).
+	cat := node.InterestList[rng.Zipf(len(node.InterestList), 1.5)]
+	pool := n.byCategory[cat]
+	order := make([]int, len(pool))
+	copy(order, pool)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return intent{
+		client:   node.ID,
+		category: cat,
+		order:    order,
+		outcome:  rng.Float64(),
+		explore:  rng.Bool(n.Cfg.Exploration),
+	}
+}
+
+// assign serves each active client in node-ID order. Server choice follows
+// the EigenTrust paper's download-source rule: with probability Exploration
+// the client picks a uniform candidate (letting newcomers earn trust and
+// keeping negative feedback flowing to bad servers); otherwise it picks
+// among candidates with reputation above SelectionThreshold with probability
+// proportional to reputation, falling back to a uniform pick when nobody
+// qualifies (the cold-start rule). Only candidates with spare capacity are
+// considered. The client then rates the service and all substrate records
+// are updated. The phase is serial in node-ID order so capacity contention
+// resolves deterministically.
+func (n *Network) assign(intents []intent, capacities []int, reps []float64, cycle int, res *Result) {
+	for id := range intents {
+		it := &intents[id]
+		if it.client < 0 {
+			continue
+		}
+		server := n.chooseServer(it, capacities, reps)
+		if server < 0 {
+			continue // no available server for this category
+		}
+		capacities[server]--
+		srv := n.Nodes[server]
+		authentic := it.outcome < srv.Good
+		value := 1.0
+		if authentic {
+			res.AuthenticServed++
+		} else {
+			value = -1
+			res.InauthenticServed++
+		}
+		res.TotalRequests++
+		res.ServedByType[srv.Type]++
+		if srv.Type == Colluder {
+			res.RequestsToColluders++
+		}
+		n.record(it.client, server, value, cycle, it.category)
+	}
+}
+
+// chooseServer resolves one intent against current capacities and
+// reputations: a uniform pick among candidates whose reputation exceeds TR
+// (the paper's rule — "randomly chooses a neighbor with available capacity
+// greater than 0 and reputation higher than TR"). When nobody qualifies, the
+// client picks uniformly among the highest-reputation candidates available —
+// the paper's cold-start behavior ("a node randomly chooses from a number of
+// options with the same reputation value 0"). Because the intent's candidate
+// order is a uniform shuffle, "first qualifying in order" is a uniform draw
+// from the qualifying set. Returns -1 when no candidate has spare capacity.
+func (n *Network) chooseServer(it *intent, capacities []int, reps []float64) int {
+	if it.explore {
+		for _, cand := range it.order {
+			if cand != it.client && capacities[cand] > 0 {
+				return cand
+			}
+		}
+		return -1
+	}
+	for _, cand := range it.order {
+		if cand != it.client && capacities[cand] > 0 && reps[cand] > n.Cfg.SelectionThreshold {
+			return cand
+		}
+	}
+	// Cold-start fallback: first candidate holding the maximum reputation.
+	best := -1
+	for _, cand := range it.order {
+		if cand != it.client && capacities[cand] > 0 {
+			if best < 0 || reps[cand] > reps[best]+1e-12 {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// record stores one rating event in every substrate: the ledger, the social
+// interaction table, and the request tracker.
+func (n *Network) record(rater, ratee int, value float64, cycle int, cat interest.Category) {
+	if err := n.Ledger.Add(rating.Rating{
+		Rater: rater, Ratee: ratee, Value: value, Cycle: cycle, Category: int(cat),
+	}); err != nil {
+		panic(err) // construction guarantees rater != ratee
+	}
+	n.Graph.RecordInteraction(socialgraph.NodeID(rater), socialgraph.NodeID(ratee), 1)
+	n.Tracker.Record(rater, cat)
+}
+
+// collude injects the per-query-cycle collusion ratings. Each boosting
+// rating targets an interest randomly drawn from the boosted node's true
+// profile, per Section 5.1.
+func (n *Network) collude(cycle int) {
+	for ei := range n.colludeEdges {
+		e := &n.colludeEdges[ei]
+		n.spam(e.From, e.To, e.Ratings, e.value(), cycle)
+		if e.Back > 0 {
+			n.spam(e.To, e.From, e.Back, e.value(), cycle)
+		}
+	}
+}
+
+func (n *Network) spam(from, to, count int, value float64, cycle int) {
+	rng := n.Nodes[from].rng
+	target := n.Nodes[to]
+	for k := 0; k < count; k++ {
+		cat := target.InterestList[rng.Intn(len(target.InterestList))]
+		n.record(from, to, value, cycle, cat)
+	}
+}

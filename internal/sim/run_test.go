@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"testing"
+
+	"socialtrust/internal/interest"
+)
+
+// --- chooseServer unit tests ---
+
+func selectionNetwork(t *testing.T) *Network {
+	t.Helper()
+	cfg := smallConfig(NoCollusion, EngineEBay, 0.4, false)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestChooseServerPrefersAboveThreshold(t *testing.T) {
+	net := selectionNetwork(t)
+	reps := make([]float64, net.Cfg.NumNodes)
+	caps := make([]int, net.Cfg.NumNodes)
+	for i := range caps {
+		caps[i] = 1
+	}
+	reps[7] = 0.5 // only node 7 qualifies
+	it := &intent{client: 0, order: []int{3, 5, 7, 9}}
+	if got := net.chooseServer(it, caps, reps); got != 7 {
+		t.Fatalf("chooseServer = %d, want 7 (only above-TR candidate)", got)
+	}
+}
+
+func TestChooseServerSkipsSelfAndExhausted(t *testing.T) {
+	net := selectionNetwork(t)
+	reps := make([]float64, net.Cfg.NumNodes)
+	caps := make([]int, net.Cfg.NumNodes)
+	reps[0], reps[3] = 0.5, 0.5
+	caps[3] = 0 // exhausted
+	caps[5] = 1
+	it := &intent{client: 0, order: []int{0, 3, 5}}
+	// 0 is self, 3 has no capacity; fallback picks max-rep with capacity: 5.
+	if got := net.chooseServer(it, caps, reps); got != 5 {
+		t.Fatalf("chooseServer = %d, want 5", got)
+	}
+}
+
+func TestChooseServerColdStartPicksMaxReputation(t *testing.T) {
+	net := selectionNetwork(t)
+	reps := make([]float64, net.Cfg.NumNodes)
+	caps := make([]int, net.Cfg.NumNodes)
+	for i := range caps {
+		caps[i] = 1
+	}
+	// Nobody above TR; node 9 has the highest sub-threshold reputation.
+	reps[3], reps[9] = 0.001, 0.005
+	it := &intent{client: 0, order: []int{3, 9, 4}}
+	if got := net.chooseServer(it, caps, reps); got != 9 {
+		t.Fatalf("cold-start chooseServer = %d, want 9 (max reputation)", got)
+	}
+}
+
+func TestChooseServerExploreIgnoresReputation(t *testing.T) {
+	net := selectionNetwork(t)
+	reps := make([]float64, net.Cfg.NumNodes)
+	caps := make([]int, net.Cfg.NumNodes)
+	for i := range caps {
+		caps[i] = 1
+	}
+	reps[9] = 0.9
+	it := &intent{client: 0, order: []int{4, 9}, explore: true}
+	if got := net.chooseServer(it, caps, reps); got != 4 {
+		t.Fatalf("explore chooseServer = %d, want first in order", got)
+	}
+}
+
+func TestChooseServerNoCapacityAnywhere(t *testing.T) {
+	net := selectionNetwork(t)
+	reps := make([]float64, net.Cfg.NumNodes)
+	caps := make([]int, net.Cfg.NumNodes)
+	it := &intent{client: 0, order: []int{1, 2, 3}}
+	if got := net.chooseServer(it, caps, reps); got != -1 {
+		t.Fatalf("chooseServer = %d, want -1", got)
+	}
+}
+
+// --- slander extension ---
+
+func TestSlanderWiring(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.6, false)
+	cfg.SlanderVictims = 4
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := net.SlanderVictimIDs()
+	if len(victims) == 0 || len(victims) > 4 {
+		t.Fatalf("victims = %v", victims)
+	}
+	negEdges := 0
+	for _, e := range net.colludeEdges {
+		if e.Value == -1 {
+			negEdges++
+			if cfg.Type(e.From) != Colluder {
+				t.Fatalf("slander edge from non-colluder %d", e.From)
+			}
+			if cfg.Type(e.To) != Normal {
+				t.Fatalf("slander edge to non-normal %d", e.To)
+			}
+			// Attacker and victim must be genuine competitors.
+			sim := interest.Similarity(net.Nodes[e.From].Interests, net.Nodes[e.To].Interests)
+			if sim < 0.7 {
+				t.Fatalf("slander pair %d->%d similarity %v, want >= 0.7", e.From, e.To, sim)
+			}
+		}
+	}
+	if negEdges == 0 {
+		t.Fatal("no slander edges wired")
+	}
+}
+
+func TestSlanderVictimsValidation(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.6, false)
+	cfg.SlanderVictims = cfg.NumNodes // more than normal population
+	if _, err := NewNetwork(cfg); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestSlanderDisabledByDefault(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.6, false)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.SlanderVictimIDs()) != 0 {
+		t.Fatal("victims present without SlanderVictims")
+	}
+	for _, e := range net.colludeEdges {
+		if e.value() != 1 {
+			t.Fatal("negative edge present without SlanderVictims")
+		}
+	}
+}
+
+func TestSlanderLowersVictimReputation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale dynamics test skipped in -short mode")
+	}
+	// Same seed with and without the campaign: victims must end lower.
+	attacked := paperConfig(PCM, EngineEBay, 0.6, false)
+	attacked.SlanderVictims = 10
+	net, err := NewNetwork(attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := net.SlanderVictimIDs()
+	if len(victims) == 0 {
+		t.Fatal("no victims")
+	}
+	resAttacked := net.Run()
+
+	control := attacked
+	control.SlanderVictims = 0
+	resControl, err := Run(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(reps []float64) float64 {
+		s := 0.0
+		for _, v := range victims {
+			s += reps[v]
+		}
+		return s / float64(len(victims))
+	}
+	if mean(resAttacked.FinalReputations) >= mean(resControl.FinalReputations) {
+		t.Fatalf("slander had no effect: attacked %v vs control %v",
+			mean(resAttacked.FinalReputations), mean(resControl.FinalReputations))
+	}
+}
+
+// --- result accounting ---
+
+func TestPerCycleColluderShare(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.6, false)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCycleColluderShare) != cfg.SimulationCycles {
+		t.Fatalf("per-cycle shares = %d entries", len(res.PerCycleColluderShare))
+	}
+	total := 0.0
+	for _, s := range res.PerCycleColluderShare {
+		if s < 0 || s > 1 {
+			t.Fatalf("share %v out of range", s)
+		}
+		total += s
+	}
+	if total == 0 && res.RequestsToColluders > 0 {
+		t.Fatal("per-cycle shares all zero despite colluder requests")
+	}
+}
+
+func TestConvergenceCycleSemantics(t *testing.T) {
+	// Build histories by hand through a tiny run and verify bounds.
+	cfg := smallConfig(PCM, EngineEigenTrust, 0.2, false)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range res.ConvergenceCycles {
+		if c == -1 {
+			continue // never settled below threshold
+		}
+		if c < 1 || c > cfg.SimulationCycles+1 {
+			t.Fatalf("convergence cycle %d out of bounds for colluder %d", c, ci)
+		}
+		// After cycle c (1-based), the colluder's reputation must stay
+		// below the threshold in the recorded history.
+		id := cfg.ColluderIDs()[ci]
+		for sc := c - 1; sc < cfg.SimulationCycles; sc++ {
+			if res.History[sc][id] >= ConvergenceThreshold {
+				t.Fatalf("colluder %d above threshold at cycle %d despite convergence at %d",
+					id, sc+1, c)
+			}
+		}
+	}
+}
+
+func TestColluderInterestsParityDisjoint(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.6, false)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := cfg.NumInterests / 2
+	for i, id := range cfg.ColluderIDs() {
+		lower := i%2 == 0
+		for _, c := range net.Nodes[id].Interests.Categories() {
+			if lower && int(c) >= half {
+				t.Fatalf("even colluder %d has upper-half interest %d", id, c)
+			}
+			if !lower && int(c) < half {
+				t.Fatalf("odd colluder %d has lower-half interest %d", id, c)
+			}
+		}
+	}
+	// PCM partners therefore share no interests.
+	for _, e := range net.colludeEdges {
+		if e.value() < 0 {
+			continue
+		}
+		sim := interest.Similarity(net.Nodes[e.From].Interests, net.Nodes[e.To].Interests)
+		if sim != 0 {
+			t.Fatalf("PCM partners %d,%d share interests (sim %v)", e.From, e.To, sim)
+		}
+	}
+}
+
+func TestEdgeValueDefaults(t *testing.T) {
+	e := collusionEdge{}
+	if e.value() != 1 {
+		t.Fatalf("default edge value = %v, want +1", e.value())
+	}
+	e.Value = -1
+	if e.value() != -1 {
+		t.Fatalf("slander edge value = %v", e.value())
+	}
+}

@@ -1,0 +1,531 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"socialtrust/internal/socialgraph"
+)
+
+// smallConfig returns a scaled-down Section 5.1 setup that keeps unit tests
+// fast while preserving the population structure.
+func smallConfig(model CollusionModel, engine EngineKind, b float64, socialTrust bool) Config {
+	cfg := DefaultConfig(model, engine, b, socialTrust)
+	cfg.NumNodes = 60
+	cfg.NumPretrusted = 3
+	cfg.NumColluders = 10
+	cfg.NumBoosted = 3
+	cfg.QueryCycles = 10
+	cfg.SimulationCycles = 8
+	cfg.Seed = 42
+	return cfg
+}
+
+func meanRep(reps []float64, ids []int) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, id := range ids {
+		sum += reps[id]
+	}
+	return sum / float64(len(ids))
+}
+
+func normalIDs(cfg Config) []int {
+	var out []int
+	for id := cfg.NumPretrusted + cfg.NumColluders; id < cfg.NumNodes; id++ {
+		out = append(out, id)
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		func() Config { c := smallConfig(PCM, EngineEBay, 0.6, false); c.NumNodes = 1; return c }(),
+		func() Config { c := smallConfig(PCM, EngineEBay, 0.6, false); c.NumColluders = 70; return c }(),
+		func() Config { c := smallConfig(PCM, EngineEBay, 0.6, false); c.NumColluders = 9; return c }(), // odd for PCM
+		func() Config { c := smallConfig(MCM, EngineEBay, 0.6, false); c.NumBoosted = 0; return c }(),
+		func() Config { c := smallConfig(PCM, EngineEBay, 0.6, false); c.CompromisedPretrusted = 99; return c }(),
+		func() Config { c := smallConfig(PCM, EngineEBay, 0.6, false); c.ColluderDistance = 7; return c }(),
+		func() Config {
+			c := smallConfig(PCM, EngineEBay, 0.6, false)
+			c.InterestsPer = IntRange{5, 2}
+			return c
+		}(),
+		func() Config { c := smallConfig(PCM, EngineEBay, 0.6, false); c.QueryCycles = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := NewNetwork(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNodeLayout(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.6, false)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.Nodes); got != cfg.NumNodes {
+		t.Fatalf("nodes = %d", got)
+	}
+	for id, node := range net.Nodes {
+		if node.ID != id {
+			t.Fatalf("node %d has ID %d", id, node.ID)
+		}
+		want := cfg.Type(id)
+		if node.Type != want {
+			t.Fatalf("node %d type %v, want %v", id, node.Type, want)
+		}
+		switch node.Type {
+		case Pretrusted:
+			if node.Good != 1.0 {
+				t.Fatalf("pretrusted Good = %v", node.Good)
+			}
+		case Normal:
+			if node.Good != 0.8 {
+				t.Fatalf("normal Good = %v", node.Good)
+			}
+		case Colluder:
+			if node.Good != 0.6 {
+				t.Fatalf("colluder Good = %v", node.Good)
+			}
+		}
+		if node.Activity < 0.5 || node.Activity >= 1.0 {
+			t.Fatalf("activity %v outside [0.5,1)", node.Activity)
+		}
+		k := node.Interests.Len()
+		if k < cfg.InterestsPer.Lo || k > cfg.InterestsPer.Hi {
+			t.Fatalf("node %d has %d interests", id, k)
+		}
+	}
+}
+
+func TestTypeBoundaries(t *testing.T) {
+	cfg := DefaultConfig(PCM, EngineEBay, 0.2, false)
+	if cfg.Type(0) != Pretrusted || cfg.Type(8) != Pretrusted {
+		t.Fatal("IDs 0-8 should be pretrusted")
+	}
+	if cfg.Type(9) != Colluder || cfg.Type(38) != Colluder {
+		t.Fatal("IDs 9-38 should be colluders")
+	}
+	if cfg.Type(39) != Normal || cfg.Type(199) != Normal {
+		t.Fatal("IDs 39+ should be normal")
+	}
+	if len(cfg.PretrustedIDs()) != 9 || len(cfg.ColluderIDs()) != 30 {
+		t.Fatal("ID list sizes wrong")
+	}
+}
+
+func TestPCMWiring(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.6, false)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.colludeEdges); got != cfg.NumColluders {
+		t.Fatalf("PCM edges = %d, want %d (mutual pairs)", got, cfg.NumColluders)
+	}
+	// Mutual: for every edge A->B there is B->A, and partners are adjacent
+	// with [3,5] relationships.
+	seen := map[[2]int]bool{}
+	for _, e := range net.colludeEdges {
+		seen[[2]int{e.From, e.To}] = true
+		if e.Ratings != 20 {
+			t.Fatalf("PCM ratings = %d, want 20", e.Ratings)
+		}
+		if e.Back != 0 {
+			t.Fatal("PCM uses two directed edges, not Back")
+		}
+		m := net.Graph.RelationshipCount(socialgraph.NodeID(e.From), socialgraph.NodeID(e.To))
+		if m < 3 || m > 5 {
+			t.Fatalf("collusion pair relationships = %d, want [3,5]", m)
+		}
+	}
+	for _, e := range net.colludeEdges {
+		if !seen[[2]int{e.To, e.From}] {
+			t.Fatalf("PCM edge %d->%d lacks reverse", e.From, e.To)
+		}
+	}
+}
+
+func TestMCMWiring(t *testing.T) {
+	cfg := smallConfig(MCM, EngineEBay, 0.6, false)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := cfg.NumColluders - cfg.NumBoosted
+	if got := len(net.colludeEdges); got != wantEdges {
+		t.Fatalf("MCM edges = %d, want %d", got, wantEdges)
+	}
+	targets := map[int]bool{}
+	boosters := map[int]bool{}
+	for _, e := range net.colludeEdges {
+		if e.Back != 0 {
+			t.Fatal("MCM boosted nodes must not rate back")
+		}
+		if e.Ratings < 3 || e.Ratings > 7 {
+			t.Fatalf("MCM ratings = %d, want [3,7]", e.Ratings)
+		}
+		targets[e.To] = true
+		boosters[e.From] = true
+	}
+	if len(targets) > cfg.NumBoosted {
+		t.Fatalf("%d distinct boosted nodes, want <= %d", len(targets), cfg.NumBoosted)
+	}
+	for b := range targets {
+		if boosters[b] {
+			t.Fatalf("boosted node %d also boosts", b)
+		}
+	}
+}
+
+func TestMMMWiring(t *testing.T) {
+	cfg := smallConfig(MMM, EngineEBay, 0.6, false)
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range net.colludeEdges {
+		if e.Back != cfg.MMMBackRatings {
+			t.Fatalf("MMM Back = %d, want %d", e.Back, cfg.MMMBackRatings)
+		}
+		if e.Ratings != 20 {
+			t.Fatalf("MMM forward ratings = %d, want 20", e.Ratings)
+		}
+	}
+}
+
+func TestCompromisedPretrustedWiring(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.2, false)
+	cfg.CompromisedPretrusted = 2
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := net.CompromisedIDs()
+	if len(comp) != 2 {
+		t.Fatalf("compromised = %v, want 2 pretrusted", comp)
+	}
+	for _, id := range comp {
+		if cfg.Type(id) != Pretrusted {
+			t.Fatalf("compromised node %d is %v", id, cfg.Type(id))
+		}
+	}
+}
+
+func TestColluderDistanceControl(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		cfg := smallConfig(PCM, EngineEBay, 0.6, false)
+		cfg.ColluderDistance = d
+		net, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range net.colludeEdges {
+			got := net.Graph.Distance(socialgraph.NodeID(e.From), socialgraph.NodeID(e.To), 0)
+			if got != d {
+				t.Fatalf("distance %d config: pair %d-%d at distance %d", d, e.From, e.To, got)
+			}
+		}
+	}
+}
+
+func TestFalsifiedProfiles(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.6, true)
+	cfg.FalsifiedSocialInfo = true
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := cfg.ColluderIDs()
+	ref := net.Sets[ids[0]].Categories()
+	for _, id := range ids[1:] {
+		got := net.Sets[id].Categories()
+		if len(got) != len(ref) {
+			t.Fatalf("colluder %d claimed profile differs", id)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("colluder %d claimed profile differs", id)
+			}
+		}
+	}
+	// True interests are individual (overwhelmingly unlikely to all match).
+	allSame := true
+	refTrue := net.Nodes[ids[0]].Interests.Categories()
+	for _, id := range ids[1:] {
+		got := net.Nodes[id].Interests.Categories()
+		if len(got) != len(refTrue) {
+			allSame = false
+			break
+		}
+		for i := range refTrue {
+			if got[i] != refTrue[i] {
+				allSame = false
+			}
+		}
+	}
+	if allSame {
+		t.Fatal("true interests should not be falsified")
+	}
+	// Collusion edges carry exactly one relationship.
+	for _, e := range net.colludeEdges {
+		if m := net.Graph.RelationshipCount(socialgraph.NodeID(e.From), socialgraph.NodeID(e.To)); m != 1 {
+			t.Fatalf("falsified collusion edge has %d relationships, want 1", m)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		cfg := smallConfig(PCM, EngineEBay, 0.6, true)
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalReputations
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reputation %d differs across worker counts: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunDeterministicSameSeed(t *testing.T) {
+	cfg := smallConfig(MMM, EngineEigenTrust, 0.2, true)
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.FinalReputations {
+		if r1.FinalReputations[i] != r2.FinalReputations[i] {
+			t.Fatalf("same seed diverged at node %d", i)
+		}
+	}
+	if r1.TotalRequests != r2.TotalRequests {
+		t.Fatal("request accounting diverged")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEBay, 0.6, false)
+	r1, _ := Run(cfg)
+	cfg.Seed = 777
+	r2, _ := Run(cfg)
+	same := true
+	for i := range r1.FinalReputations {
+		if r1.FinalReputations[i] != r2.FinalReputations[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical reputations")
+	}
+}
+
+func TestRunBasicInvariants(t *testing.T) {
+	cfg := smallConfig(PCM, EngineEigenTrust, 0.6, false)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != cfg.SimulationCycles {
+		t.Fatalf("history has %d cycles", len(res.History))
+	}
+	sum := 0.0
+	for _, v := range res.FinalReputations {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("invalid reputation %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("reputations sum to %v", sum)
+	}
+	if res.TotalRequests == 0 {
+		t.Fatal("no requests served")
+	}
+	if res.AuthenticServed+res.InauthenticServed != res.TotalRequests {
+		t.Fatal("authenticity accounting broken")
+	}
+	total := 0
+	for _, v := range res.ServedByType {
+		total += v
+	}
+	if total != res.TotalRequests {
+		t.Fatal("ServedByType accounting broken")
+	}
+	if got := res.ColluderRequestShare(); got < 0 || got > 1 {
+		t.Fatalf("request share = %v", got)
+	}
+	if len(res.ConvergenceCycles) != cfg.NumColluders {
+		t.Fatal("convergence vector size")
+	}
+}
+
+// --- headline dynamics: the shapes the paper's figures rest on ---
+//
+// These run the full Section 5.1 population (200 nodes) with a shortened
+// horizon (15 query cycles × 12 simulation cycles); the shapes below are
+// already established well within that horizon.
+
+// paperConfig returns the paper-scale setup with a shortened horizon.
+func paperConfig(model CollusionModel, engine EngineKind, b float64, socialTrust bool) Config {
+	cfg := DefaultConfig(model, engine, b, socialTrust)
+	cfg.QueryCycles = 15
+	cfg.SimulationCycles = 12
+	cfg.Seed = 7
+	return cfg
+}
+
+func runPaper(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-scale dynamics test skipped in -short mode")
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPCMHighQoSColludersBeatNormalWithoutDefense(t *testing.T) {
+	// Figure 8(a): at B=0.6, EigenTrust lets PCM colluders tower over
+	// normal peers.
+	cfg := paperConfig(PCM, EngineEigenTrust, 0.6, false)
+	res := runPaper(t, cfg)
+	coll := meanRep(res.FinalReputations, cfg.ColluderIDs())
+	norm := meanRep(res.FinalReputations, normalIDs(cfg))
+	if coll <= 5*norm {
+		t.Errorf("colluder mean %v vs normal mean %v (want ≥5x at B=0.6)", coll, norm)
+	}
+}
+
+func TestEBayColludersEvadePunishmentAtHighQoS(t *testing.T) {
+	// Figures 8(b) vs 9(b): in eBay, B=0.6 colluders retain a standing far
+	// above what B=0.2 colluders get.
+	resHigh := runPaper(t, paperConfig(PCM, EngineEBay, 0.6, false))
+	cfg := paperConfig(PCM, EngineEBay, 0.2, false)
+	resLow := runPaper(t, cfg)
+	high := meanRep(resHigh.FinalReputations, cfg.ColluderIDs())
+	low := meanRep(resLow.FinalReputations, cfg.ColluderIDs())
+	if high <= 2.5*low {
+		t.Errorf("eBay colluder mean at B=0.6 %v vs B=0.2 %v (want clear separation)", high, low)
+	}
+}
+
+func TestPCMSocialTrustSuppressesColluders(t *testing.T) {
+	// Figure 8(c,d): SocialTrust drives colluder reputations down hard in
+	// both systems.
+	for _, engine := range []EngineKind{EngineEigenTrust, EngineEBay} {
+		base := runPaper(t, paperConfig(PCM, engine, 0.6, false))
+		cfg := paperConfig(PCM, engine, 0.6, true)
+		prot := runPaper(t, cfg)
+		collBase := meanRep(base.FinalReputations, cfg.ColluderIDs())
+		collProt := meanRep(prot.FinalReputations, cfg.ColluderIDs())
+		normProt := meanRep(prot.FinalReputations, normalIDs(cfg))
+		if collProt >= collBase/3 {
+			t.Errorf("%v: SocialTrust colluder mean %v vs unprotected %v (want ≥3x reduction)",
+				engine, collProt, collBase)
+		}
+		if collProt >= 2*normProt {
+			t.Errorf("%v: SocialTrust colluder mean %v vs normal %v (colluders should not stay above normal)",
+				engine, collProt, normProt)
+		}
+	}
+}
+
+func TestEigenTrustCountersLowQoSPCMAlone(t *testing.T) {
+	// Figure 9(a) vs 8(a): EigenTrust alone punishes low-QoS colluders far
+	// more than high-QoS ones.
+	cfg := paperConfig(PCM, EngineEigenTrust, 0.2, false)
+	resLow := runPaper(t, cfg)
+	resHigh := runPaper(t, paperConfig(PCM, EngineEigenTrust, 0.6, false))
+	low := meanRep(resLow.FinalReputations, cfg.ColluderIDs())
+	high := meanRep(resHigh.FinalReputations, cfg.ColluderIDs())
+	if high <= 4*low {
+		t.Errorf("EigenTrust colluders at B=0.6 %v vs B=0.2 %v (want ≥4x separation)", high, low)
+	}
+}
+
+func TestMMMRunawayAndSuppression(t *testing.T) {
+	// Figure 13(a) vs 13(c): MMM at B=0.6 runs away under EigenTrust;
+	// SocialTrust restores order.
+	cfg := paperConfig(MMM, EngineEigenTrust, 0.6, false)
+	res := runPaper(t, cfg)
+	coll := meanRep(res.FinalReputations, cfg.ColluderIDs())
+	norm := meanRep(res.FinalReputations, normalIDs(cfg))
+	if coll <= 10*norm {
+		t.Errorf("MMM colluder mean %v vs normal %v (want ≥10x runaway)", coll, norm)
+	}
+	cfg.SocialTrust = true
+	resST := runPaper(t, cfg)
+	collST := meanRep(resST.FinalReputations, cfg.ColluderIDs())
+	normST := meanRep(resST.FinalReputations, normalIDs(cfg))
+	if collST >= 2*normST {
+		t.Errorf("MMM+SocialTrust colluder mean %v vs normal %v", collST, normST)
+	}
+}
+
+func TestCompromisedPretrustedBoostAndRecovery(t *testing.T) {
+	// Figure 10: compromised pretrusted nodes blow EigenTrust open even at
+	// B=0.2; SocialTrust still suppresses.
+	cfg := paperConfig(PCM, EngineEigenTrust, 0.2, false)
+	cfg.CompromisedPretrusted = 7
+	res := runPaper(t, cfg)
+	coll := meanRep(res.FinalReputations, cfg.ColluderIDs())
+	norm := meanRep(res.FinalReputations, normalIDs(cfg))
+	if coll <= 10*norm {
+		t.Errorf("compromised-pretrusted colluder mean %v vs normal %v (want blowup)", coll, norm)
+	}
+	cfg.SocialTrust = true
+	resST := runPaper(t, cfg)
+	collST := meanRep(resST.FinalReputations, cfg.ColluderIDs())
+	normST := meanRep(resST.FinalReputations, normalIDs(cfg))
+	if collST >= normST {
+		t.Errorf("SocialTrust colluder mean %v >= normal %v with compromised pretrusted", collST, normST)
+	}
+}
+
+func TestFalsifiedSocialInfoStillSuppressed(t *testing.T) {
+	// Figures 16-18: colluders falsifying relationships and interest
+	// profiles still end far below the unprotected baseline.
+	base := paperConfig(PCM, EngineEigenTrust, 0.6, false)
+	base.FalsifiedSocialInfo = true
+	resBase := runPaper(t, base)
+	cfg := paperConfig(PCM, EngineEigenTrust, 0.6, true)
+	cfg.FalsifiedSocialInfo = true
+	resST := runPaper(t, cfg)
+	collBase := meanRep(resBase.FinalReputations, cfg.ColluderIDs())
+	collST := meanRep(resST.FinalReputations, cfg.ColluderIDs())
+	if collST >= collBase/3 {
+		t.Errorf("falsified-info SocialTrust colluder mean %v vs unprotected %v", collST, collBase)
+	}
+}
+
+func TestSocialTrustReducesColluderRequestShare(t *testing.T) {
+	// Table 1's headline: SocialTrust cuts the request share of colluders
+	// to a few percent.
+	resBase := runPaper(t, paperConfig(PCM, EngineEigenTrust, 0.6, false))
+	resProt := runPaper(t, paperConfig(PCM, EngineEigenTrust, 0.6, true))
+	if resProt.ColluderRequestShare() >= resBase.ColluderRequestShare()/2 {
+		t.Errorf("request share with SocialTrust %v vs without %v (want ≥2x cut)",
+			resProt.ColluderRequestShare(), resBase.ColluderRequestShare())
+	}
+	if resProt.ColluderRequestShare() > 0.06 {
+		t.Errorf("request share with SocialTrust %v, want a few percent", resProt.ColluderRequestShare())
+	}
+}

@@ -1,0 +1,50 @@
+package socialgraph
+
+import (
+	"testing"
+
+	"socialtrust/internal/xrand"
+)
+
+// benchGraph builds a 500-node small-world graph with interactions.
+func benchGraph() *Graph {
+	g := New(500)
+	rng := xrand.New(1)
+	for i := 0; i < 500; i++ {
+		g.AddRelationship(NodeID(i), NodeID((i+1)%500), Relationship{Kind: Friendship})
+		for k := 0; k < 4; k++ {
+			j := rng.Intn(500)
+			if j != i && !g.Adjacent(NodeID(i), NodeID(j)) {
+				g.AddRelationship(NodeID(i), NodeID(j), Relationship{Kind: Friendship})
+			}
+		}
+		g.RecordInteraction(NodeID(i), NodeID((i+1)%500), float64(rng.Intn(5)+1))
+	}
+	return g
+}
+
+func BenchmarkClosenessAdjacent(b *testing.B) {
+	g := benchGraph()
+	p := DefaultClosenessParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Closeness(NodeID(i%500), NodeID((i+1)%500), p)
+	}
+}
+
+func BenchmarkClosenessNonAdjacent(b *testing.B) {
+	g := benchGraph()
+	p := DefaultClosenessParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Closeness(NodeID(i%500), NodeID((i+250)%500), p)
+	}
+}
+
+func BenchmarkShortestPath(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ShortestPath(NodeID(i%500), NodeID((i+137)%500), 6)
+	}
+}

@@ -1,0 +1,127 @@
+package socialgraph
+
+// ClosenessParams configures the Ωc computation.
+type ClosenessParams struct {
+	// Weighted selects the falsification-resistant relationship term of
+	// Equation 10 (Σ λ^(l−1)·w_dl) instead of the raw multiplicity m(i,j)
+	// of Equation 2.
+	Weighted bool
+	// Lambda is the relationship scaling weight λ ∈ [0.5,1] of Equation 10.
+	// Ignored unless Weighted is set.
+	Lambda float64
+	// MaxPathHops bounds the BFS used for the min-along-path fallback of
+	// Equation 4. The paper observes users transact within ~3 hops; the
+	// evaluation never needs paths longer than 4. Zero means 6.
+	MaxPathHops int
+}
+
+// DefaultClosenessParams returns the configuration used by the paper's
+// evaluation: unweighted relationships and a 6-hop path cutoff.
+func DefaultClosenessParams() ClosenessParams {
+	return ClosenessParams{Weighted: false, Lambda: 0.75, MaxPathHops: 6}
+}
+
+func (p ClosenessParams) maxHops() int {
+	if p.MaxPathHops <= 0 {
+		return 6
+	}
+	return p.MaxPathHops
+}
+
+// Closeness computes the social closeness Ωc(i,j) per Equation 4 (or
+// Equation 10 when p.Weighted):
+//
+//   - adjacent nodes: relationship strength × f(i,j) / Σ_k f(i,k). When i
+//     has recorded no interactions at all, the frequency ratio degenerates;
+//     we then fall back to a uniform-frequency assumption 1/|S_i| so that a
+//     fresh network still has meaningful closeness.
+//   - non-adjacent with common friends k: Σ_k (Ωc(i,k)+Ωc(k,j))/2.
+//   - non-adjacent without common friends: the minimum adjacent closeness
+//     along one shortest friendship path between i and j.
+//   - unreachable (or i == j): 0 — a node has no rating relationship with
+//     itself, and strangers with no social path have no measurable
+//     closeness.
+func (g *Graph) Closeness(i, j NodeID, p ClosenessParams) float64 {
+	g.validate(i, j)
+	if i == j {
+		return 0
+	}
+	if g.Adjacent(i, j) {
+		return g.adjacentCloseness(i, j, p)
+	}
+	common := g.CommonFriends(i, j)
+	if len(common) > 0 {
+		sum := 0.0
+		for _, k := range common {
+			sum += (g.adjacentCloseness(i, k, p) + g.adjacentCloseness(k, j, p)) / 2
+		}
+		return sum
+	}
+	path := g.ShortestPath(i, j, p.maxHops())
+	if path == nil {
+		return 0
+	}
+	min := -1.0
+	for h := 0; h+1 < len(path); h++ {
+		c := g.adjacentCloseness(path[h], path[h+1], p)
+		if min < 0 || c < min {
+			min = c
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// adjacentCloseness evaluates the adjacent case of Equation 2 / Equation 10.
+func (g *Graph) adjacentCloseness(i, j NodeID, p ClosenessParams) float64 {
+	strength := g.relationshipStrength(i, j, p.Weighted, p.Lambda)
+	if strength == 0 {
+		return 0
+	}
+	total := g.TotalInteractionsFrom(i)
+	if total == 0 {
+		// No interactions recorded yet: assume uniform frequency over the
+		// friend set so closeness reduces to strength/|S_i|.
+		deg := g.Degree(i)
+		if deg == 0 {
+			return 0
+		}
+		return strength / float64(deg)
+	}
+	return strength * g.InteractionFrequency(i, j) / total
+}
+
+// ClosenessProfile summarizes node i's closeness to a set of peers it has
+// rated — the (mean, min, max) triple the Gaussian filter of Equation 6
+// centers on.
+type ClosenessProfile struct {
+	Mean, Min, Max float64
+	N              int
+}
+
+// ProfileCloseness computes the ClosenessProfile of node i over peers.
+// An empty peer set yields a zero profile.
+func (g *Graph) ProfileCloseness(i NodeID, peers []NodeID, p ClosenessParams) ClosenessProfile {
+	var prof ClosenessProfile
+	for idx, j := range peers {
+		c := g.Closeness(i, j, p)
+		if idx == 0 {
+			prof.Min, prof.Max = c, c
+		} else {
+			if c < prof.Min {
+				prof.Min = c
+			}
+			if c > prof.Max {
+				prof.Max = c
+			}
+		}
+		prof.Mean += c
+		prof.N++
+	}
+	if prof.N > 0 {
+		prof.Mean /= float64(prof.N)
+	}
+	return prof
+}

@@ -1,0 +1,365 @@
+// Package socialgraph implements the social-network substrate SocialTrust
+// consumes: an undirected friendship multigraph with typed, weighted
+// relationships, a directed interaction-frequency table, breadth-first
+// social distance, common-friend queries, and the social-closeness metric
+// Ωc of the paper (Equations 2, 3, 4, and the falsification-resistant
+// weighted form, Equation 10).
+package socialgraph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a peer in the social network. IDs are dense indices in
+// [0, NumNodes) so the graph can use slice-backed adjacency.
+type NodeID int
+
+// RelationshipKind is the type of a social relationship between two peers.
+// The paper's Equation 10 weights relationship kinds differently (e.g.
+// kinship counts more than an online friendship).
+type RelationshipKind int
+
+// Relationship kinds ordered roughly by social strength. The associated
+// default weights are exposed via DefaultWeight.
+const (
+	Friendship RelationshipKind = iota
+	Classmate
+	Colleague
+	Kinship
+	numRelationshipKinds
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k RelationshipKind) String() string {
+	switch k {
+	case Friendship:
+		return "friendship"
+	case Classmate:
+		return "classmate"
+	case Colleague:
+		return "colleague"
+	case Kinship:
+		return "kinship"
+	default:
+		return fmt.Sprintf("RelationshipKind(%d)", int(k))
+	}
+}
+
+// DefaultWeight returns the default closeness weight w_d of a relationship
+// kind used by Equation 10. Weights are in (0,1] and kinship is strongest.
+func (k RelationshipKind) DefaultWeight() float64 {
+	switch k {
+	case Kinship:
+		return 1.0
+	case Colleague:
+		return 0.8
+	case Classmate:
+		return 0.7
+	case Friendship:
+		return 0.6
+	default:
+		return 0.5
+	}
+}
+
+// Relationship is a single typed social tie on an edge. An edge carries one
+// or more relationships; the paper assigns [1,2] relationships to normal
+// pairs and [3,5] to colluding pairs in its experiments.
+type Relationship struct {
+	Kind   RelationshipKind
+	Weight float64 // in (0,1]; zero means "use Kind.DefaultWeight()"
+}
+
+// weight resolves the effective weight of the relationship.
+func (r Relationship) weight() float64 {
+	if r.Weight > 0 {
+		return r.Weight
+	}
+	return r.Kind.DefaultWeight()
+}
+
+// edge stores the relationship list for one adjacent pair.
+type edge struct {
+	rels []Relationship
+}
+
+// Graph is an undirected social multigraph plus a directed interaction
+// table. Topology mutation (AddEdge/AddRelationship) is not safe to run
+// concurrently with queries; interaction recording IS safe for concurrent
+// use (per-source striped locks), because the simulator records interactions
+// from many client goroutines while the topology stays frozen.
+type Graph struct {
+	n   int
+	adj []map[NodeID]*edge
+
+	interactions []interactionRow
+}
+
+type interactionRow struct {
+	mu     sync.Mutex
+	counts map[NodeID]float64
+}
+
+// New creates a graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("socialgraph: negative node count")
+	}
+	g := &Graph{
+		n:            n,
+		adj:          make([]map[NodeID]*edge, n),
+		interactions: make([]interactionRow, n),
+	}
+	return g
+}
+
+// NumNodes reports the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return g.n }
+
+// validate panics on out-of-range IDs; topology construction errors are
+// programming errors in experiment setup, not runtime conditions.
+func (g *Graph) validate(ids ...NodeID) {
+	for _, id := range ids {
+		if id < 0 || int(id) >= g.n {
+			panic(fmt.Sprintf("socialgraph: node %d out of range [0,%d)", id, g.n))
+		}
+	}
+}
+
+// AddRelationship adds one typed relationship between i and j, creating the
+// friendship edge if absent. Adding multiple relationships to the same pair
+// raises m(i,j), the relationship multiplicity of Equation 2.
+func (g *Graph) AddRelationship(i, j NodeID, r Relationship) {
+	g.validate(i, j)
+	if i == j {
+		panic("socialgraph: self relationship")
+	}
+	g.addHalf(i, j, r)
+	g.addHalf(j, i, r)
+}
+
+func (g *Graph) addHalf(i, j NodeID, r Relationship) {
+	if g.adj[i] == nil {
+		g.adj[i] = make(map[NodeID]*edge)
+	}
+	e := g.adj[i][j]
+	if e == nil {
+		e = &edge{}
+		g.adj[i][j] = e
+	}
+	e.rels = append(e.rels, r)
+}
+
+// Adjacent reports whether i and j share a friendship edge.
+func (g *Graph) Adjacent(i, j NodeID) bool {
+	g.validate(i, j)
+	_, ok := g.adj[i][j]
+	return ok
+}
+
+// RelationshipCount returns m(i,j), the number of relationships between
+// adjacent nodes (0 when not adjacent).
+func (g *Graph) RelationshipCount(i, j NodeID) int {
+	g.validate(i, j)
+	if e, ok := g.adj[i][j]; ok {
+		return len(e.rels)
+	}
+	return 0
+}
+
+// Relationships returns a copy of the relationship list between i and j.
+func (g *Graph) Relationships(i, j NodeID) []Relationship {
+	g.validate(i, j)
+	e, ok := g.adj[i][j]
+	if !ok {
+		return nil
+	}
+	return append([]Relationship(nil), e.rels...)
+}
+
+// relationshipStrength evaluates the relationship term of the closeness
+// formula. With weighted=false it is the plain multiplicity m(i,j)
+// (Equation 2). With weighted=true it is Σ_l λ^(l−1)·w_dl over the
+// relationship list sorted by descending weight (Equation 10), which damps
+// the marginal value of piling on extra weak relationships — the
+// falsification counterattack of Section 4.4.
+func (g *Graph) relationshipStrength(i, j NodeID, weighted bool, lambda float64) float64 {
+	e, ok := g.adj[i][j]
+	if !ok {
+		return 0
+	}
+	if !weighted {
+		return float64(len(e.rels))
+	}
+	ws := make([]float64, len(e.rels))
+	for k, r := range e.rels {
+		ws[k] = r.weight()
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
+	sum, scale := 0.0, 1.0
+	for _, w := range ws {
+		sum += scale * w
+		scale *= lambda
+	}
+	return sum
+}
+
+// Friends returns the neighbor set S_i of node i in ascending order.
+func (g *Graph) Friends(i NodeID) []NodeID {
+	g.validate(i)
+	out := make([]NodeID, 0, len(g.adj[i]))
+	for j := range g.adj[i] {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Degree returns |S_i|, the number of friends of i.
+func (g *Graph) Degree(i NodeID) int {
+	g.validate(i)
+	return len(g.adj[i])
+}
+
+// CommonFriends returns S_i ∩ S_j in ascending order.
+func (g *Graph) CommonFriends(i, j NodeID) []NodeID {
+	g.validate(i, j)
+	small, large := g.adj[i], g.adj[j]
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	var out []NodeID
+	for k := range small {
+		if _, ok := large[k]; ok {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// NoPath is returned by Distance when no path exists within the cutoff.
+const NoPath = -1
+
+// Distance returns the hop count of the shortest friendship path between i
+// and j via breadth-first search, or NoPath if none exists within maxHops
+// (maxHops <= 0 means unbounded). Distance(i,i) is 0.
+func (g *Graph) Distance(i, j NodeID, maxHops int) int {
+	path := g.ShortestPath(i, j, maxHops)
+	if path == nil {
+		return NoPath
+	}
+	return len(path) - 1
+}
+
+// ShortestPath returns one shortest friendship path from i to j inclusive of
+// both endpoints, or nil if none exists within maxHops (<= 0 for unbounded).
+func (g *Graph) ShortestPath(i, j NodeID, maxHops int) []NodeID {
+	g.validate(i, j)
+	if i == j {
+		return []NodeID{i}
+	}
+	prev := make(map[NodeID]NodeID, 64)
+	prev[i] = i
+	frontier := []NodeID{i}
+	depth := 0
+	for len(frontier) > 0 {
+		if maxHops > 0 && depth >= maxHops {
+			return nil
+		}
+		depth++
+		var next []NodeID
+		for _, u := range frontier {
+			// Expand neighbors in ID order so the returned path (and any
+			// closeness derived from it) is deterministic rather than
+			// map-iteration dependent.
+			for _, v := range g.Friends(u) {
+				if _, seen := prev[v]; seen {
+					continue
+				}
+				prev[v] = u
+				if v == j {
+					// Reconstruct the path back to i.
+					path := []NodeID{j}
+					for cur := j; cur != i; {
+						cur = prev[cur]
+						path = append(path, cur)
+					}
+					for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
+						path[a], path[b] = path[b], path[a]
+					}
+					return path
+				}
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// RecordInteraction adds weight w to the directed interaction frequency
+// f(i,j) — one resource request or rating event from i to j. Safe for
+// concurrent use across distinct and identical sources.
+func (g *Graph) RecordInteraction(i, j NodeID, w float64) {
+	g.validate(i, j)
+	row := &g.interactions[i]
+	row.mu.Lock()
+	if row.counts == nil {
+		row.counts = make(map[NodeID]float64)
+	}
+	row.counts[j] += w
+	row.mu.Unlock()
+}
+
+// InteractionFrequency returns f(i,j), the accumulated directed interaction
+// weight from i to j.
+func (g *Graph) InteractionFrequency(i, j NodeID) float64 {
+	g.validate(i, j)
+	row := &g.interactions[i]
+	row.mu.Lock()
+	defer row.mu.Unlock()
+	return row.counts[j]
+}
+
+// TotalInteractionsFrom returns Σ_k f(i,k), the denominator of Equation 2.
+func (g *Graph) TotalInteractionsFrom(i NodeID) float64 {
+	g.validate(i)
+	row := &g.interactions[i]
+	row.mu.Lock()
+	defer row.mu.Unlock()
+	sum := 0.0
+	for _, v := range row.counts {
+		sum += v
+	}
+	return sum
+}
+
+// RemoveNodeEdges deletes every friendship edge incident to the node and
+// clears its outgoing interaction history — the graph-side effect of a peer
+// leaving the network (its ID slot can then be reused by a newcomer).
+// Incoming interaction records from other nodes are preserved: other peers
+// remember having interacted with the departed identity.
+func (g *Graph) RemoveNodeEdges(i NodeID) {
+	g.validate(i)
+	for j := range g.adj[i] {
+		delete(g.adj[j], i)
+	}
+	g.adj[i] = nil
+	row := &g.interactions[i]
+	row.mu.Lock()
+	row.counts = nil
+	row.mu.Unlock()
+}
+
+// ResetInteractions clears the interaction table, used between trace epochs.
+func (g *Graph) ResetInteractions() {
+	for i := range g.interactions {
+		row := &g.interactions[i]
+		row.mu.Lock()
+		row.counts = nil
+		row.mu.Unlock()
+	}
+}

@@ -1,0 +1,358 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestCorrelationPerfectLinear(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	c, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-12) {
+		t.Errorf("Correlation of perfect line = %v, want 1", c)
+	}
+	// Perfect negative correlation also yields C = 1 (C is r squared).
+	neg := []float64{10, 8, 6, 4, 2}
+	c, err = Correlation(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-12) {
+		t.Errorf("Correlation of negative line = %v, want 1", c)
+	}
+}
+
+func TestCorrelationIndependent(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, -1, 1, -1} // mean-zero alternating, near-zero covariance with xs
+	c, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > 0.25 {
+		t.Errorf("Correlation of unrelated data = %v, want small", c)
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	if _, err := Correlation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Correlation([]float64{1}, []float64{2}); err == nil {
+		t.Error("single sample should error")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("constant xs should error")
+	}
+}
+
+func TestPearsonRSign(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	up := []float64{1, 2, 3, 4}
+	down := []float64{4, 3, 2, 1}
+	r, err := PearsonR(xs, up)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("PearsonR up = %v (%v), want 1", r, err)
+	}
+	r, err = PearsonR(xs, down)
+	if err != nil || !almostEqual(r, -1, 1e-12) {
+		t.Errorf("PearsonR down = %v (%v), want -1", r, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("empty percentile should return ErrEmpty")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range p should error")
+	}
+	got, err := Percentile([]float64{7}, 99)
+	if err != nil || got != 7 {
+		t.Errorf("single-sample percentile = %v (%v), want 7", got, err)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	got, err := Percentile([]float64{0, 10}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("Percentile interpolation = %v, want 2.5", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{9, 1, 5})
+	if err != nil || got != 5 {
+		t.Errorf("Median = %v (%v), want 5", got, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{10, 10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 10 || s.CI95 != 0 || s.N != 5 {
+		t.Errorf("constant Summarize = %+v", s)
+	}
+	s, err = Summarize([]float64{8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s.Mean, 10, 1e-12) {
+		t.Errorf("Mean = %v, want 10", s.Mean)
+	}
+	// sample sd = sqrt(((−2)²+2²)/1) = 2.828..., CI = 1.96·sd/√2
+	wantCI := 1.96 * math.Sqrt(8) / math.Sqrt2
+	if !almostEqual(s.CI95, wantCI, 1e-9) {
+		t.Errorf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("empty Summarize should return ErrEmpty")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]float64{3, 1, 2, 2})
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1}}
+	if len(cdf) != len(want) {
+		t.Fatalf("CDF has %d points, want %d: %v", len(cdf), len(want), cdf)
+	}
+	for i := range want {
+		if !almostEqual(cdf[i].X, want[i].X, 1e-12) || !almostEqual(cdf[i].P, want[i].P, 1e-12) {
+			t.Errorf("CDF[%d] = %+v, want %+v", i, cdf[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := CDFAt(cdf, c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 2)
+	if len(bins) != 2 {
+		t.Fatalf("got %d bins", len(bins))
+	}
+	if bins[0].Count != 5 || bins[1].Count != 5 {
+		t.Errorf("bin counts = %d,%d, want 5,5", bins[0].Count, bins[1].Count)
+	}
+	// Max value lands in the final bin, not out of range.
+	bins = Histogram([]float64{0, 10}, 5)
+	if bins[4].Count != 1 {
+		t.Errorf("max value not in final bin: %+v", bins)
+	}
+	if Histogram(nil, 3) != nil || Histogram([]float64{1}, 0) != nil {
+		t.Error("degenerate histogram inputs should be nil")
+	}
+	// Constant input: all mass in one bin, no division by zero.
+	bins = Histogram([]float64{5, 5, 5}, 3)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Errorf("constant histogram lost samples: %+v", bins)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(out[0], 0.25, 1e-12) || !almostEqual(out[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v", out)
+	}
+	out, err = Normalize([]float64{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if !almostEqual(v, 0.25, 1e-12) {
+			t.Errorf("zero-sum Normalize = %v, want uniform", out)
+		}
+	}
+	if _, err := Normalize(nil); err != ErrEmpty {
+		t.Error("empty Normalize should return ErrEmpty")
+	}
+	if _, err := Normalize([]float64{-2, 1}); err == nil {
+		t.Error("negative-sum Normalize should error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v,%v (%v)", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Error("empty MinMax should return ErrEmpty")
+	}
+}
+
+// --- property-based tests ---
+
+func TestCorrelationBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		xs, ys := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		c, err := Correlation(xs, ys)
+		if err != nil {
+			return true
+		}
+		return c >= -1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		cdf := CDF(xs)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X <= cdf[i-1].X || cdf[i].P < cdf[i-1].P {
+				return false
+			}
+		}
+		return len(cdf) == 0 || math.Abs(cdf[len(cdf)-1].P-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeSumsToOneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1e50 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		out, err := Normalize(xs)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw) / 255 * 100
+		got, err := Percentile(xs, p)
+		if err != nil {
+			return false
+		}
+		lo, hi, _ := MinMax(xs)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"sort"
+
+	"socialtrust/internal/interest"
+	"socialtrust/internal/socialgraph"
+	"socialtrust/internal/stats"
+)
+
+// ReputationScatter is the data behind Figures 1(a), 1(b) and 2: one point
+// per user relating reputation to a size metric, plus the paper's squared
+// correlation coefficient C.
+type ReputationScatter struct {
+	Reputation []float64
+	Size       []float64
+	C          float64
+}
+
+// scatter builds a ReputationScatter for the given per-user metric,
+// restricted to users with positive reputation (the paper's log-log plots
+// can only show positive values).
+func (d *Dataset) scatter(metric func(*User) float64) ReputationScatter {
+	var sc ReputationScatter
+	for _, u := range d.Users {
+		if u.Reputation <= 0 {
+			continue
+		}
+		sc.Reputation = append(sc.Reputation, u.Reputation)
+		sc.Size = append(sc.Size, metric(u))
+	}
+	if c, err := stats.Correlation(sc.Reputation, sc.Size); err == nil {
+		sc.C = c
+	}
+	return sc
+}
+
+// BusinessNetworkVsReputation reproduces Figure 1(a): business-network size
+// against reputation per user. The paper reports C = 0.996.
+func (d *Dataset) BusinessNetworkVsReputation() ReputationScatter {
+	return d.scatter(func(u *User) float64 { return float64(len(u.BusinessNetwork)) })
+}
+
+// TransactionsVsReputation reproduces Figure 1(b): transactions a user took
+// part in against reputation.
+func (d *Dataset) TransactionsVsReputation() ReputationScatter {
+	return d.scatter(func(u *User) float64 { return float64(u.Sold + u.Bought) })
+}
+
+// PersonalNetworkVsReputation reproduces Figure 2: personal-network size
+// against reputation. The paper reports a weak C = 0.092.
+func (d *Dataset) PersonalNetworkVsReputation() ReputationScatter {
+	return d.scatter(func(u *User) float64 {
+		return float64(d.Graph.Degree(socialgraph.NodeID(u.ID)))
+	})
+}
+
+// DistanceBucket aggregates Figure 3's per-social-distance statistics.
+type DistanceBucket struct {
+	Distance  int
+	AvgRating float64 // Fig. 3(a): average rating value
+	AvgCount  float64 // Fig. 3(b): average ratings per (buyer,seller) pair
+	Pairs     int
+}
+
+// RatingsByDistance reproduces Figure 3: average rating value and average
+// per-pair rating count for buyer–seller pairs at social distance 1..4.
+func (d *Dataset) RatingsByDistance() []DistanceBucket {
+	type pairAgg struct {
+		sum   float64
+		count int
+		dist  int
+	}
+	pairs := make(map[[2]int]*pairAgg)
+	for i := range d.Transactions {
+		tx := &d.Transactions[i]
+		key := [2]int{tx.Buyer, tx.Seller}
+		agg := pairs[key]
+		if agg == nil {
+			agg = &pairAgg{dist: d.PairDistance(tx.Buyer, tx.Seller)}
+			pairs[key] = agg
+		}
+		agg.sum += tx.Rating
+		agg.count++
+	}
+	buckets := make([]DistanceBucket, 4)
+	for i := range buckets {
+		buckets[i].Distance = i + 1
+	}
+	for _, agg := range pairs {
+		if agg.dist < 1 || agg.dist > 4 {
+			continue
+		}
+		b := &buckets[agg.dist-1]
+		b.AvgRating += agg.sum / float64(agg.count)
+		b.AvgCount += float64(agg.count)
+		b.Pairs++
+	}
+	for i := range buckets {
+		if buckets[i].Pairs > 0 {
+			buckets[i].AvgRating /= float64(buckets[i].Pairs)
+			buckets[i].AvgCount /= float64(buckets[i].Pairs)
+		}
+	}
+	return buckets
+}
+
+// CategoryRankShare reproduces Figure 4(a): the share of a user's purchases
+// falling in their rank-r most-purchased category, averaged over users, for
+// ranks 1..maxRank, plus the cumulative share (the CDF the paper plots).
+// The paper reports the top-3 ranks covering ≈88% of purchases.
+type CategoryRankShare struct {
+	Rank  int
+	Share float64 // mean share of purchases in this rank
+	CDF   float64 // cumulative share through this rank
+}
+
+// CategoryRankCDF computes Figure 4(a) over users with at least minPurchases
+// purchases (small samples make rank shares meaningless).
+func (d *Dataset) CategoryRankCDF(maxRank, minPurchases int) []CategoryRankShare {
+	perUser := make(map[int]map[interest.Category]int)
+	totals := make(map[int]int)
+	for i := range d.Transactions {
+		tx := &d.Transactions[i]
+		if perUser[tx.Buyer] == nil {
+			perUser[tx.Buyer] = make(map[interest.Category]int)
+		}
+		perUser[tx.Buyer][tx.Category]++
+		totals[tx.Buyer]++
+	}
+	shareSums := make([]float64, maxRank)
+	users := 0
+	for buyer, cats := range perUser {
+		if totals[buyer] < minPurchases {
+			continue
+		}
+		counts := make([]int, 0, len(cats))
+		for _, c := range cats {
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		users++
+		for r := 0; r < maxRank && r < len(counts); r++ {
+			shareSums[r] += float64(counts[r]) / float64(totals[buyer])
+		}
+	}
+	out := make([]CategoryRankShare, maxRank)
+	cum := 0.0
+	for r := 0; r < maxRank; r++ {
+		share := 0.0
+		if users > 0 {
+			share = shareSums[r] / float64(users)
+		}
+		cum += share
+		out[r] = CategoryRankShare{Rank: r + 1, Share: share, CDF: cum}
+	}
+	return out
+}
+
+// SimilarityBucket is one point of Figure 4(b): the share of transactions
+// occurring between pairs whose interest similarity is ≤ Similarity.
+type SimilarityBucket struct {
+	Similarity float64
+	CDF        float64
+}
+
+// TransactionsBySimilarity reproduces Figure 4(b): the CDF of transactions
+// over buyer–seller interest similarity (Equation 1). The paper reports only
+// ~10% of transactions between pairs with ≤20% similarity and ~60% between
+// pairs with >30% similarity.
+func (d *Dataset) TransactionsBySimilarity(buckets int) []SimilarityBucket {
+	if buckets <= 0 {
+		buckets = 10
+	}
+	counts := make([]int, buckets+1)
+	total := 0
+	simCache := make(map[[2]int]float64)
+	for i := range d.Transactions {
+		tx := &d.Transactions[i]
+		key := [2]int{tx.Buyer, tx.Seller}
+		sim, ok := simCache[key]
+		if !ok {
+			sim = interest.Similarity(d.Users[tx.Buyer].InterestSet(), d.Users[tx.Seller].InterestSet())
+			simCache[key] = sim
+		}
+		idx := int(sim * float64(buckets))
+		if idx > buckets {
+			idx = buckets
+		}
+		counts[idx]++
+		total++
+	}
+	out := make([]SimilarityBucket, buckets+1)
+	cum := 0
+	for i := 0; i <= buckets; i++ {
+		cum += counts[i]
+		cdf := 0.0
+		if total > 0 {
+			cdf = float64(cum) / float64(total)
+		}
+		out[i] = SimilarityBucket{Similarity: float64(i) / float64(buckets), CDF: cdf}
+	}
+	return out
+}
+
+// ShareAboveSimilarity returns the fraction of transactions between pairs
+// with similarity strictly greater than the threshold.
+func (d *Dataset) ShareAboveSimilarity(threshold float64) float64 {
+	if len(d.Transactions) == 0 {
+		return 0
+	}
+	simCache := make(map[[2]int]float64)
+	above := 0
+	for i := range d.Transactions {
+		tx := &d.Transactions[i]
+		key := [2]int{tx.Buyer, tx.Seller}
+		sim, ok := simCache[key]
+		if !ok {
+			sim = interest.Similarity(d.Users[tx.Buyer].InterestSet(), d.Users[tx.Seller].InterestSet())
+			simCache[key] = sim
+		}
+		if sim > threshold {
+			above++
+		}
+	}
+	return float64(above) / float64(len(d.Transactions))
+}
+
+// FrequencyStats summarizes per-pair monthly rating frequencies — the
+// empirical basis of SocialTrust's thresholds (Overstock: mean ≈ 2.2/month;
+// positive ratings mean/max/min 1.75/21/1; negative 1.84/2/1).
+type FrequencyStats struct {
+	MeanPerMonth     float64
+	MeanPositive     float64
+	MaxPositive      float64
+	MeanNegative     float64
+	MaxNegative      float64
+	TransactingPairs int
+}
+
+// RatingFrequencies computes FrequencyStats over the trace.
+func (d *Dataset) RatingFrequencies() FrequencyStats {
+	type pm struct {
+		pair  [2]int
+		month int
+	}
+	pos := make(map[pm]int)
+	neg := make(map[pm]int)
+	all := make(map[pm]int)
+	pairSet := make(map[[2]int]bool)
+	for i := range d.Transactions {
+		tx := &d.Transactions[i]
+		key := pm{[2]int{tx.Buyer, tx.Seller}, tx.Month}
+		all[key]++
+		if tx.Rating > 0 {
+			pos[key]++
+		} else if tx.Rating < 0 {
+			neg[key]++
+		}
+		pairSet[[2]int{tx.Buyer, tx.Seller}] = true
+	}
+	var fs FrequencyStats
+	fs.TransactingPairs = len(pairSet)
+	sum := 0
+	for _, c := range all {
+		sum += c
+	}
+	if len(all) > 0 {
+		fs.MeanPerMonth = float64(sum) / float64(len(all))
+	}
+	sumP := 0
+	for _, c := range pos {
+		sumP += c
+		if float64(c) > fs.MaxPositive {
+			fs.MaxPositive = float64(c)
+		}
+	}
+	if len(pos) > 0 {
+		fs.MeanPositive = float64(sumP) / float64(len(pos))
+	}
+	sumN := 0
+	for _, c := range neg {
+		sumN += c
+		if float64(c) > fs.MaxNegative {
+			fs.MaxNegative = float64(c)
+		}
+	}
+	if len(neg) > 0 {
+		fs.MeanNegative = float64(sumN) / float64(len(neg))
+	}
+	return fs
+}
+
+// PairSimilarityStats returns the mean, min and max interest similarity over
+// transacting pairs — the paper's Overstock calibration is 0.423 / 0.13 / 1.
+func (d *Dataset) PairSimilarityStats() (mean, min, max float64) {
+	seen := make(map[[2]int]bool)
+	var sims []float64
+	for i := range d.Transactions {
+		tx := &d.Transactions[i]
+		key := [2]int{tx.Buyer, tx.Seller}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sims = append(sims, interest.Similarity(d.Users[tx.Buyer].InterestSet(), d.Users[tx.Seller].InterestSet()))
+	}
+	if len(sims) == 0 {
+		return 0, 0, 0
+	}
+	mean = stats.Mean(sims)
+	min, max, _ = stats.MinMax(sims)
+	return mean, min, max
+}

@@ -1,0 +1,450 @@
+// Package trace implements the Overstock-trace substrate of the paper's
+// Section 3. The authors crawled 450,000 transaction ratings between 200,000
+// users (Sep 2008 – Sep 2010) from the Overstock auction platform; that data
+// is proprietary, so this package provides the closest synthetic equivalent:
+// a generator whose output is calibrated to every statistic the paper
+// reports, plus the analyzers that reproduce Figures 1–4 and the derived
+// observations O1–O6. The analysis code paths are identical to what would
+// run over the real crawl; only the data source is synthetic.
+//
+// Calibration targets (paper values):
+//   - reputation vs business-network size: linear, C ≈ 0.996 (Fig. 1a)
+//   - reputation vs personal-network size: weak, C ≈ 0.092 (Fig. 2)
+//   - top-3 purchase categories ≈ 88% of a user's purchases (Fig. 4a)
+//   - ≈60% of transactions between users with >30% interest similarity (Fig. 4b)
+//   - rating value and rating count decay with social distance (Fig. 3)
+//   - mean rating frequency ≈ 2.2/month between transacting pairs
+package trace
+
+import (
+	"fmt"
+
+	"socialtrust/internal/interest"
+	"socialtrust/internal/socialgraph"
+	"socialtrust/internal/xrand"
+)
+
+// Transaction is one purchase plus its buyer→seller rating. Overstock
+// ratings lie in [−2, +2].
+type Transaction struct {
+	Buyer, Seller int
+	Category      interest.Category
+	Rating        float64
+	Month         int
+}
+
+// User is one marketplace participant.
+type User struct {
+	ID int
+	// Interests ranks the user's preferred categories, most-purchased
+	// first; purchases follow a power law over this ranking.
+	Interests []interest.Category
+	// Activity scales how often the user buys.
+	Activity float64
+	// Reputation accumulates received ratings (as a seller).
+	Reputation float64
+	// Sold / Bought count transactions by role.
+	Sold, Bought int
+	// BusinessNetwork is the set of transaction partners.
+	BusinessNetwork map[int]bool
+}
+
+// InterestSet returns the user's interests as a set for similarity math.
+func (u *User) InterestSet() interest.Set {
+	return interest.NewSet(u.Interests...)
+}
+
+// Dataset is a generated trace: the user population, the personal (social)
+// network, and the transaction log.
+type Dataset struct {
+	Users        []*User
+	Graph        *socialgraph.Graph // personal network
+	Transactions []Transaction
+	Config       Config
+
+	distCache map[[2]int]int
+}
+
+// PairDistance returns the social distance between two users with a 4-hop
+// cutoff, memoized across the generator and the analyzers (the same pairs
+// recur constantly).
+func (d *Dataset) PairDistance(a, b int) int {
+	if d.distCache == nil {
+		d.distCache = make(map[[2]int]int)
+	}
+	key := [2]int{a, b}
+	if a > b {
+		key = [2]int{b, a}
+	}
+	if v, ok := d.distCache[key]; ok {
+		return v
+	}
+	v := d.Graph.Distance(socialgraph.NodeID(a), socialgraph.NodeID(b), 4)
+	d.distCache[key] = v
+	return v
+}
+
+// Config parameterizes the generator. Zero values take the scaled-down
+// defaults in Default.
+type Config struct {
+	NumUsers      int // paper: 200,000; default 2,000 (scaled)
+	NumCategories int // product categories; default 30
+	Months        int // paper: 24
+	// TransactionsPerMonth; default NumUsers (≈ the paper's per-user rate:
+	// 450k/24 months ≈ 0.094/user/month scaled up for statistical power).
+	TransactionsPerMonth int
+
+	// FriendsPareto shapes the personal-network degree distribution
+	// (Pareto xm=2, alpha=1.6 by default — heavy-tailed like real OSNs).
+	FriendsXm, FriendsAlpha float64
+	// CategoryZipf is the power-law exponent of per-user category
+	// preference; 2.0 lands the paper's 88% top-3 share.
+	CategoryZipf float64
+	// PreferredCategories bounds how many categories a user buys from.
+	PreferredCategories IntRange
+	// SocialBias is the probability a purchase goes to a socially-close
+	// seller rather than a reputation-chosen one.
+	SocialBias float64
+	// RepeatBias is the probability a socially-close transaction spawns an
+	// immediate repeat purchase from the same seller (drives Fig. 3b).
+	RepeatBias float64
+
+	Seed uint64
+}
+
+// IntRange is an inclusive integer range.
+type IntRange struct{ Lo, Hi int }
+
+// Default returns the scaled-down default configuration.
+func Default() Config {
+	return Config{
+		NumUsers:             2000,
+		NumCategories:        30,
+		Months:               24,
+		TransactionsPerMonth: 2000,
+		FriendsXm:            2,
+		FriendsAlpha:         1.6,
+		CategoryZipf:         1.6,
+		PreferredCategories:  IntRange{3, 10},
+		SocialBias:           0.45,
+		RepeatBias:           0.35,
+		Seed:                 1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.NumUsers == 0 {
+		c.NumUsers = d.NumUsers
+	}
+	if c.NumCategories == 0 {
+		c.NumCategories = d.NumCategories
+	}
+	if c.Months == 0 {
+		c.Months = d.Months
+	}
+	if c.TransactionsPerMonth == 0 {
+		c.TransactionsPerMonth = c.NumUsers
+	}
+	if c.FriendsXm == 0 {
+		c.FriendsXm = d.FriendsXm
+	}
+	if c.FriendsAlpha == 0 {
+		c.FriendsAlpha = d.FriendsAlpha
+	}
+	if c.CategoryZipf == 0 {
+		c.CategoryZipf = d.CategoryZipf
+	}
+	if c.PreferredCategories.Hi == 0 {
+		c.PreferredCategories = d.PreferredCategories
+	}
+	if c.SocialBias == 0 {
+		c.SocialBias = d.SocialBias
+	}
+	if c.RepeatBias == 0 {
+		c.RepeatBias = d.RepeatBias
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.NumUsers < 10 {
+		return fmt.Errorf("trace: NumUsers %d too small", c.NumUsers)
+	}
+	if c.PreferredCategories.Lo < 1 || c.PreferredCategories.Hi > c.NumCategories ||
+		c.PreferredCategories.Lo > c.PreferredCategories.Hi {
+		return fmt.Errorf("trace: invalid PreferredCategories %+v", c.PreferredCategories)
+	}
+	if c.Months <= 0 || c.TransactionsPerMonth <= 0 {
+		return fmt.Errorf("trace: Months and TransactionsPerMonth must be positive")
+	}
+	return nil
+}
+
+// Generate builds a synthetic Overstock-like trace. Deterministic in
+// Config.Seed.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	ds := &Dataset{
+		Graph:  socialgraph.New(cfg.NumUsers),
+		Config: cfg,
+	}
+	ds.buildUsers(root.SplitString("users"))
+	ds.buildPersonalNetwork(root.SplitString("friends"))
+	ds.runMarket(root.SplitString("market"))
+	return ds, nil
+}
+
+func (d *Dataset) buildUsers(rng *xrand.Stream) {
+	cfg := d.Config
+	d.Users = make([]*User, cfg.NumUsers)
+	for id := 0; id < cfg.NumUsers; id++ {
+		u := rng.Split(uint64(id))
+		k := u.IntRange(cfg.PreferredCategories.Lo, cfg.PreferredCategories.Hi)
+		cats := u.SampleWithout(cfg.NumCategories, k, nil)
+		interests := make([]interest.Category, k)
+		for i, c := range cats {
+			interests[i] = interest.Category(c)
+		}
+		d.Users[id] = &User{
+			ID:              id,
+			Interests:       interests,
+			Activity:        u.Pareto(1, 2), // heavy-tailed buyer activity
+			BusinessNetwork: make(map[int]bool),
+		}
+	}
+}
+
+// buildPersonalNetwork wires friendships with a heavy-tailed degree
+// distribution, independent of (future) reputation — that independence is
+// what yields the paper's weak Figure 2 correlation. Friendships are
+// homophilous (mostly drawn among users sharing an interest category), the
+// standard OSN property the paper cites ("birds of a feather"), which makes
+// socially-routed purchases interest-similar (Figure 4(b)).
+func (d *Dataset) buildPersonalNetwork(rng *xrand.Stream) {
+	cfg := d.Config
+	byCategory := make([][]int, cfg.NumCategories)
+	for id, u := range d.Users {
+		for _, c := range u.Interests {
+			byCategory[c] = append(byCategory[c], id)
+		}
+	}
+	for id := 0; id < cfg.NumUsers; id++ {
+		u := rng.Split(uint64(id))
+		want := int(u.Pareto(cfg.FriendsXm, cfg.FriendsAlpha))
+		if max := cfg.NumUsers / 4; want > max {
+			want = max
+		}
+		me := d.Users[id]
+		for k := 0; k < want; k++ {
+			var friend int
+			if u.Bool(0.6) {
+				pool := byCategory[me.Interests[u.Intn(len(me.Interests))]]
+				friend = pool[u.Intn(len(pool))]
+			} else {
+				friend = u.Intn(cfg.NumUsers)
+			}
+			if friend == id || d.Graph.Adjacent(socialgraph.NodeID(id), socialgraph.NodeID(friend)) {
+				continue
+			}
+			d.Graph.AddRelationship(socialgraph.NodeID(id), socialgraph.NodeID(friend),
+				socialgraph.Relationship{Kind: socialgraph.Friendship})
+		}
+	}
+}
+
+// runMarket simulates Months of purchases.
+func (d *Dataset) runMarket(rng *xrand.Stream) {
+	cfg := d.Config
+	// Activity-weighted buyer sampling via cumulative weights.
+	cum := make([]float64, cfg.NumUsers)
+	total := 0.0
+	for i, u := range d.Users {
+		total += u.Activity
+		cum[i] = total
+	}
+	pickBuyer := func() int {
+		x := rng.Float64() * total
+		lo, hi := 0, cfg.NumUsers-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	// Sellers indexed by category for the reputation-weighted path.
+	byCategory := make([][]int, cfg.NumCategories)
+	for id, u := range d.Users {
+		for _, c := range u.Interests {
+			byCategory[c] = append(byCategory[c], id)
+		}
+	}
+
+	for month := 0; month < cfg.Months; month++ {
+		for t := 0; t < cfg.TransactionsPerMonth; t++ {
+			buyer := pickBuyer()
+			bu := d.Users[buyer]
+			cat := bu.Interests[rng.Zipf(len(bu.Interests), cfg.CategoryZipf)]
+			var seller int
+			if rng.Bool(cfg.SocialBias) {
+				seller = d.socialSeller(buyer, rng)
+			} else {
+				seller = d.reputationSeller(buyer, byCategory[cat], rng)
+			}
+			if seller < 0 || seller == buyer {
+				continue
+			}
+			d.transact(buyer, seller, cat, month, rng)
+			// Socially-close pairs transact repeatedly (Fig. 3b); the chain
+			// is capped so repeat concentration cannot decouple reputation
+			// from distinct-partner count (Fig. 1a's near-perfect line).
+			dist := d.PairDistance(buyer, seller)
+			if dist != socialgraph.NoPath && dist <= 2 {
+				for extra := 0; extra < 2 && rng.Bool(cfg.RepeatBias); extra++ {
+					d.transact(buyer, seller, cat, month, rng)
+				}
+			}
+		}
+	}
+}
+
+// socialSeller samples a seller from the buyer's social neighborhood, with
+// probability decaying in distance (most picks at 1 hop, few beyond 3). The
+// walk is Metropolis–Hastings corrected so the endpoint is near-uniform over
+// the neighborhood rather than degree-biased — otherwise high-degree users
+// would soak up social purchases and reputation would correlate with
+// personal-network size, destroying the paper's weak Figure 2 correlation.
+func (d *Dataset) socialSeller(buyer int, rng *xrand.Stream) int {
+	targetDist := 1
+	switch x := rng.Float64(); {
+	case x < 0.55:
+		targetDist = 1
+	case x < 0.80:
+		targetDist = 2
+	case x < 0.95:
+		targetDist = 3
+	default:
+		targetDist = 4
+	}
+	cur := socialgraph.NodeID(buyer)
+	for step := 0; step < targetDist; step++ {
+		friends := d.Graph.Friends(cur)
+		if len(friends) == 0 {
+			return -1
+		}
+		next := friends[rng.Intn(len(friends))]
+		// Metropolis–Hastings acceptance toward the uniform distribution.
+		if accept := float64(d.Graph.Degree(cur)) / float64(d.Graph.Degree(next)); accept < 1 && !rng.Bool(accept) {
+			continue // stay put; counts as a step
+		}
+		cur = next
+	}
+	if int(cur) == buyer {
+		return -1
+	}
+	return int(cur)
+}
+
+// reputationSeller picks among the category's sellers proportionally to
+// (reputation + 1) — buyers prefer trustworthy sellers (observation O1),
+// which produces the linear Figure 1 relationship.
+func (d *Dataset) reputationSeller(buyer int, pool []int, rng *xrand.Stream) int {
+	if len(pool) == 0 {
+		return -1
+	}
+	total := 0.0
+	for _, s := range pool {
+		if s == buyer {
+			continue
+		}
+		rep := d.Users[s].Reputation
+		if rep < 0 {
+			rep = 0
+		}
+		total += rep + 1
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := rng.Float64() * total
+	acc := 0.0
+	for _, s := range pool {
+		if s == buyer {
+			continue
+		}
+		rep := d.Users[s].Reputation
+		if rep < 0 {
+			rep = 0
+		}
+		acc += rep + 1
+		if x < acc {
+			return s
+		}
+	}
+	return -1
+}
+
+// transact executes one purchase and its rating.
+func (d *Dataset) transact(buyer, seller int, cat interest.Category, month int, rng *xrand.Stream) {
+	dist := d.PairDistance(buyer, seller)
+	d.Transactions = append(d.Transactions, Transaction{
+		Buyer:    buyer,
+		Seller:   seller,
+		Category: cat,
+		Rating:   d.ratingFor(dist, rng),
+		Month:    month,
+	})
+	tx := &d.Transactions[len(d.Transactions)-1]
+	bu, se := d.Users[buyer], d.Users[seller]
+	bu.Bought++
+	se.Sold++
+	se.Reputation += tx.Rating
+	// Overstock is mutual-rating: the seller also rates the buyer (almost
+	// always positively — payment either cleared or it didn't), so heavy
+	// buyers earn reputation too. This mutuality is what makes reputation
+	// track business-network size near-perfectly in Figure 1(a).
+	if rng.Bool(0.9) {
+		bu.Reputation += 2
+	} else {
+		bu.Reputation++
+	}
+	bu.BusinessNetwork[seller] = true
+	se.BusinessNetwork[buyer] = true
+	d.Graph.RecordInteraction(socialgraph.NodeID(buyer), socialgraph.NodeID(seller), 1)
+}
+
+// ratingFor draws a rating in [−2,+2] whose mean decays with social
+// distance (Fig. 3a): close partners rate near the maximum, strangers and
+// distant partners rate lower and with more negative mass.
+func (d *Dataset) ratingFor(dist int, rng *xrand.Stream) float64 {
+	if dist == socialgraph.NoPath {
+		dist = 5
+	}
+	// pPositive decays from 0.97 at distance 1 to 0.75 for strangers.
+	pPos := 0.97 - 0.05*float64(dist-1)
+	if pPos < 0.75 {
+		pPos = 0.75
+	}
+	if rng.Bool(pPos) {
+		if rng.Bool(0.85 - 0.1*float64(dist-1)) {
+			return 2
+		}
+		return 1
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return 0
+	case 1:
+		return -1
+	default:
+		return -2
+	}
+}

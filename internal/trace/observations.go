@@ -1,0 +1,93 @@
+package trace
+
+import "fmt"
+
+// Observation is one of the paper's Section 3 findings (O1–O6) evaluated
+// against a dataset: the measured quantity, the acceptance criterion, and
+// whether the trace exhibits the behavior.
+type Observation struct {
+	ID        string
+	Statement string
+	Measured  float64
+	Criterion string
+	Holds     bool
+}
+
+// String renders a one-line verdict.
+func (o Observation) String() string {
+	verdict := "HOLDS"
+	if !o.Holds {
+		verdict = "FAILS"
+	}
+	return fmt.Sprintf("%s %s: %s (measured %.3f, criterion %s)", o.ID, verdict, o.Statement, o.Measured, o.Criterion)
+}
+
+// Observations evaluates the paper's six Section 3 observations against the
+// dataset. A calibrated trace holds all six; the SocialTrust thresholds are
+// only meaningful when they do.
+func (d *Dataset) Observations() []Observation {
+	biz := d.BusinessNetworkVsReputation()
+	per := d.PersonalNetworkVsReputation()
+	dist := d.RatingsByDistance()
+	ranks := d.CategoryRankCDF(7, 5)
+
+	o1 := Observation{
+		ID:        "O1",
+		Statement: "users with higher reputations attract more buyers",
+		Measured:  biz.C,
+		Criterion: "C(reputation, business network) > 0.6",
+		Holds:     biz.C > 0.6,
+	}
+	o2 := Observation{
+		ID:        "O2",
+		Statement: "a low-reputed user may still have a large personal network",
+		Measured:  per.C,
+		Criterion: "C(reputation, personal network) < 0.25",
+		Holds:     per.C < 0.25,
+	}
+	decayValue := len(dist) == 4 && dist[0].AvgRating > dist[1].AvgRating &&
+		dist[1].AvgRating > dist[2].AvgRating && dist[2].AvgRating > dist[3].AvgRating
+	o3 := Observation{
+		ID:        "O3",
+		Statement: "most high ratings occur between socially close (≤3 hop) users",
+		Measured:  dist[0].AvgRating - dist[3].AvgRating,
+		Criterion: "average rating strictly decreases over distances 1..4",
+		Holds:     decayValue,
+	}
+	decayCount := len(dist) == 4 && dist[0].AvgCount > dist[2].AvgCount &&
+		dist[0].AvgCount > dist[3].AvgCount
+	o4 := Observation{
+		ID:        "O4",
+		Statement: "socially closer users rate each other more often",
+		Measured:  dist[0].AvgCount / maxf(dist[3].AvgCount, 1e-9),
+		Criterion: "ratings per pair at distance 1 exceed distance 3-4",
+		Holds:     decayCount,
+	}
+	top3 := 0.0
+	if len(ranks) >= 3 {
+		top3 = ranks[2].CDF
+	}
+	o5 := Observation{
+		ID:        "O5",
+		Statement: "a user mostly buys within a few (≤3) interest categories",
+		Measured:  top3,
+		Criterion: "top-3 category share in [0.8, 0.98] (paper: 0.88)",
+		Holds:     top3 >= 0.8 && top3 <= 0.98,
+	}
+	above := d.ShareAboveSimilarity(0.3)
+	o6 := Observation{
+		ID:        "O6",
+		Statement: "buyers seldom buy from sellers with low interest similarity",
+		Measured:  above,
+		Criterion: "share of transactions above 0.3 similarity ≥ 0.5 (paper: 0.6)",
+		Holds:     above >= 0.5,
+	}
+	return []Observation{o1, o2, o3, o4, o5, o6}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

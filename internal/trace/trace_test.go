@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"testing"
+
+	"socialtrust/internal/socialgraph"
+)
+
+// testConfig is a reduced-size trace that keeps the calibration properties
+// measurable while staying fast.
+func testConfig() Config {
+	cfg := Default()
+	cfg.NumUsers = 800
+	cfg.Months = 12
+	cfg.TransactionsPerMonth = 800
+	cfg.Seed = 3
+	return cfg
+}
+
+var cachedDS *Dataset
+
+// dataset generates the shared test trace once.
+func dataset(t *testing.T) *Dataset {
+	t.Helper()
+	if cachedDS == nil {
+		ds, err := Generate(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedDS = ds
+	}
+	return cachedDS
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{NumUsers: 3},
+		func() Config { c := testConfig(); c.PreferredCategories = IntRange{0, 5}; return c }(),
+		func() Config { c := testConfig(); c.PreferredCategories = IntRange{5, 99}; return c }(),
+		func() Config { c := testConfig(); c.Months = -1; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	ds := dataset(t)
+	cfg := testConfig()
+	if len(ds.Users) != cfg.NumUsers {
+		t.Fatalf("users = %d", len(ds.Users))
+	}
+	if len(ds.Transactions) == 0 {
+		t.Fatal("no transactions generated")
+	}
+	for _, tx := range ds.Transactions {
+		if tx.Buyer == tx.Seller {
+			t.Fatal("self-transaction")
+		}
+		if tx.Rating < -2 || tx.Rating > 2 {
+			t.Fatalf("rating %v outside [-2,2]", tx.Rating)
+		}
+		if tx.Month < 0 || tx.Month >= cfg.Months {
+			t.Fatalf("month %d out of range", tx.Month)
+		}
+	}
+	for _, u := range ds.Users {
+		k := len(u.Interests)
+		if k < cfg.PreferredCategories.Lo || k > cfg.PreferredCategories.Hi {
+			t.Fatalf("user %d has %d interests", u.ID, k)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Transactions) != len(b.Transactions) {
+		t.Fatalf("transaction counts differ: %d vs %d", len(a.Transactions), len(b.Transactions))
+	}
+	for i := range a.Transactions {
+		if a.Transactions[i] != b.Transactions[i] {
+			t.Fatalf("transaction %d differs", i)
+		}
+	}
+}
+
+func TestAccountingConsistency(t *testing.T) {
+	ds := dataset(t)
+	sold, bought := 0, 0
+	for _, u := range ds.Users {
+		sold += u.Sold
+		bought += u.Bought
+	}
+	if sold != len(ds.Transactions) || bought != len(ds.Transactions) {
+		t.Fatalf("sold=%d bought=%d transactions=%d", sold, bought, len(ds.Transactions))
+	}
+	// Business networks are symmetric.
+	for _, u := range ds.Users {
+		for p := range u.BusinessNetwork {
+			if !ds.Users[p].BusinessNetwork[u.ID] {
+				t.Fatalf("business network asymmetric: %d has %d but not vice versa", u.ID, p)
+			}
+		}
+	}
+}
+
+// --- calibration against the paper's Section 3 statistics ---
+
+func TestFig1aBusinessNetworkCorrelationStrong(t *testing.T) {
+	sc := dataset(t).BusinessNetworkVsReputation()
+	if sc.C < 0.6 {
+		t.Errorf("C(reputation, business network) = %v, want strong (paper: 0.996)", sc.C)
+	}
+	if len(sc.Reputation) < 100 {
+		t.Errorf("only %d scatter points", len(sc.Reputation))
+	}
+}
+
+func TestFig1bTransactionsCorrelationStrong(t *testing.T) {
+	sc := dataset(t).TransactionsVsReputation()
+	if sc.C < 0.9 {
+		t.Errorf("C(reputation, transactions) = %v, want near-linear", sc.C)
+	}
+}
+
+func TestFig2PersonalNetworkCorrelationWeak(t *testing.T) {
+	sc := dataset(t).PersonalNetworkVsReputation()
+	if sc.C > 0.25 {
+		t.Errorf("C(reputation, personal network) = %v, want weak (paper: 0.092)", sc.C)
+	}
+}
+
+func TestFig2ContrastWithFig1a(t *testing.T) {
+	// O1 vs O2: business-network correlation must dwarf personal-network
+	// correlation.
+	ds := dataset(t)
+	biz := ds.BusinessNetworkVsReputation()
+	per := ds.PersonalNetworkVsReputation()
+	if biz.C < 3*per.C {
+		t.Errorf("business C %v should dwarf personal C %v", biz.C, per.C)
+	}
+}
+
+func TestFig3RatingsDecayWithDistance(t *testing.T) {
+	buckets := dataset(t).RatingsByDistance()
+	if len(buckets) != 4 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	for i := range buckets {
+		if buckets[i].Pairs == 0 {
+			t.Fatalf("no pairs at distance %d", i+1)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		if buckets[i].AvgRating >= buckets[i-1].AvgRating {
+			t.Errorf("avg rating not decreasing: d=%d %v vs d=%d %v (O4)",
+				i+1, buckets[i].AvgRating, i, buckets[i-1].AvgRating)
+		}
+		if buckets[i].AvgCount > buckets[i-1].AvgCount+0.01 {
+			t.Errorf("avg rating count increased with distance: d=%d %v vs d=%d %v (O3)",
+				i+1, buckets[i].AvgCount, i, buckets[i-1].AvgCount)
+		}
+	}
+}
+
+func TestFig4aTopCategoriesDominate(t *testing.T) {
+	ranks := dataset(t).CategoryRankCDF(7, 5)
+	if len(ranks) != 7 {
+		t.Fatalf("got %d ranks", len(ranks))
+	}
+	top3 := ranks[2].CDF
+	if top3 < 0.8 || top3 > 0.98 {
+		t.Errorf("top-3 category share = %v, want ≈0.88 (O5)", top3)
+	}
+	// Shares decrease with rank (power law).
+	for r := 1; r < 7; r++ {
+		if ranks[r].Share > ranks[r-1].Share {
+			t.Errorf("rank %d share %v exceeds rank %d share %v", r+1, ranks[r].Share, r, ranks[r-1].Share)
+		}
+	}
+	// CDF is monotone and bounded.
+	for r := 1; r < 7; r++ {
+		if ranks[r].CDF < ranks[r-1].CDF || ranks[r].CDF > 1+1e-9 {
+			t.Errorf("rank CDF broken at %d: %+v", r, ranks)
+		}
+	}
+}
+
+func TestFig4bSimilarTransactShare(t *testing.T) {
+	ds := dataset(t)
+	above := ds.ShareAboveSimilarity(0.3)
+	if above < 0.5 {
+		t.Errorf("share of transactions above 0.3 similarity = %v, want ≥0.5 (paper: 0.6, O6)", above)
+	}
+	low := 1 - ds.ShareAboveSimilarity(0.2)
+	if low > 0.3 {
+		t.Errorf("share at ≤0.2 similarity = %v, want small (paper: 0.1)", low)
+	}
+	cdf := ds.TransactionsBySimilarity(10)
+	if len(cdf) != 11 {
+		t.Fatalf("got %d CDF points", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].CDF < cdf[i-1].CDF {
+			t.Errorf("similarity CDF not monotone at %d", i)
+		}
+	}
+	if cdf[10].CDF < 1-1e-9 {
+		t.Errorf("similarity CDF should end at 1, got %v", cdf[10].CDF)
+	}
+}
+
+func TestRatingFrequencies(t *testing.T) {
+	fs := dataset(t).RatingFrequencies()
+	if fs.TransactingPairs == 0 {
+		t.Fatal("no transacting pairs")
+	}
+	// Overstock's mean frequency is ~2.2/month; ours should land in a
+	// low-single-digit band.
+	if fs.MeanPerMonth < 1 || fs.MeanPerMonth > 4 {
+		t.Errorf("mean rating frequency = %v/month, want low single digits", fs.MeanPerMonth)
+	}
+	if fs.MaxPositive <= fs.MeanPositive {
+		t.Errorf("max positive %v should exceed mean %v", fs.MaxPositive, fs.MeanPositive)
+	}
+	if fs.MeanNegative > fs.MeanPositive {
+		t.Errorf("negative frequency %v should not exceed positive %v", fs.MeanNegative, fs.MeanPositive)
+	}
+}
+
+func TestPairSimilarityStats(t *testing.T) {
+	mean, min, max := dataset(t).PairSimilarityStats()
+	if mean < 0.25 || mean > 0.6 {
+		t.Errorf("pair similarity mean = %v, want ≈0.423", mean)
+	}
+	if min < 0 || max > 1 || min > max {
+		t.Errorf("pair similarity bounds broken: %v/%v", min, max)
+	}
+}
+
+func TestPairDistanceCacheConsistent(t *testing.T) {
+	ds := dataset(t)
+	for i := 0; i < 50; i++ {
+		a, b := i%20, (i*7+3)%len(ds.Users)
+		if a == b {
+			continue
+		}
+		want := ds.Graph.Distance(socialgraph.NodeID(a), socialgraph.NodeID(b), 4)
+		if got := ds.PairDistance(a, b); got != want {
+			t.Fatalf("PairDistance(%d,%d) = %d, want %d", a, b, got, want)
+		}
+		if got := ds.PairDistance(b, a); got != want {
+			t.Fatalf("PairDistance not symmetric for (%d,%d)", a, b)
+		}
+	}
+}
+
+func TestInterestSetMatchesInterests(t *testing.T) {
+	ds := dataset(t)
+	u := ds.Users[0]
+	set := u.InterestSet()
+	if set.Len() != len(u.Interests) {
+		t.Fatalf("set size %d vs %d interests", set.Len(), len(u.Interests))
+	}
+	for _, c := range u.Interests {
+		if !set.Contains(c) {
+			t.Fatalf("set missing %v", c)
+		}
+	}
+}
+
+func TestObservationsAllHold(t *testing.T) {
+	obs := dataset(t).Observations()
+	if len(obs) != 6 {
+		t.Fatalf("got %d observations", len(obs))
+	}
+	for _, o := range obs {
+		if !o.Holds {
+			t.Errorf("%s", o)
+		}
+		if o.ID == "" || o.Statement == "" || o.Criterion == "" {
+			t.Errorf("incomplete observation %+v", o)
+		}
+	}
+}
+
+func TestObservationString(t *testing.T) {
+	o := Observation{ID: "O1", Statement: "x", Measured: 0.5, Criterion: "c", Holds: true}
+	if got := o.String(); got == "" || got[:2] != "O1" {
+		t.Fatalf("String = %q", got)
+	}
+	o.Holds = false
+	if got := o.String(); !contains(got, "FAILS") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

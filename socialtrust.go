@@ -1,0 +1,268 @@
+// Package socialtrust is a reproduction of "Leveraging Social Networks to
+// Combat Collusion in Reputation Systems for Peer-to-Peer Networks"
+// (Li, Shen, Sapra — IPDPS 2011 / IEEE TC 2012).
+//
+// SocialTrust is a collusion-deterrence layer for P2P reputation systems: it
+// re-weights reputation ratings using the social closeness Ωc and interest
+// similarity Ωs between rater and ratee, shrinking ratings that match the
+// suspicious behavior patterns B1–B4 mined from the Overstock trace with a
+// Gaussian filter (Equations 2–11 of the paper).
+//
+// The package is a facade over the implementation packages:
+//
+//   - the social-network substrate (friendship multigraph, typed
+//     relationships, interaction frequency, Ωc — Equations 2/3/4/10)
+//   - the interest model (interest sets, Ωs — Equations 1/7/11)
+//   - the rating ledger (per-interval t+/t− frequency counters)
+//   - three baseline reputation engines: EigenTrust (power iteration with
+//     pretrusted peers, plus the paper-evaluation iterative variant), an
+//     eBay-style per-interval-deduplicated accumulator, and a
+//     TrustGuard-style credibility-weighted engine
+//   - the SocialTrust filter itself, wrapping any Engine
+//   - the Section 5 P2P simulator with the PCM/MCM/MMM collusion models
+//   - the synthetic Overstock trace generator and Section 3 analyzers
+//   - the experiment harness that regenerates every table and figure
+//
+// Quick start — wrap an engine with the filter:
+//
+//	g := socialtrust.NewGraph(n)
+//	tracker := socialtrust.NewTracker(n)
+//	inner := socialtrust.NewEBayEngine(n)
+//	filter := socialtrust.NewFilter(socialtrust.FilterConfig{NumNodes: n},
+//	    g, interestSets, tracker, inner)
+//	// feed rating snapshots each update interval:
+//	filter.Update(ledger.EndInterval())
+//	reps := filter.Reputations()
+//
+// See examples/ for runnable programs and DESIGN.md / EXPERIMENTS.md for the
+// reproduction methodology.
+package socialtrust
+
+import (
+	"socialtrust/internal/core"
+	"socialtrust/internal/experiments"
+	"socialtrust/internal/interest"
+	"socialtrust/internal/manager"
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation"
+	"socialtrust/internal/reputation/ebay"
+	"socialtrust/internal/reputation/eigentrust"
+	"socialtrust/internal/reputation/trustguard"
+	"socialtrust/internal/sim"
+	"socialtrust/internal/socialgraph"
+	"socialtrust/internal/sybil"
+	"socialtrust/internal/trace"
+)
+
+// Social-network substrate (internal/socialgraph).
+type (
+	// Graph is the undirected social multigraph with typed relationships
+	// and a directed interaction-frequency table.
+	Graph = socialgraph.Graph
+	// NodeID identifies a peer in the social graph.
+	NodeID = socialgraph.NodeID
+	// Relationship is a typed social tie between two peers.
+	Relationship = socialgraph.Relationship
+	// RelationshipKind is the type of a social relationship.
+	RelationshipKind = socialgraph.RelationshipKind
+	// ClosenessParams configures the Ωc computation.
+	ClosenessParams = socialgraph.ClosenessParams
+)
+
+// Relationship kinds, ordered by social strength.
+const (
+	Friendship = socialgraph.Friendship
+	Classmate  = socialgraph.Classmate
+	Colleague  = socialgraph.Colleague
+	Kinship    = socialgraph.Kinship
+)
+
+// NewGraph creates a social graph with n isolated nodes.
+func NewGraph(n int) *Graph { return socialgraph.New(n) }
+
+// Interest model (internal/interest).
+type (
+	// InterestSet is a node's interest profile V.
+	InterestSet = interest.Set
+	// Category identifies an interest category.
+	Category = interest.Category
+	// Tracker records per-node requests by category for the
+	// falsification-resistant weighted similarity (Equation 11).
+	Tracker = interest.Tracker
+)
+
+// NewInterestSet builds an interest set from categories.
+func NewInterestSet(cats ...Category) InterestSet { return interest.NewSet(cats...) }
+
+// NewTracker creates a request tracker for n nodes.
+func NewTracker(n int) *Tracker { return interest.NewTracker(n) }
+
+// Similarity computes Ωs(i,j) = |Vi∩Vj| / min(|Vi|,|Vj|) (Equation 1/7).
+func Similarity(a, b InterestSet) float64 { return interest.Similarity(a, b) }
+
+// Rating substrate (internal/rating).
+type (
+	// Rating is one service rating.
+	Rating = rating.Rating
+	// Ledger collects ratings for the current update interval.
+	Ledger = rating.Ledger
+	// Snapshot is a drained update interval.
+	Snapshot = rating.Snapshot
+)
+
+// NewLedger creates a rating ledger for numNodes peers.
+func NewLedger(numNodes int) *Ledger { return rating.NewLedger(numNodes) }
+
+// Reputation engines.
+type (
+	// Engine is the pluggable reputation-system abstraction.
+	Engine = reputation.Engine
+	// EigenTrustConfig parameterizes the canonical EigenTrust engine.
+	EigenTrustConfig = eigentrust.Config
+)
+
+// NewEigenTrustEngine builds a canonical (power-iteration) EigenTrust
+// engine.
+func NewEigenTrustEngine(cfg EigenTrustConfig) Engine { return eigentrust.New(cfg) }
+
+// NewEBayEngine builds an eBay-style engine for numNodes peers.
+func NewEBayEngine(numNodes int) Engine { return ebay.New(numNodes) }
+
+// TrustGuardConfig parameterizes the TrustGuard-style engine.
+type TrustGuardConfig = trustguard.Config
+
+// NewTrustGuardEngine builds a TrustGuard-style engine (credibility-weighted
+// feedback + fluctuation-penalized temporal blend).
+func NewTrustGuardEngine(cfg TrustGuardConfig) Engine { return trustguard.New(cfg) }
+
+// SocialTrust core (internal/core).
+type (
+	// Filter is the SocialTrust collusion filter; it implements Engine.
+	Filter = core.SocialTrust
+	// FilterConfig parameterizes the filter.
+	FilterConfig = core.Config
+	// Behavior identifies the suspicious pattern a pair matched (B1–B4).
+	Behavior = core.Behavior
+	// PairAdjustment records how one rater→ratee pair was re-weighted.
+	PairAdjustment = core.PairAdjustment
+	// FilterReport summarizes one interval's filtering pass.
+	FilterReport = core.Report
+)
+
+// Suspicious collusion behavior patterns (Section 3 of the paper).
+const (
+	B1 = core.B1 // distant pair, frequent high ratings
+	B2 = core.B2 // close pair, low-reputed ratee, frequent high ratings
+	B3 = core.B3 // few common interests, frequent high ratings
+	B4 = core.B4 // many common interests, frequent low ratings
+)
+
+// NewFilter wraps inner with the SocialTrust collusion filter. sets must
+// hold one interest profile per node; tracker may be nil unless
+// cfg.WeightedSimilarity is set.
+func NewFilter(cfg FilterConfig, g *Graph, sets []InterestSet, tracker *Tracker, inner Engine) *Filter {
+	return core.New(cfg, g, sets, tracker, inner)
+}
+
+// Simulation testbed (internal/sim).
+type (
+	// SimConfig holds every Section 5.1 experiment parameter.
+	SimConfig = sim.Config
+	// SimResult is the outcome of one simulation run.
+	SimResult = sim.Result
+	// CollusionModel selects PCM, MCM, MMM or no collusion.
+	CollusionModel = sim.CollusionModel
+	// EngineKind selects the underlying reputation system.
+	EngineKind = sim.EngineKind
+	// Network is a fully constructed simulation instance.
+	Network = sim.Network
+	// NodeType classifies simulated peers.
+	NodeType = sim.NodeType
+)
+
+// Node types of the paper's node model.
+const (
+	Pretrusted = sim.Pretrusted
+	Normal     = sim.Normal
+	Colluder   = sim.Colluder
+)
+
+// Collusion models and engine kinds.
+const (
+	NoCollusion = sim.NoCollusion
+	PCM         = sim.PCM
+	MCM         = sim.MCM
+	MMM         = sim.MMM
+
+	EngineEigenTrust = sim.EngineEigenTrust
+	EngineEBay       = sim.EngineEBay
+	EngineTrustGuard = sim.EngineTrustGuard
+)
+
+// DefaultSimConfig returns the paper's Section 5.1 setup.
+func DefaultSimConfig(model CollusionModel, engine EngineKind, b float64, socialTrust bool) SimConfig {
+	return sim.DefaultConfig(model, engine, b, socialTrust)
+}
+
+// RunSim executes one simulation.
+func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// NewNetwork constructs a simulation instance without running it.
+func NewNetwork(cfg SimConfig) (*Network, error) { return sim.NewNetwork(cfg) }
+
+// Resource-manager overlay (internal/manager).
+type (
+	// ManagerOverlay is the distributed rating-collection overlay of the
+	// paper's Section 4.3: sharded manager goroutines collect ratings and
+	// serve reputation queries, with a periodic global update.
+	ManagerOverlay = manager.Overlay
+)
+
+// NewManagerOverlay starts an overlay of numManagers manager goroutines
+// fronting the given engine (bare or SocialTrust-wrapped).
+func NewManagerOverlay(numNodes, numManagers int, engine Engine) (*ManagerOverlay, error) {
+	return manager.New(numNodes, numManagers, engine)
+}
+
+// Sybil defense (internal/sybil).
+type (
+	// SybilDetector is a SybilGuard-style random-route detector over the
+	// social graph, used to prune fabricated identity clusters before
+	// SocialTrust computes its social signals.
+	SybilDetector = sybil.Detector
+	// SybilConfig parameterizes the detector.
+	SybilConfig = sybil.Config
+)
+
+// NewSybilDetector creates a detector over a frozen social graph.
+func NewSybilDetector(g *Graph, cfg SybilConfig) *SybilDetector { return sybil.New(g, cfg) }
+
+// Overstock trace substrate (internal/trace).
+type (
+	// TraceConfig parameterizes the synthetic Overstock trace generator.
+	TraceConfig = trace.Config
+	// TraceDataset is a generated trace with its Section 3 analyzers.
+	TraceDataset = trace.Dataset
+)
+
+// DefaultTraceConfig returns the scaled-down default trace configuration.
+func DefaultTraceConfig() TraceConfig { return trace.Default() }
+
+// GenerateTrace builds a synthetic Overstock-like trace.
+func GenerateTrace(cfg TraceConfig) (*TraceDataset, error) { return trace.Generate(cfg) }
+
+// Experiment harness (internal/experiments).
+type (
+	// Experiment is one registered table/figure reproduction.
+	Experiment = experiments.Spec
+	// ExperimentOptions tunes experiment execution.
+	ExperimentOptions = experiments.Options
+)
+
+// Experiments returns every registered experiment sorted by id.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes a registered experiment by id.
+func RunExperiment(id string, o ExperimentOptions, w interface{ Write([]byte) (int, error) }) error {
+	return experiments.Run(id, o, w)
+}

@@ -1,0 +1,146 @@
+// Tests of the public facade: everything a downstream user touches should
+// be reachable through package socialtrust alone.
+package socialtrust_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"socialtrust"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	const n = 8
+	g := socialtrust.NewGraph(n)
+	sets := make([]socialtrust.InterestSet, n)
+	for i := 0; i < n; i++ {
+		g.AddRelationship(socialtrust.NodeID(i), socialtrust.NodeID((i+1)%n),
+			socialtrust.Relationship{Kind: socialtrust.Friendship})
+		sets[i] = socialtrust.NewInterestSet(1, socialtrust.Category(2+i%3))
+	}
+	tracker := socialtrust.NewTracker(n)
+	ledger := socialtrust.NewLedger(n)
+	filter := socialtrust.NewFilter(socialtrust.FilterConfig{NumNodes: n},
+		g, sets, tracker, socialtrust.NewEBayEngine(n))
+
+	if err := ledger.Add(socialtrust.Rating{Rater: 0, Ratee: 1, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g.RecordInteraction(0, 1, 1)
+	filter.Update(ledger.EndInterval())
+
+	reps := filter.Reputations()
+	if len(reps) != n || reps[1] == 0 {
+		t.Fatalf("reputations = %v", reps)
+	}
+	if filter.Name() != "eBay+SocialTrust" {
+		t.Fatalf("Name = %q", filter.Name())
+	}
+}
+
+func TestPublicSimilarity(t *testing.T) {
+	a := socialtrust.NewInterestSet(1, 2)
+	b := socialtrust.NewInterestSet(2, 3)
+	if got := socialtrust.Similarity(a, b); got != 0.5 {
+		t.Fatalf("Similarity = %v, want 0.5", got)
+	}
+}
+
+func TestPublicSimRun(t *testing.T) {
+	cfg := socialtrust.DefaultSimConfig(socialtrust.PCM, socialtrust.EngineEBay, 0.6, true)
+	cfg.NumNodes = 60
+	cfg.NumPretrusted = 3
+	cfg.NumColluders = 10
+	cfg.NumBoosted = 3
+	cfg.QueryCycles = 5
+	cfg.SimulationCycles = 3
+	res, err := socialtrust.RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRequests == 0 {
+		t.Fatal("no requests simulated")
+	}
+	if cfg.Type(0) != socialtrust.Pretrusted || cfg.Type(5) != socialtrust.Colluder || cfg.Type(59) != socialtrust.Normal {
+		t.Fatal("node-type constants broken")
+	}
+}
+
+func TestPublicNetworkConstruction(t *testing.T) {
+	cfg := socialtrust.DefaultSimConfig(socialtrust.MMM, socialtrust.EngineEigenTrust, 0.2, false)
+	cfg.NumNodes = 60
+	cfg.NumPretrusted = 3
+	cfg.NumColluders = 10
+	cfg.NumBoosted = 3
+	net, err := socialtrust.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph.NumNodes() != 60 {
+		t.Fatal("network graph size mismatch")
+	}
+}
+
+func TestPublicTrace(t *testing.T) {
+	cfg := socialtrust.DefaultTraceConfig()
+	cfg.NumUsers = 300
+	cfg.Months = 4
+	cfg.TransactionsPerMonth = 300
+	ds, err := socialtrust.GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Transactions) == 0 {
+		t.Fatal("no transactions")
+	}
+	if ds.BusinessNetworkVsReputation().C <= 0 {
+		t.Fatal("analysis not reachable through facade")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	all := socialtrust.Experiments()
+	if len(all) < 19 {
+		t.Fatalf("only %d experiments exposed", len(all))
+	}
+	var buf bytes.Buffer
+	err := socialtrust.RunExperiment("fig2", socialtrust.ExperimentOptions{Runs: 1, Quick: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig2") {
+		t.Fatalf("experiment output: %s", buf.String())
+	}
+}
+
+func TestPublicManagerOverlay(t *testing.T) {
+	o, err := socialtrust.NewManagerOverlay(8, 2, socialtrust.NewEBayEngine(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if err := o.Submit(socialtrust.Rating{Rater: 0, Ratee: 3, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reps := o.EndInterval()
+	if reps[3] != 1 {
+		t.Fatalf("overlay reputations = %v", reps)
+	}
+}
+
+func TestPublicEigenTrustEngine(t *testing.T) {
+	e := socialtrust.NewEigenTrustEngine(socialtrust.EigenTrustConfig{NumNodes: 4, Pretrusted: []int{0}})
+	if e.Name() != "EigenTrust" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if got := e.Reputation(0); got != 1 {
+		t.Fatalf("initial pretrusted reputation = %v", got)
+	}
+}
+
+func TestBehaviorConstants(t *testing.T) {
+	if (socialtrust.B1 | socialtrust.B4).String() != "B1|B4" {
+		t.Fatal("behavior constants broken")
+	}
+}
