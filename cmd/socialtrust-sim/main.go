@@ -10,28 +10,76 @@
 // Use -quick for a shortened horizon (15 query cycles × 12 simulation
 // cycles instead of the paper's 30 × 50) and -runs to change the number of
 // seeded repetitions averaged per configuration (the paper uses 5).
+//
+// Observability:
+//
+//	-metrics-addr :9090     serve /metrics (Prometheus text) and
+//	                        /metrics.json while experiments run
+//	-pprof                  also mount net/http/pprof on the metrics server
+//	-metrics-dump text      print a metrics snapshot after each experiment
+//	                        (text or json)
+//	-v                      periodic progress lines on stderr during runs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"socialtrust/internal/experiments"
+	"socialtrust/internal/obs"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		exp    = flag.String("experiment", "", "experiment id to run (or 'all')")
-		runs   = flag.Int("runs", 5, "seeded repetitions per configuration")
-		seed   = flag.Uint64("seed", 1, "base random seed")
-		quick  = flag.Bool("quick", false, "shortened horizon for smoke runs")
-		series = flag.Bool("series", false, "also emit per-node reputation vectors as CSV")
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("experiment", "", "experiment id to run (or 'all')")
+		runs    = flag.Int("runs", 5, "seeded repetitions per configuration")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		quick   = flag.Bool("quick", false, "shortened horizon for smoke runs")
+		series  = flag.Bool("series", false, "also emit per-node reputation vectors as CSV")
+		mgrs    = flag.Int("managers", 0, "route ratings through a resource-manager overlay of this many shards (0 = direct ledger)")
+		mAddr   = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address while running")
+		mPprof  = flag.Bool("pprof", false, "mount net/http/pprof on the metrics server (requires -metrics-addr)")
+		mDump   = flag.String("metrics-dump", "", "print a metrics snapshot after each experiment: text|json")
+		verbose = flag.Bool("v", false, "verbose progress logging on stderr")
 	)
 	flag.Parse()
+
+	if *mDump != "" && *mDump != "text" && *mDump != "json" {
+		fmt.Fprintf(os.Stderr, "socialtrust-sim: -metrics-dump must be text or json, got %q\n", *mDump)
+		os.Exit(2)
+	}
+	if *mPprof && *mAddr == "" {
+		fmt.Fprintln(os.Stderr, "socialtrust-sim: -pprof requires -metrics-addr")
+		os.Exit(2)
+	}
+	if *mgrs < 0 {
+		fmt.Fprintf(os.Stderr, "socialtrust-sim: -managers must be >= 0, got %d\n", *mgrs)
+		os.Exit(2)
+	}
+	if *verbose {
+		obs.SetLogLevel(slog.LevelInfo)
+	}
+	if *mDump != "" || *verbose {
+		obs.Enable()
+	}
+	if *mAddr != "" {
+		srv, err := obs.Serve(*mAddr, *mPprof) // Serve enables recording
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "socialtrust-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics", srv.Addr)
+		if *mPprof {
+			fmt.Fprintf(os.Stderr, " (pprof on /debug/pprof/)")
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -44,7 +92,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, NodeSeries: *series}
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Quick: *quick, NodeSeries: *series, Managers: *mgrs}
 	var ids []string
 	if *exp == "all" {
 		for _, s := range experiments.All() {
@@ -60,5 +108,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		dumpMetrics(*mDump, id)
 	}
+}
+
+// dumpMetrics prints the obs snapshot after one experiment in the requested
+// format (no-op for an empty format).
+func dumpMetrics(format, id string) {
+	if format == "" {
+		return
+	}
+	obs.CaptureRuntime()
+	fmt.Printf("-- metrics after %s --\n", id)
+	var err error
+	switch format {
+	case "json":
+		err = obs.WriteJSON(os.Stdout)
+	default:
+		err = obs.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "socialtrust-sim: metrics dump: %v\n", err)
+	}
+	fmt.Println()
 }

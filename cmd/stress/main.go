@@ -1,36 +1,94 @@
 // Command stress exercises the simulator and the SocialTrust filter at
 // network sizes beyond the paper's 200 nodes, reporting wall time,
-// throughput, and whether collusion suppression holds as the population
-// scales (the paper's "we also conducted experiments with different numbers
-// of nodes and colluders; the relative performance differences remain").
+// throughput, resource usage and whether collusion suppression holds as the
+// population scales (the paper's "we also conducted experiments with
+// different numbers of nodes and colluders; the relative performance
+// differences remain").
 //
 //	stress                       # sweep 200, 400, 800 nodes
 //	stress -sizes 200,1600 -cycles 10
+//	stress -managers 8           # route ratings through the manager overlay
+//	stress -metrics-addr :9090 -pprof   # live metrics + profiling
+//
+// Each size row includes the peak goroutine count and the bytes allocated
+// during the run, sampled through the obs runtime gauges, so the scaling
+// sweep doubles as a resource report.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"socialtrust"
+	"socialtrust/internal/obs"
 )
 
 func main() {
 	var (
-		sizes  = flag.String("sizes", "200,400,800", "comma-separated network sizes")
-		cycles = flag.Int("cycles", 12, "simulation cycles per run")
-		qc     = flag.Int("qc", 15, "query cycles per simulation cycle")
-		b      = flag.Float64("b", 0.6, "colluder QoS probability")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		sizes    = flag.String("sizes", "200,400,800", "comma-separated network sizes")
+		cycles   = flag.Int("cycles", 12, "simulation cycles per run")
+		qc       = flag.Int("qc", 15, "query cycles per simulation cycle")
+		b        = flag.Float64("b", 0.6, "colluder QoS probability")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		managers = flag.Int("managers", 0, "route ratings through a resource-manager overlay of this many shards (0 = direct ledger)")
+		mAddr    = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address while running")
+		mPprof   = flag.Bool("pprof", false, "mount net/http/pprof on the metrics server (requires -metrics-addr)")
+		mDump    = flag.String("metrics-dump", "", "print a metrics snapshot after the sweep: text|json")
+		verbose  = flag.Bool("v", false, "verbose progress logging on stderr")
 	)
 	flag.Parse()
 
-	fmt.Printf("%-8s %-10s %-12s %-14s %-12s %-12s\n",
-		"nodes", "colluders", "wall", "requests/s", "coll/norm", "share")
+	if *mDump != "" && *mDump != "text" && *mDump != "json" {
+		fmt.Fprintln(os.Stderr, "stress: -metrics-dump must be text or json")
+		os.Exit(2)
+	}
+	if *mPprof && *mAddr == "" {
+		fmt.Fprintln(os.Stderr, "stress: -pprof requires -metrics-addr")
+		os.Exit(2)
+	}
+	if *managers < 0 {
+		fmt.Fprintf(os.Stderr, "stress: -managers must be >= 0, got %d\n", *managers)
+		os.Exit(2)
+	}
+	if *verbose {
+		obs.SetLogLevel(slog.LevelInfo)
+	}
+	// stress is a measurement tool: metrics are always on.
+	obs.Enable()
+	if *mAddr != "" {
+		srv, err := obs.Serve(*mAddr, *mPprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stress: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr)
+	}
+
+	// Background sampler feeding the runtime_* gauges (peaks included)
+	// while runs execute.
+	stopSampler := make(chan struct{})
+	defer close(stopSampler)
+	go func() {
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-tick.C:
+				obs.CaptureRuntime()
+			}
+		}
+	}()
+
+	fmt.Printf("%-8s %-10s %-12s %-14s %-12s %-8s %-10s %-10s\n",
+		"nodes", "colluders", "wall", "requests/s", "coll/norm", "share", "peak-gor", "alloc")
 	for _, tok := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil || n < 50 {
@@ -48,7 +106,10 @@ func main() {
 		cfg.SimulationCycles = *cycles
 		cfg.QueryCycles = *qc
 		cfg.Seed = *seed
+		cfg.Managers = *managers
 
+		obs.ResetRuntimePeaks()
+		before := obs.CaptureRuntime()
 		start := time.Now()
 		res, err := socialtrust.RunSim(cfg)
 		if err != nil {
@@ -56,6 +117,10 @@ func main() {
 			os.Exit(1)
 		}
 		wall := time.Since(start)
+		obs.CaptureRuntime()
+		snap := obs.ReadSnapshot()
+		peakGor := int(snap.Gauges["runtime_goroutines_peak"])
+		allocBytes := snap.Gauges["runtime_total_alloc_bytes"] - float64(before.TotalAlloc)
 
 		coll, norm := 0.0, 0.0
 		nColl, nNorm := 0, 0
@@ -73,9 +138,33 @@ func main() {
 		if nColl > 0 && nNorm > 0 && norm > 0 {
 			ratio = (coll / float64(nColl)) / (norm / float64(nNorm))
 		}
-		fmt.Printf("%-8d %-10d %-12v %-14.0f %-12.2f %-12s\n",
+		fmt.Printf("%-8d %-10d %-12v %-14.0f %-12.2f %-8s %-10d %-10s\n",
 			n, cfg.NumColluders, wall.Round(time.Millisecond),
 			float64(res.TotalRequests)/wall.Seconds(),
-			ratio, fmt.Sprintf("%.1f%%", res.ColluderRequestShare()*100))
+			ratio, fmt.Sprintf("%.1f%%", res.ColluderRequestShare()*100),
+			peakGor, fmtBytes(allocBytes))
 	}
+	if *mDump != "" {
+		obs.CaptureRuntime()
+		var err error
+		if *mDump == "json" {
+			err = obs.WriteJSON(os.Stdout)
+		} else {
+			err = obs.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stress: metrics dump: %v\n", err)
+		}
+	}
+}
+
+// fmtBytes renders a byte count human-readably (base 1024).
+func fmtBytes(b float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.1f%s", b, units[i])
 }

@@ -28,10 +28,27 @@ import (
 	"sync"
 
 	"socialtrust/internal/interest"
+	"socialtrust/internal/obs"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 	"socialtrust/internal/socialgraph"
 	"socialtrust/internal/stats"
+)
+
+// Filter metrics. socialtrust_filtered_total{behavior=...} counts ratings
+// shrunk per suspicious behavior; a pair matching several behaviors counts
+// toward each, so the series sum can exceed the number of distinct ratings
+// adjusted (tracked by socialtrust_ratings_adjusted_total).
+var (
+	mFilteredByBehavior = map[Behavior]*obs.Counter{
+		B1: obs.C(obs.Label("socialtrust_filtered_total", "behavior", "B1")),
+		B2: obs.C(obs.Label("socialtrust_filtered_total", "behavior", "B2")),
+		B3: obs.C(obs.Label("socialtrust_filtered_total", "behavior", "B3")),
+		B4: obs.C(obs.Label("socialtrust_filtered_total", "behavior", "B4")),
+	}
+	mPairsAdjusted   = obs.C("socialtrust_pairs_adjusted_total")
+	mRatingsAdjusted = obs.C("socialtrust_ratings_adjusted_total")
+	mAdjustLat       = obs.H("socialtrust_adjust_seconds")
 )
 
 // Behavior identifies which suspicious pattern a pair matched.
@@ -293,6 +310,8 @@ type pairSignals struct {
 // does not mutate the input and does not advance filter state, so it can be
 // used standalone for what-if analysis.
 func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
+	sp := mAdjustLat.Start()
+	defer sp.End()
 	pairs := make([]rating.PairKey, 0, len(snap.Counts))
 	for k := range snap.Counts {
 		pairs = append(pairs, k)
@@ -355,6 +374,19 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 		}
 		if behaviors == 0 {
 			continue
+		}
+		mPairsAdjusted.Inc()
+		mRatingsAdjusted.Add(int64(c.Total()))
+		for bit, counter := range mFilteredByBehavior {
+			if behaviors&bit == 0 {
+				continue
+			}
+			// Shrunk ratings per behavior: the polarity that triggered it.
+			if bit == B4 {
+				counter.Add(int64(c.Negative))
+			} else {
+				counter.Add(int64(c.Positive))
+			}
 		}
 		// The Gaussian handles the social-signal anomaly; frequency
 		// normalization handles the volume anomaly: once a pair is

@@ -31,6 +31,11 @@ type Options struct {
 	// panel as CSV lines ("node,type,reputation") — the raw series behind
 	// the paper's per-node scatter figures.
 	NodeSeries bool
+	// Managers, when positive, routes every run's ratings through a
+	// resource-manager overlay of that many shards (sim.Config.Managers),
+	// exercising the paper's Section 4.3 architecture and populating the
+	// manager_* metrics.
+	Managers int
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -90,11 +95,15 @@ func Run(id string, o Options, w io.Writer) error {
 	return s.Run(o.withDefaults(), w)
 }
 
-// applyHorizon adjusts a sim config to the options' horizon.
+// applyHorizon adjusts a sim config to the options' horizon and harness
+// settings.
 func applyHorizon(cfg sim.Config, o Options) sim.Config {
 	if o.Quick {
 		cfg.QueryCycles = 15
 		cfg.SimulationCycles = 12
+	}
+	if o.Managers > 0 {
+		cfg.Managers = o.Managers
 	}
 	return cfg
 }

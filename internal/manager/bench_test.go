@@ -1,6 +1,52 @@
 package manager
 
-import "testing"
+import (
+	"testing"
+
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation/ebay"
+)
+
+// BenchmarkOverlaySubmit measures the overlay's rating-submission round trip
+// (client → shard mailbox → ledger → ack) — the hot path of the
+// scripts/bench.sh snapshot.
+func BenchmarkOverlaySubmit(b *testing.B) {
+	o, err := New(256, 8, ebay.New(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r := rating.Rating{Rater: i % 256, Ratee: (i + 1) % 256, Value: 1, Cycle: i}
+			if err := o.Submit(r); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkOverlayQuery measures the reputation-query round trip against a
+// shard's broadcast copy.
+func BenchmarkOverlayQuery(b *testing.B) {
+	o, err := New(256, 8, ebay.New(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Close()
+	o.EndInterval()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			o.Reputation(i % 256)
+			i++
+		}
+	})
+}
 
 func BenchmarkPushSum16x200(b *testing.B) {
 	parts := make([][]float64, 16)

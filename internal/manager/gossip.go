@@ -4,7 +4,16 @@ import (
 	"fmt"
 	"sync"
 
+	"socialtrust/internal/obs"
 	"socialtrust/internal/xrand"
+)
+
+// Gossip metrics: total protocol runs and total rounds executed across them,
+// the message-cost axis differential-gossip work is evaluated on.
+var (
+	mGossipRuns   = obs.C("manager_gossip_runs_total")
+	mGossipRounds = obs.C("manager_gossip_rounds_total")
+	mGossipLat    = obs.H("manager_gossip_seconds")
 )
 
 // PushSum runs the push-sum gossip protocol (Kempe et al.) among the given
@@ -35,6 +44,10 @@ func PushSum(parts [][]float64, rounds int, seed uint64) ([][]float64, error) {
 	if rounds < 0 {
 		return nil, fmt.Errorf("manager: negative rounds")
 	}
+	sp := mGossipLat.Start()
+	defer sp.End()
+	mGossipRuns.Inc()
+	mGossipRounds.Add(int64(rounds))
 
 	values := make([][]float64, k)
 	weights := make([]float64, k)

@@ -18,10 +18,24 @@ package manager
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
+	"socialtrust/internal/obs"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
+)
+
+// Overlay metrics (recorded only while obs is enabled). Per-shard mailbox
+// depth is exported as manager_mailbox_depth{shard="N"} gauges, refreshed by
+// each shard after every message it handles.
+var (
+	mSubmitTotal  = obs.C("manager_submit_total")
+	mSubmitErrors = obs.C("manager_submit_errors_total")
+	mQueryTotal   = obs.C("manager_query_total")
+	mDrainTotal   = obs.C("manager_drain_total")
+	mSubmitLat    = obs.H("manager_submit_seconds")
+	mQueryLat     = obs.H("manager_query_seconds")
 )
 
 // message is the manager mailbox protocol.
@@ -50,6 +64,7 @@ type shard struct {
 	inbox  chan message
 	ledger *rating.Ledger
 	reps   []float64
+	depth  *obs.Gauge // mailbox depth after the last handled message
 }
 
 // Overlay is a running resource-manager overlay.
@@ -89,6 +104,7 @@ func New(numNodes, numManagers int, engine reputation.Engine) (*Overlay, error) 
 			inbox:  make(chan message, 256),
 			ledger: rating.NewLedger(numNodes),
 			reps:   append([]float64(nil), initial...),
+			depth:  obs.G(obs.Label("manager_mailbox_depth", "shard", strconv.Itoa(m))),
 		}
 		o.shards = append(o.shards, s)
 		o.wg.Add(1)
@@ -112,6 +128,7 @@ func (o *Overlay) serve(s *shard) {
 			case msgQuery:
 				if msg.node < 0 || msg.node >= o.numNodes {
 					msg.repC <- 0
+					s.depth.Set(float64(len(s.inbox)))
 					continue
 				}
 				msg.repC <- s.reps[msg.node]
@@ -121,6 +138,7 @@ func (o *Overlay) serve(s *shard) {
 				s.reps = msg.reps
 				msg.errC <- nil
 			}
+			s.depth.Set(float64(len(s.inbox)))
 		}
 	}
 }
@@ -134,6 +152,17 @@ func (o *Overlay) NumManagers() int { return len(o.shards) }
 // Submit routes one rating to the ratee's manager. Safe for concurrent use;
 // returns ErrClosed after Close.
 func (o *Overlay) Submit(r rating.Rating) error {
+	sp := mSubmitLat.Start()
+	err := o.submit(r)
+	sp.End()
+	mSubmitTotal.Inc()
+	if err != nil {
+		mSubmitErrors.Inc()
+	}
+	return err
+}
+
+func (o *Overlay) submit(r rating.Rating) error {
 	if r.Ratee < 0 || r.Ratee >= o.numNodes {
 		return fmt.Errorf("manager: ratee %d out of range", r.Ratee)
 	}
@@ -157,6 +186,11 @@ func (o *Overlay) Reputation(node int) float64 {
 	if node < 0 || node >= o.numNodes {
 		return 0
 	}
+	sp := mQueryLat.Start()
+	defer func() {
+		sp.End()
+		mQueryTotal.Inc()
+	}()
 	repC := make(chan float64, 1)
 	select {
 	case <-o.closed:
@@ -184,6 +218,11 @@ func (o *Overlay) EndInterval() []float64 {
 		return make([]float64, o.numNodes)
 	default:
 	}
+	sp := obs.Start("manager.drain")
+	defer func() {
+		sp.End()
+		mDrainTotal.Inc()
+	}()
 	// Phase 1: drain all shards concurrently.
 	snaps := make([]rating.Snapshot, len(o.shards))
 	var wg sync.WaitGroup

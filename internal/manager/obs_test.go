@@ -1,0 +1,86 @@
+package manager
+
+import (
+	"testing"
+
+	"socialtrust/internal/obs"
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation/ebay"
+)
+
+// TestOverlayMetrics exercises submit/query/drain with recording enabled and
+// checks the counters, latency histograms and per-shard mailbox gauges move.
+// Deltas (not absolute values) are asserted because the obs registry is
+// process-global.
+func TestOverlayMetrics(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable()
+	defer obs.SetEnabled(prev)
+
+	submits0 := mSubmitTotal.Value()
+	queries0 := mQueryTotal.Value()
+	drains0 := mDrainTotal.Value()
+	submitObs0 := mSubmitLat.Count()
+	drainObs0 := obs.H("manager_drain_seconds").Count()
+
+	o, err := New(8, 2, ebay.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := o.Submit(rating.Rating{Rater: 0, Ratee: 1 + i%7, Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.EndInterval()
+	for i := 0; i < n; i++ {
+		o.Reputation(i % 8)
+	}
+
+	if got := mSubmitTotal.Value() - submits0; got < n {
+		t.Errorf("manager_submit_total delta = %d, want >= %d", got, n)
+	}
+	if got := mQueryTotal.Value() - queries0; got < n {
+		t.Errorf("manager_query_total delta = %d, want >= %d", got, n)
+	}
+	if got := mDrainTotal.Value() - drains0; got < 1 {
+		t.Errorf("manager_drain_total delta = %d, want >= 1", got)
+	}
+	if got := mSubmitLat.Count() - submitObs0; got < n {
+		t.Errorf("manager_submit_seconds observations delta = %d, want >= %d", got, n)
+	}
+	if got := obs.H("manager_drain_seconds").Count() - drainObs0; got < 1 {
+		t.Errorf("manager_drain_seconds observations delta = %d, want >= 1", got)
+	}
+	// Shards refresh their depth gauge after every handled message; after a
+	// quiesced round-trip the mailboxes are empty.
+	for s := 0; s < o.NumManagers(); s++ {
+		g := obs.G(obs.Label("manager_mailbox_depth", "shard", string(rune('0'+s))))
+		if g.Value() != 0 {
+			t.Errorf("shard %d mailbox depth = %g after quiesce, want 0", s, g.Value())
+		}
+	}
+}
+
+// TestGossipMetrics checks PushSum accounts its rounds.
+func TestGossipMetrics(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable()
+	defer obs.SetEnabled(prev)
+
+	runs0 := mGossipRuns.Value()
+	rounds0 := mGossipRounds.Value()
+	parts := [][]float64{{1, 0}, {0, 1}}
+	if _, err := PushSum(parts, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := mGossipRuns.Value() - runs0; got != 1 {
+		t.Errorf("gossip runs delta = %d, want 1", got)
+	}
+	if got := mGossipRounds.Value() - rounds0; got != 12 {
+		t.Errorf("gossip rounds delta = %d, want 12", got)
+	}
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    string `json:"le"` // upper bound, "+Inf" for the last bucket
+	Count int64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of one histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. Histogram bucket counts are
+// cumulative (Prometheus le semantics).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatBound(h.bounds[i])
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: le, Count: cum})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// ReadSnapshot returns a snapshot of the Default registry.
+func ReadSnapshot() Snapshot { return Default.Snapshot() }
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// splitSeries separates a full series string into its base metric name and
+// inner label list: `x_total{behavior="B1"}` → ("x_total", `behavior="B1"`).
+func splitSeries(key string) (base, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+func joinSeries(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// WriteText writes the registry in the Prometheus text exposition format,
+// series sorted by name so output is deterministic.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	typed := map[string]string{}
+	keys := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k := range s.Counters {
+		keys = append(keys, k)
+		base, _ := splitSeries(k)
+		typed[base] = "counter"
+	}
+	for k := range s.Gauges {
+		keys = append(keys, k)
+		base, _ := splitSeries(k)
+		typed[base] = "gauge"
+	}
+	for k := range s.Histograms {
+		keys = append(keys, k)
+		base, _ := splitSeries(k)
+		typed[base] = "histogram"
+	}
+	sort.Strings(keys)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		base, labels := splitSeries(k)
+		if !seen[base] {
+			seen[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typed[base]); err != nil {
+				return err
+			}
+		}
+		switch typed[base] {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s %d\n", k, s.Counters[k]); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s %g\n", k, s.Gauges[k]); err != nil {
+				return err
+			}
+		case "histogram":
+			h := s.Histograms[k]
+			for _, b := range h.Buckets {
+				le := `le="` + b.LE + `"`
+				if labels != "" {
+					le = labels + "," + le
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %g\n", joinSeries(base+"_sum", labels), h.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", joinSeries(base+"_count", labels), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes the Default registry in Prometheus text format.
+func WriteText(w io.Writer) error { return Default.WriteText(w) }
+
+// WriteJSON writes the Default registry as JSON.
+func WriteJSON(w io.Writer) error { return Default.WriteJSON(w) }
+
+// Runtime gauges maintained by CaptureRuntime. The *_peak gauges are
+// high-water marks across captures; ResetRuntimePeaks re-arms them for a new
+// measurement window.
+var (
+	gGoroutines     = G("runtime_goroutines")
+	gGoroutinesPeak = G("runtime_goroutines_peak")
+	gHeapAlloc      = G("runtime_heap_alloc_bytes")
+	gHeapAllocPeak  = G("runtime_heap_alloc_bytes_peak")
+	gTotalAlloc     = G("runtime_total_alloc_bytes")
+	gNumGC          = G("runtime_gc_total")
+)
+
+// RuntimeStats is one sample of process-level runtime state.
+type RuntimeStats struct {
+	Goroutines int
+	HeapAlloc  uint64 // live heap bytes
+	TotalAlloc uint64 // cumulative allocated bytes
+	NumGC      uint32
+}
+
+// CaptureRuntime samples goroutine count and memory statistics, updates the
+// runtime_* gauges (including peaks) and returns the sample. Sampling is
+// cheap enough (~µs) to call from a ticker during long runs.
+func CaptureRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := RuntimeStats{
+		Goroutines: runtime.NumGoroutine(),
+		HeapAlloc:  ms.HeapAlloc,
+		TotalAlloc: ms.TotalAlloc,
+		NumGC:      ms.NumGC,
+	}
+	gGoroutines.Set(float64(st.Goroutines))
+	gGoroutinesPeak.SetMax(float64(st.Goroutines))
+	gHeapAlloc.Set(float64(st.HeapAlloc))
+	gHeapAllocPeak.SetMax(float64(st.HeapAlloc))
+	gTotalAlloc.Set(float64(st.TotalAlloc))
+	gNumGC.Set(float64(st.NumGC))
+	return st
+}
+
+// ResetRuntimePeaks zeroes the runtime high-water-mark gauges so the next
+// CaptureRuntime starts a fresh measurement window.
+func ResetRuntimePeaks() {
+	gGoroutinesPeak.Reset()
+	gHeapAllocPeak.Reset()
+}
+
+// Handler returns an http.Handler exposing the Default registry:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  JSON snapshot
+//
+// With pprofToo it also mounts the net/http/pprof endpoints under
+// /debug/pprof/. Every scrape captures fresh runtime_* gauges first.
+func Handler(pprofToo bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		CaptureRuntime()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		CaptureRuntime()
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w)
+	})
+	if pprofToo {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Serve starts an HTTP server for Handler on addr in a background goroutine
+// and returns it (close with server.Close). It also enables recording: a
+// metrics endpoint with recording off would only ever serve zeros.
+func Serve(addr string, pprofToo bool) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	Enable()
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(pprofToo)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			Logger().Error("obs: metrics server failed", "addr", addr, "err", err)
+		}
+	}()
+	return srv, nil
+}

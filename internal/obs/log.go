@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// logLevel is the shared level variable of the default logger; the package
+// is quiet (Warn) unless a binary opts into progress logging.
+var logLevel = func() *slog.LevelVar {
+	v := new(slog.LevelVar)
+	v.Set(slog.LevelWarn)
+	return v
+}()
+
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel})))
+}
+
+// Logger returns the package logger. Library code should log structured
+// events through it rather than fmt so binaries control verbosity centrally.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the package logger (nil restores the default).
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+	}
+	logger.Store(l)
+}
+
+// SetLogLevel adjusts the default logger's level (Info enables the periodic
+// progress lines the simulator emits during long runs).
+func SetLogLevel(level slog.Level) { logLevel.Set(level) }
+
+// LogLevel returns the default logger's current level.
+func LogLevel() slog.Level { return logLevel.Level() }
+
+// Throttle rate-limits periodic log lines: Allow reports true at most once
+// per interval. The zero value with Interval unset allows every call.
+// Safe for concurrent use.
+type Throttle struct {
+	Interval time.Duration
+	last     atomic.Int64 // unix nanos of the last allowed call
+}
+
+// Allow reports whether enough time has passed since the previous allowed
+// call.
+func (t *Throttle) Allow() bool {
+	now := time.Now().UnixNano()
+	for {
+		last := t.last.Load()
+		if last != 0 && now-last < int64(t.Interval) {
+			return false
+		}
+		if t.last.CompareAndSwap(last, now) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package obs is the repository's zero-dependency runtime observability
+// layer: a concurrency-safe registry of named counters, gauges and
+// fixed-bucket histograms, a lightweight span/timer API, Prometheus-text and
+// JSON exposition (see expose.go), an optional net/http handler that also
+// mounts net/http/pprof, and a package-level structured logger built on
+// log/slog (see log.go).
+//
+// Recording is gated by a single global switch (SetEnabled) that defaults to
+// off, so instrumented hot paths cost one atomic load (~1ns) in library use
+// and in simulations that do not ask for metrics. Instrumentation sites
+// should cache metric handles in package variables:
+//
+//	var submits = obs.C("manager_submit_total")
+//	...
+//	submits.Inc()
+//
+// and time sections either with a cached histogram
+//
+//	sp := submitLatency.Start()
+//	defer sp.End()
+//
+// or ad hoc by name: obs.Start("manager.drain") (the name is sanitized to
+// manager_drain and the histogram named manager_drain_seconds).
+//
+// Metric names follow Prometheus conventions: *_total for counters,
+// *_seconds for latency histograms, plain names for gauges. Labeled series
+// are addressed by their full series string, built with Label:
+//
+//	obs.C(obs.Label("socialtrust_filtered_total", "behavior", "B1"))
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global recording switch. All mutating metric operations
+// no-op while it is false.
+var enabled atomic.Bool
+
+// SetEnabled turns metric recording on or off globally.
+func SetEnabled(v bool) { enabled.Store(v) }
+
+// Enable turns metric recording on.
+func Enable() { enabled.Store(true) }
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op when recording is disabled or the counter is nil.
+func (c *Counter) Add(n int64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op when recording is disabled or the gauge is nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds v.
+func (g *Gauge) Add(v float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax stores v only if it exceeds the current value — a high-water mark.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Reset stores zero regardless of the enabled switch (used to re-arm
+// high-water marks between measurement windows).
+func (g *Gauge) Reset() {
+	if g == nil {
+		return
+	}
+	g.bits.Store(0)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefLatencyBuckets are the default histogram bounds, in seconds: roughly
+// exponential from 1µs to 10s, suiting both channel round-trips and whole
+// reputation-update intervals.
+var DefLatencyBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+	1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with cumulative le-style bounds.
+// The last, implicit bucket is +Inf.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    Gauge          // atomic float64 accumulator
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample. No-op when recording is disabled or the
+// histogram is nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	// First bucket whose bound is >= v (Prometheus le semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.addUnchecked(v)
+}
+
+// addUnchecked is Gauge.Add without the enabled gate, for callers that have
+// already checked it.
+func (g *Gauge) addUnchecked(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Span is an in-flight timed section; see Histogram.Start and Start.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins a span that Observes its duration (in seconds) into h on End.
+// When recording is disabled it returns a zero Span and does not read the
+// clock.
+func (h *Histogram) Start() Span {
+	if h == nil || !enabled.Load() {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End closes the span and returns its duration (zero for a disabled span).
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}
+
+// Registry is a concurrency-safe collection of named metrics. The zero
+// registry is not usable; call NewRegistry. Most code uses the package-level
+// Default registry through C/G/H/Start.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry used by C, G, H and Start.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// (DefLatencyBuckets when none are given) on first use. Bounds of an
+// existing histogram are not changed.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if len(bounds) == 0 {
+			bounds = DefLatencyBuckets
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Start begins a span recorded into the histogram "<sanitized name>_seconds".
+func (r *Registry) Start(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return r.Histogram(Sanitize(name) + "_seconds").Start()
+}
+
+// C returns a counter from the Default registry.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G returns a gauge from the Default registry.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// H returns a histogram from the Default registry.
+func H(name string, bounds ...float64) *Histogram { return Default.Histogram(name, bounds...) }
+
+// Start begins a span on the Default registry: obs.Start("manager.drain")
+// times into the histogram manager_drain_seconds.
+func Start(name string) Span { return Default.Start(name) }
+
+// Label appends one label to a metric name, producing the full series
+// string: Label("x_total", "behavior", "B1") == `x_total{behavior="B1"}`.
+// Applied to an already-labeled name it appends to the label set.
+func Label(name, key, value string) string {
+	pair := key + `="` + value + `"`
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + pair + "}"
+	}
+	return name + "{" + pair + "}"
+}
+
+// Sanitize maps an arbitrary name onto the Prometheus metric-name alphabet
+// [a-zA-Z0-9_:], replacing every other rune with '_'.
+func Sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -20,7 +20,20 @@ import (
 	"sort"
 	"sync"
 
+	"socialtrust/internal/obs"
 	"socialtrust/internal/rating"
+)
+
+// Convergence metrics: eigentrust_iterations / eigentrust_residual describe
+// the most recent power iteration; the *_total counters accumulate across
+// the run so iteration cost per update interval is visible from a dump.
+var (
+	mIterations      = obs.G("eigentrust_iterations")
+	mResidual        = obs.G("eigentrust_residual")
+	mIterationsTotal = obs.C("eigentrust_iterations_total")
+	mUpdatesTotal    = obs.C("eigentrust_updates_total")
+	mMaxIterHits     = obs.C("eigentrust_maxiter_hits_total")
+	mUpdateLat       = obs.H("eigentrust_update_seconds")
 )
 
 // Config parameterizes an EigenTrust engine.
@@ -33,9 +46,13 @@ type Config struct {
 	// when zero.
 	PretrustWeight float64
 	// Epsilon is the L1 convergence threshold of the power iteration
-	// (default 1e-10).
+	// (default 1e-10). If Epsilon is set unattainably small (or negative),
+	// the iteration silently runs to the MaxIter cap every update; check
+	// Stats().Converged to detect this.
 	Epsilon float64
-	// MaxIter bounds the power iteration (default 200).
+	// MaxIter bounds the power iteration (default 200). When the cap is hit
+	// the engine keeps the last iterate — a valid but unconverged vector —
+	// and Stats() reports Converged == false.
 	MaxIter int
 	// Workers sets the parallelism of the matrix–vector product; 0 means
 	// GOMAXPROCS, 1 forces the serial path.
@@ -67,7 +84,27 @@ type Engine struct {
 	t    []float64
 	// scratch buffers reused across updates
 	next []float64
+
+	stats Stats
 }
+
+// Stats describes the engine's most recent power iteration.
+type Stats struct {
+	// Iterations the last powerIterate ran (0 until the first Update).
+	Iterations int
+	// Residual is the final L1 distance between the last two iterates.
+	Residual float64
+	// Converged reports whether Residual dropped below Epsilon before the
+	// MaxIter cap. False after an update means the reputations are the
+	// MaxIter-th iterate, not the fixpoint — typically an Epsilon
+	// misconfiguration.
+	Converged bool
+	// Updates counts the recomputations (Update/ResetNode calls) so far.
+	Updates int
+}
+
+// Stats returns convergence statistics for the most recent recomputation.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // New creates an EigenTrust engine. It panics on invalid configuration
 // (experiment-construction errors).
@@ -106,6 +143,7 @@ func (e *Engine) Reset() {
 	e.out = make(map[int]map[int]float64)
 	e.t = append([]float64(nil), e.p...)
 	e.next = make([]float64, e.cfg.NumNodes)
+	e.stats = Stats{}
 }
 
 // ResetNode implements reputation.Engine: all local trust issued by or
@@ -161,8 +199,10 @@ type inEntry struct {
 	c    float64
 }
 
-// powerIterate recomputes the global trust vector t.
+// powerIterate recomputes the global trust vector t, recording iteration
+// count and final L1 residual in Stats (and the eigentrust_* metrics).
 func (e *Engine) powerIterate() {
+	sp := mUpdateLat.Start()
 	n := e.cfg.NumNodes
 	// Build the transposed, row-normalized matrix. Rows with no positive
 	// outlink are "dangling": their mass goes to the pretrust distribution,
@@ -195,6 +235,7 @@ func (e *Engine) powerIterate() {
 	a := e.cfg.PretrustWeight
 	t := e.t
 	next := e.next
+	iters, residual, converged := 0, 0.0, false
 	for iter := 0; iter < e.cfg.MaxIter; iter++ {
 		// Mass held by dangling rows redistributes along p.
 		dangling := 0.0
@@ -213,11 +254,22 @@ func (e *Engine) powerIterate() {
 			diff += d
 		}
 		t, next = next, t
+		iters, residual = iter+1, diff
 		if diff < e.cfg.Epsilon {
+			converged = true
 			break
 		}
 	}
 	e.t, e.next = t, next
+	e.stats = Stats{Iterations: iters, Residual: residual, Converged: converged, Updates: e.stats.Updates + 1}
+	sp.End()
+	mIterations.Set(float64(iters))
+	mResidual.Set(residual)
+	mIterationsTotal.Add(int64(iters))
+	mUpdatesTotal.Inc()
+	if !converged {
+		mMaxIterHits.Inc()
+	}
 }
 
 // applyStep computes next = (1−a)·(Cᵀt + dangling·p) + a·p, parallelized

@@ -1,0 +1,80 @@
+package eigentrust
+
+import (
+	"testing"
+
+	"socialtrust/internal/rating"
+)
+
+// denseSnapshot builds a rating snapshot with every node rating several
+// peers, so the trust matrix has no trivial structure.
+func denseSnapshot(n int) rating.Snapshot {
+	var snap rating.Snapshot
+	for i := 0; i < n; i++ {
+		for d := 1; d <= 5; d++ {
+			snap.Ratings = append(snap.Ratings, rating.Rating{
+				Rater: i, Ratee: (i + d) % n, Value: float64(d),
+			})
+		}
+	}
+	return snap
+}
+
+// TestDefaultConfigConvergesUnderMaxIter pins the convergence contract: with
+// the default Epsilon/MaxIter the power iteration reaches its fixpoint well
+// before the iteration cap, and Stats reports it.
+func TestDefaultConfigConvergesUnderMaxIter(t *testing.T) {
+	e := New(Config{NumNodes: 200, Pretrusted: []int{0, 1, 2}})
+	e.Update(denseSnapshot(200))
+	st := e.Stats()
+	if !st.Converged {
+		t.Fatalf("default config did not converge: %+v", st)
+	}
+	if st.Iterations <= 0 || st.Iterations >= e.cfg.MaxIter/2 {
+		t.Errorf("iterations = %d, want in (0, %d): default config should converge well under the cap",
+			st.Iterations, e.cfg.MaxIter/2)
+	}
+	if st.Residual >= e.cfg.Epsilon {
+		t.Errorf("residual %g not below epsilon %g", st.Residual, e.cfg.Epsilon)
+	}
+	if st.Updates != 1 {
+		t.Errorf("updates = %d, want 1", st.Updates)
+	}
+}
+
+// TestMisconfiguredEpsilonHitsCap documents the failure mode the Stats
+// accessor exists to expose: an unattainable Epsilon makes every update
+// silently burn MaxIter iterations and report Converged == false.
+func TestMisconfiguredEpsilonHitsCap(t *testing.T) {
+	e := New(Config{NumNodes: 50, Epsilon: -1, MaxIter: 30})
+	e.Update(denseSnapshot(50))
+	st := e.Stats()
+	if st.Converged {
+		t.Fatal("negative epsilon cannot converge")
+	}
+	if st.Iterations != 30 {
+		t.Errorf("iterations = %d, want the MaxIter cap 30", st.Iterations)
+	}
+	if st.Residual < 0 {
+		t.Errorf("residual = %g, want >= 0", st.Residual)
+	}
+}
+
+// TestStatsResetAndAccumulate checks Updates counts recomputations and Reset
+// clears the stats.
+func TestStatsResetAndAccumulate(t *testing.T) {
+	e := New(Config{NumNodes: 20})
+	e.Update(denseSnapshot(20))
+	e.Update(denseSnapshot(20))
+	if got := e.Stats().Updates; got != 2 {
+		t.Errorf("updates = %d, want 2", got)
+	}
+	e.ResetNode(3)
+	if got := e.Stats().Updates; got != 3 {
+		t.Errorf("updates after ResetNode = %d, want 3", got)
+	}
+	e.Reset()
+	if got := e.Stats(); got != (Stats{}) {
+		t.Errorf("stats after Reset = %+v, want zero", got)
+	}
+}

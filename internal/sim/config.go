@@ -190,6 +190,15 @@ type Config struct {
 	SocialTrust bool        // wrap the engine with the SocialTrust filter
 	Filter      core.Config // SocialTrust parameters (NumNodes is filled in)
 
+	// Managers, when positive, routes every rating through a resource-
+	// manager overlay of that many manager goroutines (the paper's Section
+	// 4.3 architecture) instead of the in-process ledger, and drives the
+	// periodic reputation update through the overlay's drain/merge/broadcast
+	// path. Zero keeps the direct ledger (the default; results are
+	// statistically identical but float summation order differs, so vectors
+	// are not bit-equal across the two modes).
+	Managers int
+
 	// Harness.
 	Seed    uint64
 	Workers int // parallelism of the query-intent phase; 0 = GOMAXPROCS
@@ -288,6 +297,9 @@ func (c Config) validate() error {
 	}
 	if normals := c.NumNodes - c.NumPretrusted - c.NumColluders; c.SlanderVictims > normals {
 		return fmt.Errorf("sim: %d slander victims exceed %d normal peers", c.SlanderVictims, normals)
+	}
+	if c.Managers < 0 || c.Managers > c.NumNodes {
+		return fmt.Errorf("sim: Managers %d invalid for %d nodes", c.Managers, c.NumNodes)
 	}
 	return nil
 }

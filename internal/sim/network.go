@@ -5,6 +5,7 @@ import (
 
 	"socialtrust/internal/core"
 	"socialtrust/internal/interest"
+	"socialtrust/internal/manager"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 	"socialtrust/internal/reputation/ebay"
@@ -66,6 +67,10 @@ type Network struct {
 	Engine  reputation.Engine
 	// Filter is non-nil when the engine is wrapped with SocialTrust.
 	Filter *core.SocialTrust
+	// Overlay is non-nil when Config.Managers > 0: ratings are submitted to
+	// and the periodic reputation update is driven through the paper's
+	// resource-manager overlay instead of the in-process ledger.
+	Overlay *manager.Overlay
 
 	// byCategory[c] lists the nodes whose claimed profile includes c —
 	// the candidate server pool for a category-c request.
@@ -103,6 +108,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	n.indexCategories()
 	n.buildEngine()
+	if err := n.buildOverlay(); err != nil {
+		return nil, err
+	}
 	return n, nil
 }
 
@@ -405,6 +413,21 @@ func (n *Network) buildEngine() {
 	st := core.New(fc, n.Graph, n.Sets, n.Tracker, inner)
 	n.Engine = st
 	n.Filter = st
+}
+
+// buildOverlay fronts the engine with a resource-manager overlay when the
+// configuration asks for one. Construction cannot fail here: the manager
+// count was validated against the node count already.
+func (n *Network) buildOverlay() error {
+	if n.Cfg.Managers <= 0 {
+		return nil
+	}
+	o, err := manager.New(n.Cfg.NumNodes, n.Cfg.Managers, n.Engine)
+	if err != nil {
+		return err
+	}
+	n.Overlay = o
+	return nil
 }
 
 // wireSlander builds the negative-collusion edges: each colluder attacks a

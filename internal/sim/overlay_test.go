@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOverlayModeMatchesDirect runs the same seeded experiment through the
+// direct ledger and through a 4-shard resource-manager overlay. The overlay
+// merge restores the ledger's deterministic global ordering, so request
+// accounting must match exactly and reputations to float tolerance.
+func TestOverlayModeMatchesDirect(t *testing.T) {
+	cfg := DefaultConfig(PCM, EngineEigenTrust, 0.6, true)
+	cfg.QueryCycles, cfg.SimulationCycles = 5, 4
+	cfg.Seed = 7
+
+	direct, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Managers = 4
+	overlay, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if direct.TotalRequests != overlay.TotalRequests {
+		t.Fatalf("requests: direct %d, overlay %d", direct.TotalRequests, overlay.TotalRequests)
+	}
+	if direct.AuthenticServed != overlay.AuthenticServed {
+		t.Fatalf("authentic: direct %d, overlay %d", direct.AuthenticServed, overlay.AuthenticServed)
+	}
+	for i := range direct.FinalReputations {
+		if d := math.Abs(direct.FinalReputations[i] - overlay.FinalReputations[i]); d > 1e-9 {
+			t.Fatalf("reputation[%d]: direct %g, overlay %g (Δ %g)",
+				i, direct.FinalReputations[i], overlay.FinalReputations[i], d)
+		}
+	}
+}
+
+// TestOverlayConfigValidation rejects impossible manager counts.
+func TestOverlayConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(PCM, EngineEigenTrust, 0.6, false)
+	cfg.Managers = cfg.NumNodes + 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("Managers > NumNodes should fail validation")
+	}
+	cfg.Managers = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative Managers should fail validation")
+	}
+}

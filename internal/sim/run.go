@@ -1,12 +1,36 @@
 package sim
 
 import (
+	"context"
+	"log/slog"
 	"sync"
+	"time"
 
 	"socialtrust/internal/interest"
+	"socialtrust/internal/obs"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/socialgraph"
 )
+
+// Simulator metrics, updated once per simulation cycle (counters carry the
+// cycle's deltas; gauges the most recent cycle's rates). sim_cycle_seconds
+// is the wall time of one simulation cycle including the reputation update.
+var (
+	mSimCycles      = obs.C("sim_cycles_total")
+	mSimRequests    = obs.C("sim_requests_total")
+	mSimAuthentic   = obs.C("sim_authentic_total")
+	mSimInauthentic = obs.C("sim_inauthentic_total")
+	mSimColluderReq = obs.C("sim_colluder_requests_total")
+	mCycleLat       = obs.H("sim_cycle_seconds")
+	mQPS            = obs.G("sim_queries_per_second")
+	mAuthRatio      = obs.G("sim_authentic_ratio")
+)
+
+// progressEvery throttles the simulator's periodic progress line (enabled by
+// raising the obs log level to Info, e.g. via the CLIs' -v flag). The
+// throttle is global on purpose: concurrently aggregated runs share it, so a
+// panel of repetitions emits one line every interval rather than one per run.
+var progressEvery = &obs.Throttle{Interval: 2 * time.Second}
 
 // Result collects everything the paper's figures and tables read off a run.
 type Result struct {
@@ -95,6 +119,9 @@ func (n *Network) Run() *Result {
 	}
 
 	for sc := 0; sc < cfg.SimulationCycles; sc++ {
+		cycleStart := time.Now()
+		reqBefore, authBefore, inauthBefore, collBefore :=
+			res.TotalRequests, res.AuthenticServed, res.InauthenticServed, res.RequestsToColluders
 		if cfg.OscillationCycle > 0 {
 			for _, id := range cfg.ColluderIDs() {
 				node := n.Nodes[id]
@@ -117,10 +144,14 @@ func (n *Network) Run() *Result {
 		}
 		res.PerCycleColluderShare = append(res.PerCycleColluderShare,
 			cycleShare(res, &lastTotal, &lastColl))
-		snap := n.Ledger.EndInterval()
-		n.Engine.Update(snap)
+		if n.Overlay != nil {
+			reps = n.Overlay.EndInterval()
+		} else {
+			snap := n.Ledger.EndInterval()
+			n.Engine.Update(snap)
+			reps = n.Engine.Reputations()
+		}
 		n.Tracker.Reset() // Equation 11 weights are per simulation cycle
-		reps = n.Engine.Reputations()
 		// Whitewashing: punished colluders abandon their identities.
 		if cfg.WhitewashThreshold > 0 {
 			washed := false
@@ -142,6 +173,10 @@ func (n *Network) Run() *Result {
 				everAbove[ci] = true
 			}
 		}
+		n.observeCycle(res, sc, cycleStart, reqBefore, authBefore, inauthBefore, collBefore)
+	}
+	if n.Overlay != nil {
+		n.Overlay.Close() // stop the manager goroutines; state is harvested
 	}
 	res.FinalReputations = reps
 	for ci := range res.ConvergenceCycles {
@@ -155,6 +190,38 @@ func (n *Network) Run() *Result {
 		}
 	}
 	return res
+}
+
+// observeCycle records one simulation cycle's metrics and, when Info-level
+// logging is on, an at-most-every-2s progress line for long runs.
+func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, authBefore, inauthBefore, collBefore int) {
+	wall := time.Since(start)
+	requests := res.TotalRequests - reqBefore
+	mSimCycles.Inc()
+	mCycleLat.Observe(wall.Seconds())
+	mSimRequests.Add(int64(requests))
+	mSimAuthentic.Add(int64(res.AuthenticServed - authBefore))
+	mSimInauthentic.Add(int64(res.InauthenticServed - inauthBefore))
+	mSimColluderReq.Add(int64(res.RequestsToColluders - collBefore))
+	qps := 0.0
+	if secs := wall.Seconds(); secs > 0 {
+		qps = float64(requests) / secs
+	}
+	mQPS.Set(qps)
+	authRatio := 0.0
+	if served := res.AuthenticServed + res.InauthenticServed; served > 0 {
+		authRatio = float64(res.AuthenticServed) / float64(served)
+	}
+	mAuthRatio.Set(authRatio)
+	if obs.Logger().Enabled(context.Background(), slog.LevelInfo) && progressEvery.Allow() {
+		obs.Logger().Info("sim progress",
+			"engine", n.Engine.Name(),
+			"cycle", sc+1, "cycles", n.Cfg.SimulationCycles,
+			"requests", res.TotalRequests,
+			"qps", int(qps),
+			"authentic_ratio", authRatio,
+			"cycle_wall", wall.Round(time.Millisecond))
+	}
 }
 
 // cycleShare computes the colluder request share since the previous call.
@@ -291,12 +358,18 @@ func (n *Network) chooseServer(it *intent, capacities []int, reps []float64) int
 	return best
 }
 
-// record stores one rating event in every substrate: the ledger, the social
-// interaction table, and the request tracker.
+// record stores one rating event in every substrate: the ledger (or the
+// manager overlay in Managers mode), the social interaction table, and the
+// request tracker.
 func (n *Network) record(rater, ratee int, value float64, cycle int, cat interest.Category) {
-	if err := n.Ledger.Add(rating.Rating{
-		Rater: rater, Ratee: ratee, Value: value, Cycle: cycle, Category: int(cat),
-	}); err != nil {
+	r := rating.Rating{Rater: rater, Ratee: ratee, Value: value, Cycle: cycle, Category: int(cat)}
+	var err error
+	if n.Overlay != nil {
+		err = n.Overlay.Submit(r)
+	} else {
+		err = n.Ledger.Add(r)
+	}
+	if err != nil {
 		panic(err) // construction guarantees rater != ratee
 	}
 	n.Graph.RecordInteraction(socialgraph.NodeID(rater), socialgraph.NodeID(ratee), 1)

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — emit a machine-readable benchmark snapshot
+# (BENCH_obs.json) covering the manager overlay submit/query round trips and
+# one EigenTrust power-iteration update, seeding the repository's perf
+# trajectory. Usage:
+#
+#   scripts/bench.sh [output.json]
+#
+# BENCHTIME (default 1s) tunes go test -benchtime; use e.g. BENCHTIME=100x
+# for a quick smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_obs.json}
+BENCHTIME=${BENCHTIME:-1s}
+
+raw=$(
+  go test -run '^$' -bench '^(BenchmarkOverlaySubmit|BenchmarkOverlayQuery)$' \
+    -benchtime "$BENCHTIME" ./internal/manager
+  go test -run '^$' -bench '^BenchmarkPowerIterationParallel500$' \
+    -benchtime "$BENCHTIME" ./internal/reputation/eigentrust
+)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  BEGIN { n = 0 }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    vals[n] = $3
+    names[n++] = name
+  }
+  END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"unit\": \"ns/op\",\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++)
+      printf "    \"%s\": %s%s\n", names[i], vals[i], (i < n - 1 ? "," : "")
+    printf "  }\n}\n"
+  }
+' > "$OUT"
+
+echo "wrote $OUT"

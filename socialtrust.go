@@ -39,10 +39,13 @@
 package socialtrust
 
 import (
+	"net/http"
+
 	"socialtrust/internal/core"
 	"socialtrust/internal/experiments"
 	"socialtrust/internal/interest"
 	"socialtrust/internal/manager"
+	"socialtrust/internal/obs"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 	"socialtrust/internal/reputation/ebay"
@@ -119,11 +122,18 @@ type (
 	Engine = reputation.Engine
 	// EigenTrustConfig parameterizes the canonical EigenTrust engine.
 	EigenTrustConfig = eigentrust.Config
+	// EigenTrustEngine is the canonical power-iteration engine. Beyond the
+	// Engine interface it exposes Stats, the per-update convergence
+	// diagnostics.
+	EigenTrustEngine = eigentrust.Engine
+	// EigenTrustStats reports the last power iteration's iteration count,
+	// final L1 residual, and whether it converged before the MaxIter cap.
+	EigenTrustStats = eigentrust.Stats
 )
 
 // NewEigenTrustEngine builds a canonical (power-iteration) EigenTrust
 // engine.
-func NewEigenTrustEngine(cfg EigenTrustConfig) Engine { return eigentrust.New(cfg) }
+func NewEigenTrustEngine(cfg EigenTrustConfig) *EigenTrustEngine { return eigentrust.New(cfg) }
 
 // NewEBayEngine builds an eBay-style engine for numNodes peers.
 func NewEBayEngine(numNodes int) Engine { return ebay.New(numNodes) }
@@ -266,3 +276,38 @@ func Experiments() []Experiment { return experiments.All() }
 func RunExperiment(id string, o ExperimentOptions, w interface{ Write([]byte) (int, error) }) error {
 	return experiments.Run(id, o, w)
 }
+
+// Observability (internal/obs).
+//
+// Every subsystem records named counters, gauges, and latency histograms
+// into a process-wide registry. Recording is off by default and costs ~1 ns
+// per call site while disabled; EnableMetrics (or ServeMetrics) turns it on.
+type (
+	// MetricsSnapshot is a point-in-time copy of every registered metric,
+	// with cumulative histogram buckets.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// EnableMetrics turns on metric recording process-wide.
+func EnableMetrics() { obs.Enable() }
+
+// MetricsEnabled reports whether metric recording is on.
+func MetricsEnabled() bool { return obs.Enabled() }
+
+// ReadMetricsSnapshot captures the current value of every registered metric.
+func ReadMetricsSnapshot() MetricsSnapshot { return obs.ReadSnapshot() }
+
+// WriteMetricsText writes all metrics in Prometheus text exposition format.
+func WriteMetricsText(w interface{ Write([]byte) (int, error) }) error { return obs.WriteText(w) }
+
+// WriteMetricsJSON writes all metrics as an indented JSON document.
+func WriteMetricsJSON(w interface{ Write([]byte) (int, error) }) error { return obs.WriteJSON(w) }
+
+// MetricsHandler returns an http.Handler serving /metrics (Prometheus text)
+// and /metrics.json; with pprofToo it also mounts the net/http/pprof
+// profiling endpoints under /debug/pprof/.
+func MetricsHandler(pprofToo bool) http.Handler { return obs.Handler(pprofToo) }
+
+// ServeMetrics starts a background HTTP server for MetricsHandler on addr
+// and enables metric recording. Close the returned server when done.
+func ServeMetrics(addr string, pprofToo bool) (*http.Server, error) { return obs.Serve(addr, pprofToo) }

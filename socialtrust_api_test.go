@@ -144,3 +144,37 @@ func TestBehaviorConstants(t *testing.T) {
 		t.Fatal("behavior constants broken")
 	}
 }
+
+func TestPublicObservability(t *testing.T) {
+	socialtrust.EnableMetrics()
+	if !socialtrust.MetricsEnabled() {
+		t.Fatal("EnableMetrics did not enable recording")
+	}
+	e := socialtrust.NewEigenTrustEngine(socialtrust.EigenTrustConfig{NumNodes: 4, Pretrusted: []int{0}})
+	e.Update(socialtrust.Snapshot{Ratings: []socialtrust.Rating{
+		{Rater: 0, Ratee: 1, Value: 1}, {Rater: 1, Ratee: 2, Value: 1},
+	}})
+	if st := e.Stats(); !st.Converged || st.Updates != 1 {
+		t.Fatalf("eigentrust stats = %+v", st)
+	}
+	snap := socialtrust.ReadMetricsSnapshot()
+	if snap.Gauges["eigentrust_iterations"] <= 0 {
+		t.Fatalf("eigentrust_iterations gauge = %v", snap.Gauges["eigentrust_iterations"])
+	}
+	var text, js strings.Builder
+	if err := socialtrust.WriteMetricsText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "eigentrust_iterations") {
+		t.Fatalf("text exposition missing eigentrust_iterations:\n%s", text.String())
+	}
+	if err := socialtrust.WriteMetricsJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"gauges\"") {
+		t.Fatalf("json exposition malformed:\n%s", js.String())
+	}
+	if socialtrust.MetricsHandler(true) == nil {
+		t.Fatal("MetricsHandler returned nil")
+	}
+}
