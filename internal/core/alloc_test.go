@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"socialtrust/internal/interest"
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation/ebay"
+	"socialtrust/internal/socialgraph"
+	"socialtrust/internal/xrand"
+)
+
+// perfScenario builds an n-node ring-plus-chords graph with one interval of
+// spread-out rating traffic — every node rates a few random peers, so the
+// Adjust pass has hundreds of distinct pairs to compute signals for. Shared
+// by the allocation test and the warm/cold Adjust benchmarks.
+func perfScenario(n, workers int) (*SocialTrust, rating.Snapshot) {
+	g := socialgraph.New(n)
+	sets := make([]interest.Set, n)
+	rng := xrand.New(5)
+	for i := 0; i < n; i++ {
+		g.AddRelationship(socialgraph.NodeID(i), socialgraph.NodeID((i+1)%n),
+			socialgraph.Relationship{Kind: socialgraph.Friendship})
+		j := rng.Intn(n)
+		if j != i {
+			g.AddRelationship(socialgraph.NodeID(i), socialgraph.NodeID(j),
+				socialgraph.Relationship{Kind: socialgraph.Colleague})
+		}
+		sets[i] = interest.NewSet(interest.Category(i%5), interest.Category(i%11))
+	}
+
+	ledger := rating.NewLedger(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			if err := ledger.Add(rating.Rating{Rater: i, Ratee: j, Value: 1}); err != nil {
+				panic(err)
+			}
+			g.RecordInteraction(socialgraph.NodeID(i), socialgraph.NodeID(j), 1)
+		}
+	}
+	snap := ledger.EndInterval()
+	st := New(Config{NumNodes: n, Workers: workers}, g, sets, interest.NewTracker(n), ebay.New(n))
+	return st, snap
+}
+
+// TestWarmAdjustAllocations pins the scratch-buffer and cache contract: on a
+// quiescent graph, a warm Adjust pass must allocate a small fraction of what
+// a cold pass does — the per-pair BFS state, signal maps, and fan-out all
+// disappear once the epoch-versioned cache is hot.
+func TestWarmAdjustAllocations(t *testing.T) {
+	st, snap := perfScenario(200, 1)
+	st.Adjust(snap) // prime the cache and size the scratch buffers
+
+	warm := testing.AllocsPerRun(10, func() {
+		st.Adjust(snap)
+	})
+	cold := testing.AllocsPerRun(10, func() {
+		st.Reset() // drops the signal cache; the next pass recomputes everything
+		st.Adjust(snap)
+	})
+	t.Logf("allocs/op: warm=%.0f cold=%.0f", warm, cold)
+	if warm*5 > cold {
+		t.Fatalf("warm Adjust allocates too much: warm=%.0f cold=%.0f (want warm <= cold/5)", warm, cold)
+	}
+}

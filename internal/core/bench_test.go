@@ -1,0 +1,28 @@
+package core
+
+import "testing"
+
+// BenchmarkAdjustWarmCache measures an Adjust pass on a quiescent graph with
+// the signal cache hot: every pair's closeness/similarity comes out of the
+// epoch-versioned cache and the pass reduces to thresholding and reweighting.
+func BenchmarkAdjustWarmCache(b *testing.B) {
+	st, snap := perfScenario(200, 1)
+	st.Adjust(snap) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Adjust(snap)
+	}
+}
+
+// BenchmarkAdjustColdCache is the same pass with the cache dropped before
+// every iteration — each pair pays the full BFS/similarity computation. The
+// warm/cold ratio in BENCH_perf.json is the headline number for the cache.
+func BenchmarkAdjustColdCache(b *testing.B) {
+	st, snap := perfScenario(200, 1)
+	st.Adjust(snap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		st.Adjust(snap)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+
+	"socialtrust/internal/obs"
+	"socialtrust/internal/rating"
+)
+
+// Cache effectiveness metrics. A pair counts as a hit when every cacheable
+// signal it needs was served from the cache (weighted similarity is never
+// cacheable — the request tracker mutates without an epoch signal — and is
+// excluded from the accounting).
+var (
+	mSigCacheHits   = obs.C("signal_cache_hits_total")
+	mSigCacheMisses = obs.C("signal_cache_misses_total")
+)
+
+const sigCacheShards = 32
+
+// sigCacheEntry holds one directed pair's memoized social signals, valid
+// only while the social graph's epoch matches: every graph mutator
+// (AddRelationship, RecordInteraction, RemoveNodeEdges, ResetInteractions)
+// bumps the epoch, so a matching epoch proves the closeness inputs are
+// unchanged. Unweighted similarity is a pure function of the (immutable
+// after construction) interest sets, so revalidating it by epoch is only
+// conservative.
+type sigCacheEntry struct {
+	epoch uint64
+	sig   pairSignals
+}
+
+// sigCache is a sharded (PairKey, graph-epoch)-keyed memo of pair signals.
+// Sharding keeps the computeSignals worker fan-out from serializing on a
+// single lock while workers store freshly computed misses.
+type sigCache struct {
+	shards [sigCacheShards]sigCacheShard
+}
+
+type sigCacheShard struct {
+	mu sync.Mutex
+	m  map[rating.PairKey]sigCacheEntry
+}
+
+func newSigCache() *sigCache {
+	c := &sigCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[rating.PairKey]sigCacheEntry)
+	}
+	return c
+}
+
+func (c *sigCache) shard(k rating.PairKey) *sigCacheShard {
+	h := uint64(k.Rater)*0x9e3779b97f4a7c15 ^ uint64(k.Ratee)*0xbf58476d1ce4e5b9
+	return &c.shards[h%sigCacheShards]
+}
+
+// get returns the cached signals for k if they were computed at the given
+// graph epoch.
+func (c *sigCache) get(k rating.PairKey, epoch uint64) (pairSignals, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	s.mu.Unlock()
+	if !ok || e.epoch != epoch {
+		return pairSignals{}, false
+	}
+	return e.sig, true
+}
+
+// put stores the signals for k computed at the given graph epoch.
+func (c *sigCache) put(k rating.PairKey, epoch uint64, sig pairSignals) {
+	s := c.shard(k)
+	s.mu.Lock()
+	s.m[k] = sigCacheEntry{epoch: epoch, sig: sig}
+	s.mu.Unlock()
+}
+
+// reset drops every entry (used by SocialTrust.Reset).
+func (c *sigCache) reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[rating.PairKey]sigCacheEntry)
+		s.mu.Unlock()
+	}
+}

@@ -21,11 +21,13 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"socialtrust/internal/interest"
 	"socialtrust/internal/obs"
@@ -224,7 +226,48 @@ type SocialTrust struct {
 	inner   reputation.Engine
 	hist    *rating.History
 	last    Report
+
+	// sigCache memoizes per-pair signals keyed by the graph epoch: an
+	// interval in which the graph did not change costs O(new pairs) instead
+	// of O(all pairs). Any epoch change falls back to full recompute.
+	sigCache *sigCache
+	// histVer versions the rating-profile history (bumped by Update,
+	// ResetNode, Reset); the per-rater profile caches below are valid only
+	// while both the graph epoch and histVer match.
+	histVer   uint64
+	profClose map[int]profCacheEntry
+	profSim   map[int]profCacheEntry
+
+	// adjustMu serializes Adjust (and therefore Update), which reuses the
+	// scratch buffers below across calls so a warm-cache interval allocates
+	// almost nothing.
+	adjustMu     sync.Mutex
+	pairScratch  []rating.PairKey
+	sigScratch   []pairSignals
+	missScratch  []sigMiss
+	groupScratch []int
+	closeVals    []float64
+	simVals      []float64
 }
+
+// profCacheEntry is one memoized per-rater baseline profile.
+type profCacheEntry struct {
+	graphEpoch uint64
+	histVer    uint64
+	stats      BaselineStats
+}
+
+// sigMiss marks one pair of the current interval whose signals (or part of
+// them) must be recomputed.
+type sigMiss struct {
+	idx  int   // position in the sorted pair slice
+	need uint8 // needClose / needSim bits
+}
+
+const (
+	needClose uint8 = 1 << iota
+	needSim
+)
 
 var _ reputation.Engine = (*SocialTrust)(nil)
 
@@ -248,12 +291,15 @@ func New(cfg Config, graph *socialgraph.Graph, sets []interest.Set, tracker *int
 		cfg.UseCloseness, cfg.UseSimilarity = true, true
 	}
 	return &SocialTrust{
-		cfg:     cfg,
-		graph:   graph,
-		sets:    sets,
-		tracker: tracker,
-		inner:   inner,
-		hist:    rating.NewHistory(cfg.NumNodes),
+		cfg:       cfg,
+		graph:     graph,
+		sets:      sets,
+		tracker:   tracker,
+		inner:     inner,
+		hist:      rating.NewHistory(cfg.NumNodes),
+		sigCache:  newSigCache(),
+		profClose: make(map[int]profCacheEntry),
+		profSim:   make(map[int]profCacheEntry),
 	}
 }
 
@@ -265,6 +311,10 @@ func (s *SocialTrust) Name() string { return s.inner.Name() + "+SocialTrust" }
 func (s *SocialTrust) Reset() {
 	s.hist = rating.NewHistory(s.cfg.NumNodes)
 	s.last = Report{}
+	s.histVer++
+	s.sigCache.reset()
+	s.profClose = make(map[int]profCacheEntry)
+	s.profSim = make(map[int]profCacheEntry)
 	s.inner.Reset()
 }
 
@@ -275,6 +325,7 @@ func (s *SocialTrust) Reset() {
 // reads.
 func (s *SocialTrust) ResetNode(node int) {
 	s.hist.ResetNode(node)
+	s.histVer++ // every rater's profile may have lost this ratee
 	s.inner.ResetNode(node)
 }
 
@@ -296,6 +347,9 @@ func (s *SocialTrust) Update(snap rating.Snapshot) {
 	// Profile history uses the original (unadjusted) ratings: the rater's
 	// observed behavior, not the filtered view, defines its profile.
 	s.hist.Absorb(snap.Ratings)
+	if len(snap.Ratings) > 0 {
+		s.histVer++
+	}
 	s.inner.Update(adjusted)
 }
 
@@ -308,22 +362,31 @@ type pairSignals struct {
 // Adjust computes per-pair weights for one interval snapshot and returns a
 // new snapshot with re-weighted rating values plus the filtering report. It
 // does not mutate the input and does not advance filter state, so it can be
-// used standalone for what-if analysis.
+// used standalone for what-if analysis. Concurrent Adjust calls serialize
+// on an internal lock (they share the signal cache and scratch buffers).
 func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 	sp := mAdjustLat.Start()
 	defer sp.End()
-	pairs := make([]rating.PairKey, 0, len(snap.Counts))
+	s.adjustMu.Lock()
+	defer s.adjustMu.Unlock()
+
+	pairs := s.pairScratch[:0]
 	for k := range snap.Counts {
 		pairs = append(pairs, k)
 	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].Rater != pairs[b].Rater {
-			return pairs[a].Rater < pairs[b].Rater
+	slices.SortFunc(pairs, func(a, b rating.PairKey) int {
+		if c := cmp.Compare(a.Rater, b.Rater); c != 0 {
+			return c
 		}
-		return pairs[a].Ratee < pairs[b].Ratee
+		return cmp.Compare(a.Ratee, b.Ratee)
 	})
+	s.pairScratch = pairs[:0]
 
-	signals := s.computeSignals(pairs)
+	if cap(s.sigScratch) < len(pairs) {
+		s.sigScratch = make([]pairSignals, len(pairs))
+	}
+	signals := s.sigScratch[:len(pairs)]
+	s.computeSignals(pairs, signals)
 
 	posT, negT := s.frequencyThresholds(snap.Counts)
 	meanF := meanPairFrequency(snap.Counts)
@@ -347,10 +410,10 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 		SimilarityBaseline: base.similarity,
 	}
 
-	weights := make(map[rating.PairKey]float64, len(pairs))
-	for _, k := range pairs {
+	var weights map[rating.PairKey]float64
+	for i, k := range pairs {
 		c := snap.Counts[k]
-		sig := signals[k]
+		sig := signals[i]
 		var behaviors Behavior
 		// High-side comparisons are inclusive: similarity is a ratio of
 		// small integers, so the top quantile is frequently attained
@@ -394,6 +457,9 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 		// pair's frequency F, so no flagged pair can out-shout a normal
 		// one no matter how fast it rates.
 		w := s.gaussianWeight(k.Rater, sig, base) * freqScale(c, behaviors, meanF)
+		if weights == nil {
+			weights = make(map[rating.PairKey]float64)
+		}
 		weights[k] = w
 		report.Adjusted = append(report.Adjusted, PairAdjustment{
 			Pair:      k,
@@ -417,56 +483,127 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 	return out, report
 }
 
-// computeSignals evaluates Ωc and Ωs for every pair, fanning out across
-// Workers since closeness may involve BFS.
-func (s *SocialTrust) computeSignals(pairs []rating.PairKey) map[rating.PairKey]pairSignals {
-	out := make([]pairSignals, len(pairs))
+// computeSignals fills out[i] with Ωc and Ωs for pairs[i]. Pairs whose
+// signals are cached at the current graph epoch are served without touching
+// the graph; the misses are grouped by rater (pairs arrive rater-sorted)
+// and each rater group runs one batched ClosenessFrom — one shared BFS and
+// common-friend index per rater instead of one per pair — with the groups
+// fanned out across Workers. Results are bit-identical to the direct
+// per-pair path on a quiescent graph.
+func (s *SocialTrust) computeSignals(pairs []rating.PairKey, out []pairSignals) {
+	epoch := s.graph.Epoch()
+	simStatic := s.cfg.UseSimilarity && !s.cfg.WeightedSimilarity
+
+	miss := s.missScratch[:0]
+	var hits, misses int64
+	for i, k := range pairs {
+		sig, ok := s.sigCache.get(k, epoch)
+		var need uint8
+		if !ok {
+			if s.cfg.UseCloseness {
+				need |= needClose
+			}
+			if s.cfg.UseSimilarity {
+				need |= needSim
+			}
+		} else if s.cfg.UseSimilarity && !simStatic {
+			// Weighted similarity reads the live request tracker and is
+			// recomputed on every pass; only closeness is served cached.
+			need |= needSim
+			sig.similar = 0
+		}
+		out[i] = sig
+		if need&needClose != 0 || (need&needSim != 0 && simStatic) {
+			misses++
+		} else {
+			hits++
+		}
+		if need != 0 {
+			miss = append(miss, sigMiss{idx: i, need: need})
+		}
+	}
+	s.missScratch = miss[:0]
+	mSigCacheHits.Add(hits)
+	mSigCacheMisses.Add(misses)
+	if len(miss) == 0 {
+		return
+	}
+
+	// Group boundaries over the miss list: pairs are rater-sorted and the
+	// miss list preserves their order, so each rater's misses are one run.
+	groups := append(s.groupScratch[:0], 0)
+	for t := 1; t < len(miss); t++ {
+		if pairs[miss[t].idx].Rater != pairs[miss[t-1].idx].Rater {
+			groups = append(groups, t)
+		}
+	}
+	groups = append(groups, len(miss))
+	s.groupScratch = groups[:0]
+
+	nGroups := len(groups) - 1
 	workers := s.cfg.Workers
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if workers > nGroups {
+		workers = nGroups
 	}
 	if workers <= 1 {
-		for i, k := range pairs {
-			out[i] = s.signalsFor(k)
+		for gi := 0; gi < nGroups; gi++ {
+			s.computeMissGroup(pairs, out, miss[groups[gi]:groups[gi+1]], epoch)
 		}
-	} else {
-		var wg sync.WaitGroup
-		block := (len(pairs) + workers - 1) / workers
-		for lo := 0; lo < len(pairs); lo += block {
-			hi := lo + block
-			if hi > len(pairs) {
-				hi = len(pairs)
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					out[i] = s.signalsFor(pairs[i])
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= nGroups {
+					return
 				}
-			}(lo, hi)
-		}
-		wg.Wait()
+				s.computeMissGroup(pairs, out, miss[groups[gi]:groups[gi+1]], epoch)
+			}
+		}()
 	}
-	m := make(map[rating.PairKey]pairSignals, len(pairs))
-	for i, k := range pairs {
-		m[k] = out[i]
-	}
-	return m
+	wg.Wait()
 }
 
-func (s *SocialTrust) signalsFor(k rating.PairKey) pairSignals {
-	var sig pairSignals
-	if s.cfg.UseCloseness {
-		sig.closeness = s.graph.Closeness(socialgraph.NodeID(k.Rater), socialgraph.NodeID(k.Ratee), s.cfg.Closeness)
-	}
-	if s.cfg.UseSimilarity {
-		if s.cfg.WeightedSimilarity {
-			sig.similar = interest.WeightedSimilarity(s.sets[k.Rater], s.sets[k.Ratee], k.Rater, k.Ratee, s.tracker)
-		} else {
-			sig.similar = interest.Similarity(s.sets[k.Rater], s.sets[k.Ratee])
+// computeMissGroup recomputes the missing signals of one rater's pairs and
+// stores them in the cache. All miss entries share the same rater; closeness
+// goes through the batched single-source path.
+func (s *SocialTrust) computeMissGroup(pairs []rating.PairKey, out []pairSignals, miss []sigMiss, epoch uint64) {
+	rater := pairs[miss[0].idx].Rater
+	var ratees []socialgraph.NodeID
+	var slots []int
+	for _, m := range miss {
+		if m.need&needClose != 0 {
+			ratees = append(ratees, socialgraph.NodeID(pairs[m.idx].Ratee))
+			slots = append(slots, m.idx)
 		}
 	}
-	return sig
+	if len(ratees) > 0 {
+		cs := s.graph.ClosenessFrom(socialgraph.NodeID(rater), ratees, s.cfg.Closeness)
+		for x, idx := range slots {
+			out[idx].closeness = cs[x]
+		}
+	}
+	for _, m := range miss {
+		if m.need&needSim == 0 {
+			continue
+		}
+		k := pairs[m.idx]
+		if s.cfg.WeightedSimilarity {
+			out[m.idx].similar = interest.WeightedSimilarity(s.sets[k.Rater], s.sets[k.Ratee], k.Rater, k.Ratee, s.tracker)
+		} else {
+			out[m.idx].similar = interest.Similarity(s.sets[k.Rater], s.sets[k.Ratee])
+		}
+	}
+	for _, m := range miss {
+		// Storing a weighted-similarity value is harmless: get() never
+		// serves it (the !simStatic branch above recomputes similarity).
+		s.sigCache.put(pairs[m.idx], epoch, out[m.idx])
+	}
 }
 
 // frequencyThresholds derives T+t and T−t for the interval. The paper
@@ -509,19 +646,21 @@ type baseline struct {
 	similarityValues []float64
 }
 
-func (s *SocialTrust) systemBaseline(pairs []rating.PairKey, signals map[rating.PairKey]pairSignals,
+func (s *SocialTrust) systemBaseline(pairs []rating.PairKey, signals []pairSignals,
 	counts map[rating.PairKey]rating.PairCounts, posT, negT float64) baseline {
 
-	var b baseline
-	for _, k := range pairs {
+	// The value slices live in reusable scratch (consumers copy before
+	// sorting); only capacity persists across calls.
+	b := baseline{closenessValues: s.closeVals[:0], similarityValues: s.simVals[:0]}
+	for i, k := range pairs {
 		c := counts[k]
 		if float64(c.Positive) > posT || float64(c.Negative) > negT {
 			continue // frequency-suspicious pairs must not pollute the baseline
 		}
-		sig := signals[k]
-		b.closenessValues = append(b.closenessValues, sig.closeness)
-		b.similarityValues = append(b.similarityValues, sig.similar)
+		b.closenessValues = append(b.closenessValues, signals[i].closeness)
+		b.similarityValues = append(b.similarityValues, signals[i].similar)
 	}
+	s.closeVals, s.simVals = b.closenessValues[:0], b.similarityValues[:0]
 	b.closeness = summarizeBaseline(b.closenessValues)
 	b.similarity = summarizeBaseline(b.similarityValues)
 	return b
@@ -580,19 +719,37 @@ func (s *SocialTrust) chooseBaseline(rater int, system BaselineStats, profile fu
 }
 
 func (s *SocialTrust) profileCloseness(rater int) BaselineStats {
+	epoch := s.graph.Epoch()
+	if e, ok := s.profClose[rater]; ok && e.graphEpoch == epoch && e.histVer == s.histVer {
+		return e.stats
+	}
 	peers := s.hist.RateesOf(rater)
 	ids := make([]socialgraph.NodeID, len(peers))
 	for i, p := range peers {
 		ids[i] = socialgraph.NodeID(p)
 	}
 	prof := s.graph.ProfileCloseness(socialgraph.NodeID(rater), ids, s.cfg.Closeness)
-	return BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
+	st := BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
+	s.profClose[rater] = profCacheEntry{graphEpoch: epoch, histVer: s.histVer, stats: st}
+	return st
 }
 
 func (s *SocialTrust) profileSimilarity(rater int) BaselineStats {
+	// Unweighted similarity profiles depend only on the (static) interest
+	// sets and the rating history, so histVer alone keys the cache; the
+	// weighted form reads the live request tracker and is never cached.
+	if !s.cfg.WeightedSimilarity {
+		if e, ok := s.profSim[rater]; ok && e.histVer == s.histVer {
+			return e.stats
+		}
+	}
 	peers := s.hist.RateesOf(rater)
 	prof := interest.ProfileSimilarity(s.sets[rater], rater, peers, s.sets, s.cfg.WeightedSimilarity, s.tracker)
-	return BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
+	st := BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
+	if !s.cfg.WeightedSimilarity {
+		s.profSim[rater] = profCacheEntry{histVer: s.histVer, stats: st}
+	}
+	return st
 }
 
 // freqScale returns the frequency-normalization factor min(1, F/t) for the

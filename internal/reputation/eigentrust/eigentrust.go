@@ -34,6 +34,7 @@ var (
 	mUpdatesTotal    = obs.C("eigentrust_updates_total")
 	mMaxIterHits     = obs.C("eigentrust_maxiter_hits_total")
 	mUpdateLat       = obs.H("eigentrust_update_seconds")
+	mCSRRebuilds     = obs.C("eigentrust_csr_rebuilds_total")
 )
 
 // Config parameterizes an EigenTrust engine.
@@ -85,7 +86,48 @@ type Engine struct {
 	// scratch buffers reused across updates
 	next []float64
 
+	csr csrState
+
 	stats Stats
+}
+
+// csrState is the incrementally maintained compressed-sparse-row form of
+// the row-normalized local-trust matrix. The structural arrays (rowPtr /
+// colIdx / the forward→transposed permutation) are rebuilt — into reusable
+// scratch buffers — only when the outlink set changes shape; value-only
+// changes refresh the val arrays in place. All walks run raters ascending
+// with each row's ratees ascending, so float summation order (and therefore
+// the trust vector, bitwise) is identical to a from-scratch rebuild.
+type csrState struct {
+	shapeDirty bool // an outlink appeared or vanished: rebuild structure
+	valsDirty  bool // only trust values changed: refresh values in place
+
+	// Forward (rater-major) structure: fCol[fRowPtr[i]:fRowPtr[i+1]] lists
+	// rater i's ratees ascending; fVal holds the raw positive sums.
+	fRowPtr []int32
+	fCol    []int32
+	fVal    []float64
+	perm    []int32 // forward slot -> transposed slot
+
+	// Transposed (ratee-major) structure consumed by the power iteration:
+	// tCol[tRowPtr[j]:tRowPtr[j+1]] lists j's raters ascending, tVal the
+	// normalized trust c_ij.
+	tRowPtr []int32
+	tCol    []int32
+	tVal    []float64
+
+	rowTotal []float64 // per-rater normalization totals (0 = dangling row)
+	cnt      []int32   // rebuild scratch: per-ratee entry counts / cursors
+	ratees   []int     // rebuild scratch: per-row sort buffer
+}
+
+// grown returns s resized to n elements, reusing its backing array when the
+// capacity suffices.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // Stats describes the engine's most recent power iteration.
@@ -143,21 +185,28 @@ func (e *Engine) Reset() {
 	e.out = make(map[int]map[int]float64)
 	e.t = append([]float64(nil), e.p...)
 	e.next = make([]float64, e.cfg.NumNodes)
+	e.csr.shapeDirty = true
 	e.stats = Stats{}
 }
 
 // ResetNode implements reputation.Engine: all local trust issued by or
-// about the node is forgotten and the global vector recomputed.
+// about the node is forgotten and the global vector recomputed. Affected
+// keys are collected before any mutation so applyLocal runs against a
+// stable view of the sums table.
 func (e *Engine) ResetNode(node int) {
 	if node < 0 || node >= e.cfg.NumNodes {
 		panic(fmt.Sprintf("eigentrust: node %d out of range", node))
 	}
+	var keys []rating.PairKey
 	for k := range e.sums {
 		if k.Rater == node || k.Ratee == node {
-			old := e.sums[k]
-			delete(e.sums, k)
-			e.applyLocal(k, old, 0)
+			keys = append(keys, k)
 		}
+	}
+	for _, k := range keys {
+		old := e.sums[k]
+		delete(e.sums, k)
+		e.applyLocal(k, old, 0)
 	}
 	e.powerIterate()
 }
@@ -174,63 +223,144 @@ func (e *Engine) Update(snap rating.Snapshot) {
 	e.powerIterate()
 }
 
-// applyLocal maintains the positive-part outlink map incrementally.
+// applyLocal maintains the positive-part outlink map incrementally and
+// marks the CSR dirty: structurally when an outlink appears or vanishes,
+// value-only when an existing entry just changes magnitude.
 func (e *Engine) applyLocal(k rating.PairKey, old, now float64) {
 	oldPos, nowPos := old > 0, now > 0
 	switch {
-	case nowPos:
+	case nowPos && !oldPos:
 		row := e.out[k.Rater]
 		if row == nil {
 			row = make(map[int]float64)
 			e.out[k.Rater] = row
 		}
 		row[k.Ratee] = now
+		e.csr.shapeDirty = true
+	case nowPos:
+		e.out[k.Rater][k.Ratee] = now
+		e.csr.valsDirty = true
 	case oldPos && !nowPos:
 		delete(e.out[k.Rater], k.Ratee)
 		if len(e.out[k.Rater]) == 0 {
 			delete(e.out, k.Rater)
 		}
+		e.csr.shapeDirty = true
 	}
 }
 
-// inEntry is one transposed matrix entry: trust flowing into a node.
-type inEntry struct {
-	from int
-	c    float64
-}
-
-// powerIterate recomputes the global trust vector t, recording iteration
-// count and final L1 residual in Stats (and the eigentrust_* metrics).
-func (e *Engine) powerIterate() {
-	sp := mUpdateLat.Start()
+// rebuildCSR reconstructs the sparse structure from the outlink map into
+// the reusable scratch buffers: forward rows first (raters ascending,
+// ratees ascending within a row), then a counting pass lays out the
+// transposed rows and the forward→transposed permutation. Entry order in
+// every transposed row is ascending source ID — exactly the order the
+// from-scratch [][]inEntry build produced — so the power iteration's float
+// summation order is unchanged.
+func (e *Engine) rebuildCSR() {
+	c := &e.csr
 	n := e.cfg.NumNodes
-	// Build the transposed, row-normalized matrix. Rows with no positive
-	// outlink are "dangling": their mass goes to the pretrust distribution,
-	// handled in aggregate via danglingMass below.
-	in := make([][]inEntry, n)
-	rowTotal := make([]float64, n)
-	// Walk raters and ratees in ID order so the transposed entry lists (and
-	// therefore the float summation order) are deterministic.
+	nnz := 0
+	for _, row := range e.out {
+		nnz += len(row)
+	}
+	c.fRowPtr = grown(c.fRowPtr, n+1)
+	c.tRowPtr = grown(c.tRowPtr, n+1)
+	c.fCol = grown(c.fCol, nnz)
+	c.tCol = grown(c.tCol, nnz)
+	c.perm = grown(c.perm, nnz)
+	c.fVal = grown(c.fVal, nnz)
+	c.tVal = grown(c.tVal, nnz)
+	c.rowTotal = grown(c.rowTotal, n)
+	c.cnt = grown(c.cnt, n)
+
+	slot := int32(0)
 	for i := 0; i < n; i++ {
+		c.fRowPtr[i] = slot
 		row := e.out[i]
 		if len(row) == 0 {
 			continue
 		}
-		ratees := make([]int, 0, len(row))
+		ratees := c.ratees[:0]
 		for j := range row {
 			ratees = append(ratees, j)
 		}
 		sort.Ints(ratees)
-		total := 0.0
+		c.ratees = ratees[:0]
 		for _, j := range ratees {
-			total += row[j]
-		}
-		rowTotal[i] = total
-		for _, j := range ratees {
-			in[j] = append(in[j], inEntry{from: i, c: row[j] / total})
+			c.fCol[slot] = int32(j)
+			slot++
 		}
 	}
-	hasOut := func(i int) bool { return rowTotal[i] > 0 }
+	c.fRowPtr[n] = slot
+
+	for j := 0; j < n; j++ {
+		c.cnt[j] = 0
+	}
+	for s := int32(0); s < slot; s++ {
+		c.cnt[c.fCol[s]]++
+	}
+	run := int32(0)
+	for j := 0; j < n; j++ {
+		c.tRowPtr[j] = run
+		run += c.cnt[j]
+		c.cnt[j] = c.tRowPtr[j] // becomes the fill cursor below
+	}
+	c.tRowPtr[n] = run
+	for i := 0; i < n; i++ {
+		for s := c.fRowPtr[i]; s < c.fRowPtr[i+1]; s++ {
+			j := c.fCol[s]
+			tslot := c.cnt[j]
+			c.cnt[j] = tslot + 1
+			c.tCol[tslot] = int32(i)
+			c.perm[s] = tslot
+		}
+	}
+	c.shapeDirty = false
+	e.refreshCSRValues()
+}
+
+// refreshCSRValues recomputes row totals and normalized values against the
+// current sums without touching the structure. Totals accumulate in
+// ascending-ratee order, matching the reference rebuild bit for bit.
+func (e *Engine) refreshCSRValues() {
+	c := &e.csr
+	n := e.cfg.NumNodes
+	for i := 0; i < n; i++ {
+		lo, hi := c.fRowPtr[i], c.fRowPtr[i+1]
+		if lo == hi {
+			c.rowTotal[i] = 0
+			continue
+		}
+		row := e.out[i]
+		total := 0.0
+		for s := lo; s < hi; s++ {
+			v := row[int(c.fCol[s])]
+			c.fVal[s] = v
+			total += v
+		}
+		c.rowTotal[i] = total
+		for s := lo; s < hi; s++ {
+			c.tVal[c.perm[s]] = c.fVal[s] / total
+		}
+	}
+	c.valsDirty = false
+}
+
+// powerIterate recomputes the global trust vector t, recording iteration
+// count and final L1 residual in Stats (and the eigentrust_* metrics). The
+// sparse matrix is reused from the previous update: a from-scratch rebuild
+// happens only when the outlink set changed shape, a value refresh when
+// only magnitudes moved, and neither on a no-op recompute.
+func (e *Engine) powerIterate() {
+	sp := mUpdateLat.Start()
+	n := e.cfg.NumNodes
+	if e.csr.shapeDirty {
+		e.rebuildCSR()
+		mCSRRebuilds.Inc()
+	} else if e.csr.valsDirty {
+		e.refreshCSRValues()
+	}
+	rowTotal := e.csr.rowTotal
 
 	a := e.cfg.PretrustWeight
 	t := e.t
@@ -240,11 +370,11 @@ func (e *Engine) powerIterate() {
 		// Mass held by dangling rows redistributes along p.
 		dangling := 0.0
 		for i := 0; i < n; i++ {
-			if !hasOut(i) {
+			if rowTotal[i] <= 0 {
 				dangling += t[i]
 			}
 		}
-		e.applyStep(in, t, next, a, dangling)
+		e.applyStep(t, next, a, dangling)
 		diff := 0.0
 		for i := range t {
 			d := next[i] - t[i]
@@ -272,9 +402,12 @@ func (e *Engine) powerIterate() {
 	}
 }
 
-// applyStep computes next = (1−a)·(Cᵀt + dangling·p) + a·p, parallelized
-// across destination-node blocks when cfg.Workers > 1.
-func (e *Engine) applyStep(in [][]inEntry, t, next []float64, a, dangling float64) {
+// applyStep computes next = (1−a)·(Cᵀt + dangling·p) + a·p over the
+// transposed CSR, parallelized across destination-node blocks when
+// cfg.Workers > 1. The flat colIdx/val arrays keep the inner loop free of
+// per-entry pointer chasing and allocation.
+func (e *Engine) applyStep(t, next []float64, a, dangling float64) {
+	c := &e.csr
 	n := len(t)
 	workers := e.cfg.Workers
 	if workers > n {
@@ -283,8 +416,8 @@ func (e *Engine) applyStep(in [][]inEntry, t, next []float64, a, dangling float6
 	compute := func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			sum := 0.0
-			for _, entry := range in[j] {
-				sum += entry.c * t[entry.from]
+			for s := c.tRowPtr[j]; s < c.tRowPtr[j+1]; s++ {
+				sum += c.tVal[s] * t[c.tCol[s]]
 			}
 			next[j] = (1-a)*(sum+dangling*e.p[j]) + a*e.p[j]
 		}

@@ -48,3 +48,37 @@ func BenchmarkShortestPath(b *testing.B) {
 		g.ShortestPath(NodeID(i%500), NodeID((i+137)%500), 6)
 	}
 }
+
+// BenchmarkClosenessFrom measures the batched single-source path: one rater
+// against 64 spread-out ratees, sharing one BFS tree and memoized adjacent
+// closenesses across the whole batch.
+func BenchmarkClosenessFrom(b *testing.B) {
+	g := benchGraph()
+	p := DefaultClosenessParams()
+	ratees := make([]NodeID, 64)
+	for k := range ratees {
+		ratees[k] = NodeID((k*7 + 3) % 500)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ClosenessFrom(NodeID(i%500), ratees, p)
+	}
+}
+
+// BenchmarkClosenessPerPair is the same workload as BenchmarkClosenessFrom
+// issued as 64 independent per-pair queries — the before/after comparison
+// for the batched path.
+func BenchmarkClosenessPerPair(b *testing.B) {
+	g := benchGraph()
+	p := DefaultClosenessParams()
+	ratees := make([]NodeID, 64)
+	for k := range ratees {
+		ratees[k] = NodeID((k*7 + 3) % 500)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range ratees {
+			g.Closeness(NodeID(i%500), j, p)
+		}
+	}
+}

@@ -43,27 +43,33 @@ func (p ClosenessParams) maxHops() int {
 //     closeness.
 func (g *Graph) Closeness(i, j NodeID, p ClosenessParams) float64 {
 	g.validate(i, j)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.closenessLocked(i, j, p)
+}
+
+func (g *Graph) closenessLocked(i, j NodeID, p ClosenessParams) float64 {
 	if i == j {
 		return 0
 	}
-	if g.Adjacent(i, j) {
-		return g.adjacentCloseness(i, j, p)
+	if g.adjacentLocked(i, j) {
+		return g.adjacentClosenessLocked(i, j, p)
 	}
-	common := g.CommonFriends(i, j)
+	common := g.commonFriendsLocked(i, j, nil)
 	if len(common) > 0 {
 		sum := 0.0
 		for _, k := range common {
-			sum += (g.adjacentCloseness(i, k, p) + g.adjacentCloseness(k, j, p)) / 2
+			sum += (g.adjacentClosenessLocked(i, k, p) + g.adjacentClosenessLocked(k, j, p)) / 2
 		}
 		return sum
 	}
-	path := g.ShortestPath(i, j, p.maxHops())
+	path := g.shortestPathLocked(i, j, p.maxHops())
 	if path == nil {
 		return 0
 	}
 	min := -1.0
 	for h := 0; h+1 < len(path); h++ {
-		c := g.adjacentCloseness(path[h], path[h+1], p)
+		c := g.adjacentClosenessLocked(path[h], path[h+1], p)
 		if min < 0 || c < min {
 			min = c
 		}
@@ -74,9 +80,11 @@ func (g *Graph) Closeness(i, j NodeID, p ClosenessParams) float64 {
 	return min
 }
 
-// adjacentCloseness evaluates the adjacent case of Equation 2 / Equation 10.
-func (g *Graph) adjacentCloseness(i, j NodeID, p ClosenessParams) float64 {
-	strength := g.relationshipStrength(i, j, p.Weighted, p.Lambda)
+// adjacentClosenessLocked evaluates the adjacent case of Equation 2 /
+// Equation 10; callers hold at least the topology read lock. Interaction
+// reads go through the striped row locks, not g.mu.
+func (g *Graph) adjacentClosenessLocked(i, j NodeID, p ClosenessParams) float64 {
+	strength := g.relationshipStrengthLocked(i, j, p.Weighted, p.Lambda)
 	if strength == 0 {
 		return 0
 	}
@@ -84,13 +92,167 @@ func (g *Graph) adjacentCloseness(i, j NodeID, p ClosenessParams) float64 {
 	if total == 0 {
 		// No interactions recorded yet: assume uniform frequency over the
 		// friend set so closeness reduces to strength/|S_i|.
-		deg := g.Degree(i)
+		deg := len(g.adj[i])
 		if deg == 0 {
 			return 0
 		}
 		return strength / float64(deg)
 	}
 	return strength * g.InteractionFrequency(i, j) / total
+}
+
+// ClosenessFrom computes Ωc(i, j) for every ratee j in one batched pass.
+// The results are element-wise bit-identical to calling Closeness(i, j, p)
+// per pair on a quiescent graph, but all of rater i's pairs share one BFS
+// tree, one common-friend index, and memoized adjacent closenesses and
+// interaction totals, so the cost is O(V+E) once plus O(deg) per ratee
+// instead of a fresh BFS per pair.
+func (g *Graph) ClosenessFrom(i NodeID, ratees []NodeID, p ClosenessParams) []float64 {
+	g.validate(i)
+	g.validate(ratees...)
+	out := make([]float64, len(ratees))
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	b := newClosenessBatch(g, i, p)
+	for idx, j := range ratees {
+		out[idx] = b.closeness(j)
+	}
+	return out
+}
+
+// closenessBatch is the shared state of one ClosenessFrom/ProfileCloseness
+// pass: every quantity that depends only on the source node i is computed
+// once and memoized across ratees. Callers hold the topology read lock for
+// the batch's whole lifetime.
+type closenessBatch struct {
+	g *Graph
+	i NodeID
+	p ClosenessParams
+
+	fromI  map[NodeID]float64 // memoized adjacent closeness Ωc(i,k) for friends k
+	totals map[NodeID]float64 // memoized TotalInteractionsFrom per source node
+
+	bfsDone  bool
+	parent   []NodeID // BFS tree from i (parent[i] == i, unvisited == -1)
+	cfBuf    []NodeID // common-friend scratch
+	frontier []NodeID // BFS scratch
+}
+
+func newClosenessBatch(g *Graph, i NodeID, p ClosenessParams) *closenessBatch {
+	return &closenessBatch{
+		g:      g,
+		i:      i,
+		p:      p,
+		fromI:  make(map[NodeID]float64),
+		totals: make(map[NodeID]float64),
+	}
+}
+
+// closeness mirrors Graph.closenessLocked case by case; each branch
+// evaluates the exact expressions of the per-pair path in the same order so
+// the float results are bit-identical.
+func (b *closenessBatch) closeness(j NodeID) float64 {
+	g, i := b.g, b.i
+	if i == j {
+		return 0
+	}
+	if g.adjacentLocked(i, j) {
+		return b.adjFromI(j)
+	}
+	b.cfBuf = g.commonFriendsLocked(i, j, b.cfBuf[:0])
+	if len(b.cfBuf) > 0 {
+		sum := 0.0
+		for _, k := range b.cfBuf {
+			sum += (b.adjFromI(k) + b.adjClose(k, j)) / 2
+		}
+		return sum
+	}
+	if !b.bfsDone {
+		b.buildBFS()
+	}
+	if b.parent[j] < 0 {
+		return 0
+	}
+	// Walk the unique tree path j → i. The per-pair BFS assigns identical
+	// parents (same ID-order expansion), so this is the same path and the
+	// same minimum.
+	min := -1.0
+	for cur := j; cur != i; {
+		par := b.parent[cur]
+		c := b.adjClose(par, cur)
+		if min < 0 || c < min {
+			min = c
+		}
+		cur = par
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// adjFromI memoizes the adjacent closeness from the batch source i.
+func (b *closenessBatch) adjFromI(k NodeID) float64 {
+	if v, ok := b.fromI[k]; ok {
+		return v
+	}
+	v := b.adjClose(b.i, k)
+	b.fromI[k] = v
+	return v
+}
+
+// adjClose is adjacentClosenessLocked with the per-source interaction total
+// memoized for the batch.
+func (b *closenessBatch) adjClose(u, v NodeID) float64 {
+	g, p := b.g, b.p
+	strength := g.relationshipStrengthLocked(u, v, p.Weighted, p.Lambda)
+	if strength == 0 {
+		return 0
+	}
+	total, ok := b.totals[u]
+	if !ok {
+		total = g.TotalInteractionsFrom(u)
+		b.totals[u] = total
+	}
+	if total == 0 {
+		deg := len(g.adj[u])
+		if deg == 0 {
+			return 0
+		}
+		return strength / float64(deg)
+	}
+	return strength * g.InteractionFrequency(u, v) / total
+}
+
+// buildBFS runs one full breadth-first pass from i, bounded by the hop
+// cutoff, expanding neighbors in ID order — the same discovery order as the
+// per-pair shortestPathLocked, so every reachable node gets the same parent.
+func (b *closenessBatch) buildBFS() {
+	g := b.g
+	parent := make([]NodeID, g.n)
+	for x := range parent {
+		parent[x] = -1
+	}
+	parent[b.i] = b.i
+	frontier := append(b.frontier[:0], b.i)
+	maxHops := b.p.maxHops()
+	var scratch []NodeID
+	for depth := 0; len(frontier) > 0 && depth < maxHops; depth++ {
+		var next []NodeID
+		for _, u := range frontier {
+			scratch = g.friendsLocked(u, scratch[:0])
+			for _, v := range scratch {
+				if parent[v] >= 0 {
+					continue
+				}
+				parent[v] = u
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	b.parent = parent
+	b.bfsDone = true
 }
 
 // ClosenessProfile summarizes node i's closeness to a set of peers it has
@@ -102,11 +264,17 @@ type ClosenessProfile struct {
 }
 
 // ProfileCloseness computes the ClosenessProfile of node i over peers.
-// An empty peer set yields a zero profile.
+// An empty peer set yields a zero profile. It runs on the batched
+// closeness path, sharing one BFS and memo table across the peer set.
 func (g *Graph) ProfileCloseness(i NodeID, peers []NodeID, p ClosenessParams) ClosenessProfile {
+	g.validate(i)
+	g.validate(peers...)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	b := newClosenessBatch(g, i, p)
 	var prof ClosenessProfile
 	for idx, j := range peers {
-		c := g.Closeness(i, j, p)
+		c := b.closeness(j)
 		if idx == 0 {
 			prof.Min, prof.Max = c, c
 		} else {

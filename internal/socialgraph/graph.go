@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a peer in the social network. IDs are dense indices in
@@ -86,11 +87,21 @@ type edge struct {
 }
 
 // Graph is an undirected social multigraph plus a directed interaction
-// table. Topology mutation (AddEdge/AddRelationship) is not safe to run
-// concurrently with queries; interaction recording IS safe for concurrent
-// use (per-source striped locks), because the simulator records interactions
-// from many client goroutines while the topology stays frozen.
+// table. Topology is guarded by an RWMutex so concurrent closeness/BFS
+// queries proceed in parallel and only topology mutation
+// (AddRelationship/RemoveNodeEdges) takes the exclusive lock. Interaction
+// recording uses per-source striped locks, because the simulator records
+// interactions from many client goroutines while queries run.
+//
+// Every mutator — AddRelationship, RecordInteraction, RemoveNodeEdges,
+// ResetInteractions — bumps a monotonically increasing epoch counter
+// (Epoch). Any value derived purely from graph state (closeness, profiles)
+// is valid for as long as the epoch is unchanged, which is the invalidation
+// contract the core package's signal cache is built on.
 type Graph struct {
+	mu    sync.RWMutex // guards adj
+	epoch atomic.Uint64
+
 	n   int
 	adj []map[NodeID]*edge
 
@@ -118,6 +129,14 @@ func New(n int) *Graph {
 // NumNodes reports the number of nodes in the graph.
 func (g *Graph) NumNodes() int { return g.n }
 
+// Epoch returns the graph's version counter. It increases on every mutation
+// (topology or interaction); two reads observing the same epoch bracket a
+// window in which every derived quantity was stable.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+
+// bump advances the epoch after any mutation.
+func (g *Graph) bump() { g.epoch.Add(1) }
+
 // validate panics on out-of-range IDs; topology construction errors are
 // programming errors in experiment setup, not runtime conditions.
 func (g *Graph) validate(ids ...NodeID) {
@@ -136,8 +155,11 @@ func (g *Graph) AddRelationship(i, j NodeID, r Relationship) {
 	if i == j {
 		panic("socialgraph: self relationship")
 	}
+	g.mu.Lock()
 	g.addHalf(i, j, r)
 	g.addHalf(j, i, r)
+	g.mu.Unlock()
+	g.bump()
 }
 
 func (g *Graph) addHalf(i, j NodeID, r Relationship) {
@@ -155,6 +177,12 @@ func (g *Graph) addHalf(i, j NodeID, r Relationship) {
 // Adjacent reports whether i and j share a friendship edge.
 func (g *Graph) Adjacent(i, j NodeID) bool {
 	g.validate(i, j)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.adjacentLocked(i, j)
+}
+
+func (g *Graph) adjacentLocked(i, j NodeID) bool {
 	_, ok := g.adj[i][j]
 	return ok
 }
@@ -163,6 +191,8 @@ func (g *Graph) Adjacent(i, j NodeID) bool {
 // adjacent nodes (0 when not adjacent).
 func (g *Graph) RelationshipCount(i, j NodeID) int {
 	g.validate(i, j)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	if e, ok := g.adj[i][j]; ok {
 		return len(e.rels)
 	}
@@ -172,6 +202,8 @@ func (g *Graph) RelationshipCount(i, j NodeID) int {
 // Relationships returns a copy of the relationship list between i and j.
 func (g *Graph) Relationships(i, j NodeID) []Relationship {
 	g.validate(i, j)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	e, ok := g.adj[i][j]
 	if !ok {
 		return nil
@@ -179,13 +211,14 @@ func (g *Graph) Relationships(i, j NodeID) []Relationship {
 	return append([]Relationship(nil), e.rels...)
 }
 
-// relationshipStrength evaluates the relationship term of the closeness
-// formula. With weighted=false it is the plain multiplicity m(i,j)
-// (Equation 2). With weighted=true it is Σ_l λ^(l−1)·w_dl over the
-// relationship list sorted by descending weight (Equation 10), which damps
-// the marginal value of piling on extra weak relationships — the
-// falsification counterattack of Section 4.4.
-func (g *Graph) relationshipStrength(i, j NodeID, weighted bool, lambda float64) float64 {
+// relationshipStrengthLocked evaluates the relationship term of the
+// closeness formula; callers hold at least the read lock. With
+// weighted=false it is the plain multiplicity m(i,j) (Equation 2). With
+// weighted=true it is Σ_l λ^(l−1)·w_dl over the relationship list sorted by
+// descending weight (Equation 10), which damps the marginal value of piling
+// on extra weak relationships — the falsification counterattack of
+// Section 4.4.
+func (g *Graph) relationshipStrengthLocked(i, j NodeID, weighted bool, lambda float64) float64 {
 	e, ok := g.adj[i][j]
 	if !ok {
 		return 0
@@ -209,35 +242,55 @@ func (g *Graph) relationshipStrength(i, j NodeID, weighted bool, lambda float64)
 // Friends returns the neighbor set S_i of node i in ascending order.
 func (g *Graph) Friends(i NodeID) []NodeID {
 	g.validate(i)
-	out := make([]NodeID, 0, len(g.adj[i]))
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.friendsLocked(i, nil)
+}
+
+// friendsLocked appends i's neighbors in ascending order to buf (which may
+// be nil) and returns the extended slice; callers hold the read lock.
+func (g *Graph) friendsLocked(i NodeID, buf []NodeID) []NodeID {
+	start := len(buf)
 	for j := range g.adj[i] {
-		out = append(out, j)
+		buf = append(buf, j)
 	}
+	out := buf[start:]
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	return buf
 }
 
 // Degree returns |S_i|, the number of friends of i.
 func (g *Graph) Degree(i NodeID) int {
 	g.validate(i)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return len(g.adj[i])
 }
 
 // CommonFriends returns S_i ∩ S_j in ascending order.
 func (g *Graph) CommonFriends(i, j NodeID) []NodeID {
 	g.validate(i, j)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.commonFriendsLocked(i, j, nil)
+}
+
+// commonFriendsLocked appends S_i ∩ S_j in ascending order to buf; callers
+// hold the read lock.
+func (g *Graph) commonFriendsLocked(i, j NodeID, buf []NodeID) []NodeID {
 	small, large := g.adj[i], g.adj[j]
 	if len(large) < len(small) {
 		small, large = large, small
 	}
-	var out []NodeID
+	start := len(buf)
 	for k := range small {
 		if _, ok := large[k]; ok {
-			out = append(out, k)
+			buf = append(buf, k)
 		}
 	}
+	out := buf[start:]
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
+	return buf
 }
 
 // NoPath is returned by Distance when no path exists within the cutoff.
@@ -258,6 +311,12 @@ func (g *Graph) Distance(i, j NodeID, maxHops int) int {
 // both endpoints, or nil if none exists within maxHops (<= 0 for unbounded).
 func (g *Graph) ShortestPath(i, j NodeID, maxHops int) []NodeID {
 	g.validate(i, j)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.shortestPathLocked(i, j, maxHops)
+}
+
+func (g *Graph) shortestPathLocked(i, j NodeID, maxHops int) []NodeID {
 	if i == j {
 		return []NodeID{i}
 	}
@@ -265,6 +324,7 @@ func (g *Graph) ShortestPath(i, j NodeID, maxHops int) []NodeID {
 	prev[i] = i
 	frontier := []NodeID{i}
 	depth := 0
+	var scratch []NodeID
 	for len(frontier) > 0 {
 		if maxHops > 0 && depth >= maxHops {
 			return nil
@@ -275,7 +335,8 @@ func (g *Graph) ShortestPath(i, j NodeID, maxHops int) []NodeID {
 			// Expand neighbors in ID order so the returned path (and any
 			// closeness derived from it) is deterministic rather than
 			// map-iteration dependent.
-			for _, v := range g.Friends(u) {
+			scratch = g.friendsLocked(u, scratch[:0])
+			for _, v := range scratch {
 				if _, seen := prev[v]; seen {
 					continue
 				}
@@ -312,6 +373,7 @@ func (g *Graph) RecordInteraction(i, j NodeID, w float64) {
 	}
 	row.counts[j] += w
 	row.mu.Unlock()
+	g.bump()
 }
 
 // InteractionFrequency returns f(i,j), the accumulated directed interaction
@@ -344,14 +406,17 @@ func (g *Graph) TotalInteractionsFrom(i NodeID) float64 {
 // remember having interacted with the departed identity.
 func (g *Graph) RemoveNodeEdges(i NodeID) {
 	g.validate(i)
+	g.mu.Lock()
 	for j := range g.adj[i] {
 		delete(g.adj[j], i)
 	}
 	g.adj[i] = nil
+	g.mu.Unlock()
 	row := &g.interactions[i]
 	row.mu.Lock()
 	row.counts = nil
 	row.mu.Unlock()
+	g.bump()
 }
 
 // ResetInteractions clears the interaction table, used between trace epochs.
@@ -362,4 +427,5 @@ func (g *Graph) ResetInteractions() {
 		row.counts = nil
 		row.mu.Unlock()
 	}
+	g.bump()
 }

@@ -318,8 +318,8 @@ func TestWeightedDampsRelationshipStuffing(t *testing.T) {
 	for k := 0; k < 10; k++ {
 		g.AddRelationship(0, 1, Relationship{Kind: Friendship})
 	}
-	raw := g.relationshipStrength(0, 1, false, 0)
-	weighted := g.relationshipStrength(0, 1, true, 0.5)
+	raw := g.relationshipStrengthLocked(0, 1, false, 0)
+	weighted := g.relationshipStrengthLocked(0, 1, true, 0.5)
 	if raw != 10 {
 		t.Fatalf("raw strength = %v", raw)
 	}

@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
-# scripts/bench.sh — emit a machine-readable benchmark snapshot
-# (BENCH_obs.json) covering the manager overlay submit/query round trips and
-# one EigenTrust power-iteration update, seeding the repository's perf
-# trajectory. Usage:
+# scripts/bench.sh — emit machine-readable benchmark snapshots:
 #
-#   scripts/bench.sh [output.json]
+#   BENCH_obs.json  — manager overlay submit/query round trips and one
+#                     EigenTrust power-iteration update (the PR-1 set).
+#   BENCH_perf.json — the hot-path perf set: warm/cold cache Adjust, the
+#                     batched vs per-pair closeness, and the CSR power
+#                     iteration, tracking the signal-cache and CSR work.
+#
+# Usage:
+#
+#   scripts/bench.sh [obs-output.json] [perf-output.json]
 #
 # BENCHTIME (default 1s) tunes go test -benchtime; use e.g. BENCHTIME=100x
 # for a quick smoke pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_obs.json}
+OUT_OBS=${1:-BENCH_obs.json}
+OUT_PERF=${2:-BENCH_perf.json}
 BENCHTIME=${BENCHTIME:-1s}
 
 raw=$(
@@ -19,27 +25,38 @@ raw=$(
     -benchtime "$BENCHTIME" ./internal/manager
   go test -run '^$' -bench '^BenchmarkPowerIterationParallel500$' \
     -benchtime "$BENCHTIME" ./internal/reputation/eigentrust
+  go test -run '^$' -bench '^(BenchmarkAdjustWarmCache|BenchmarkAdjustColdCache)$' \
+    -benchtime "$BENCHTIME" ./internal/core
+  go test -run '^$' -bench '^(BenchmarkClosenessFrom|BenchmarkClosenessPerPair)$' \
+    -benchtime "$BENCHTIME" ./internal/socialgraph
 )
 echo "$raw"
 
-echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-  BEGIN { n = 0 }
-  /^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    sub(/^Benchmark/, "", name)
-    vals[n] = $3
-    names[n++] = name
-  }
-  END {
-    printf "{\n"
-    printf "  \"generated\": \"%s\",\n", date
-    printf "  \"unit\": \"ns/op\",\n"
-    printf "  \"benchmarks\": {\n"
-    for (i = 0; i < n; i++)
-      printf "    \"%s\": %s%s\n", names[i], vals[i], (i < n - 1 ? "," : "")
-    printf "  }\n}\n"
-  }
-' > "$OUT"
+# emit_json FILTER OUT — collect "Benchmark<Name> ... <ns/op>" lines whose
+# bare name matches the regex FILTER into a JSON snapshot at OUT.
+emit_json() {
+  echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v filter="$1" '
+    BEGIN { n = 0 }
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      sub(/^Benchmark/, "", name)
+      if (name !~ filter) next
+      vals[n] = $3
+      names[n++] = name
+    }
+    END {
+      printf "{\n"
+      printf "  \"generated\": \"%s\",\n", date
+      printf "  \"unit\": \"ns/op\",\n"
+      printf "  \"benchmarks\": {\n"
+      for (i = 0; i < n; i++)
+        printf "    \"%s\": %s%s\n", names[i], vals[i], (i < n - 1 ? "," : "")
+      printf "  }\n}\n"
+    }
+  ' > "$2"
+  echo "wrote $2"
+}
 
-echo "wrote $OUT"
+emit_json '^(OverlaySubmit|OverlayQuery|PowerIterationParallel500)$' "$OUT_OBS"
+emit_json '^(PowerIterationParallel500|AdjustWarmCache|AdjustColdCache|ClosenessFrom|ClosenessPerPair)$' "$OUT_PERF"
