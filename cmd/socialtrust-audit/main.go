@@ -1,0 +1,158 @@
+// Command socialtrust-audit analyzes a decision-audit directory written by
+// an audited simulation run (socialtrust-sim -audit, stress -audit, or any
+// program setting SimConfig.AuditDir): it joins the flight recorder's
+// FilterDecision events against the run's ground truth and reports how well
+// the B1–B4 behaviors detected the real collusion edges.
+//
+//	socialtrust-audit <dir>                  # detection-quality table
+//	socialtrust-audit -per-cycle <dir>       # plus one line per cycle
+//	socialtrust-audit -json <dir>            # merged JSON report on stdout
+//	socialtrust-audit -rater 12 <dir>        # decisions by rater 12
+//	socialtrust-audit -behavior B3 <dir>     # decisions where B3 fired
+//	socialtrust-audit -cycle 5 <dir>         # decisions in cycle 5
+//
+// The filter flags (-rater, -ratee, -behavior, -cycle) compose; when any is
+// given, the matching decisions are listed with their full evidence chain
+// instead of the aggregate table.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"socialtrust"
+)
+
+func main() {
+	var (
+		rater    = flag.Int("rater", -1, "only decisions by this rater")
+		ratee    = flag.Int("ratee", -1, "only decisions against this ratee")
+		behavior = flag.String("behavior", "", "only decisions where this behavior fired (B1|B2|B3|B4)")
+		cycle    = flag.Int("cycle", 0, "only decisions in this 1-based cycle")
+		perCycle = flag.Bool("per-cycle", false, "also print the per-cycle detection table")
+		asJSON   = flag.Bool("json", false, "emit the merged report (ground truth + scores) as JSON")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: socialtrust-audit [flags] <audit-dir>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	wantMask, err := parseBehavior(*behavior)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "socialtrust-audit: %v\n", err)
+		os.Exit(2)
+	}
+
+	gt, events, err := socialtrust.LoadAuditDir(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "socialtrust-audit: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Filtered forensics view: list matching decisions instead of scoring.
+	if *rater >= 0 || *ratee >= 0 || wantMask != 0 || *cycle > 0 {
+		listDecisions(gt, events, *rater, *ratee, wantMask, *cycle)
+		return
+	}
+
+	rep := socialtrust.ScoreDetection(gt, events)
+	if *asJSON {
+		out := struct {
+			GroundTruth socialtrust.AuditGroundTruth `json:"ground_truth"`
+			Report      socialtrust.DetectionReport  `json:"report"`
+		}{gt, rep}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "socialtrust-audit: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "socialtrust-audit: %v\n", err)
+		os.Exit(1)
+	}
+	if *perCycle {
+		fmt.Println()
+		if err := rep.WritePerCycle(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "socialtrust-audit: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// parseBehavior maps "B1".."B4" (or a "B1|B3" union) to a behavior mask.
+func parseBehavior(s string) (socialtrust.Behavior, error) {
+	if s == "" {
+		return 0, nil
+	}
+	var mask socialtrust.Behavior
+	for _, tok := range strings.Split(s, "|") {
+		switch strings.ToUpper(strings.TrimSpace(tok)) {
+		case "B1":
+			mask |= socialtrust.B1
+		case "B2":
+			mask |= socialtrust.B2
+		case "B3":
+			mask |= socialtrust.B3
+		case "B4":
+			mask |= socialtrust.B4
+		default:
+			return 0, fmt.Errorf("unknown behavior %q (want B1..B4)", tok)
+		}
+	}
+	return mask, nil
+}
+
+// listDecisions prints every FilterDecision matching the filters, flagging
+// whether its pair is a real collusion edge in the ground truth.
+func listDecisions(gt socialtrust.AuditGroundTruth, events []socialtrust.AuditEvent,
+	rater, ratee int, mask socialtrust.Behavior, cycle int) {
+
+	type pair struct{ from, to int }
+	truth := make(map[pair]bool)
+	for _, e := range gt.Edges {
+		truth[pair{e.From, e.To}] = true
+	}
+
+	fmt.Printf("%-6s %6s %6s %-9s %7s %7s %5s %5s %8s %8s %8s %9s %9s %s\n",
+		"cycle", "rater", "ratee", "behavior", "close", "simil",
+		"pos", "neg", "gauss", "freq", "weight", "pre", "post", "truth")
+	shown := 0
+	for _, e := range events {
+		d := e.Filter
+		if d == nil {
+			continue
+		}
+		if rater >= 0 && d.Rater != rater {
+			continue
+		}
+		if ratee >= 0 && d.Ratee != ratee {
+			continue
+		}
+		if mask != 0 && socialtrust.Behavior(d.Mask)&mask == 0 {
+			continue
+		}
+		if cycle > 0 && d.Interval != cycle {
+			continue
+		}
+		verdict := "miss"
+		if truth[pair{d.Rater, d.Ratee}] {
+			verdict = "EDGE"
+		}
+		fmt.Printf("%-6d %6d %6d %-9s %7.3f %7.3f %5d %5d %8.4f %8.4f %8.4f %9.2f %9.2f %s\n",
+			d.Interval, d.Rater, d.Ratee, d.Behaviors, d.Closeness, d.Similarity,
+			d.Positive, d.Negative, d.GaussianWeight, d.FreqScale, d.Weight,
+			d.PreValue, d.PostValue, verdict)
+		shown++
+	}
+	fmt.Printf("%d matching decision(s)\n", shown)
+}

@@ -19,6 +19,17 @@
 //	-metrics-dump text      print a metrics snapshot after each experiment
 //	                        (text or json)
 //	-v                      periodic progress lines on stderr during runs
+//
+// Decision audit — instead of (or before) experiments, run one audited
+// simulation whose per-decision forensics trail is written to a directory
+// for cmd/socialtrust-audit:
+//
+//	socialtrust-sim -audit out/ -audit-model MCM
+//	socialtrust-audit out/
+//
+// The audited run uses the paper's 200-node default geometry (tunable with
+// -audit-nodes and -audit-b) and honors -seed, -quick and -managers. Its
+// detection-quality table is printed after the run.
 package main
 
 import (
@@ -29,8 +40,10 @@ import (
 	"strings"
 	"time"
 
+	"socialtrust/internal/audit"
 	"socialtrust/internal/experiments"
 	"socialtrust/internal/obs"
+	"socialtrust/internal/sim"
 )
 
 func main() {
@@ -46,6 +59,11 @@ func main() {
 		mPprof  = flag.Bool("pprof", false, "mount net/http/pprof on the metrics server (requires -metrics-addr)")
 		mDump   = flag.String("metrics-dump", "", "print a metrics snapshot after each experiment: text|json")
 		verbose = flag.Bool("v", false, "verbose progress logging on stderr")
+
+		auditDir   = flag.String("audit", "", "run one audited simulation and write its decision-audit trail to this directory")
+		auditModel = flag.String("audit-model", "MCM", "collusion model of the audited run: none|PCM|MCM|MMM")
+		auditNodes = flag.Int("audit-nodes", 200, "network size of the audited run")
+		auditB     = flag.Float64("audit-b", 0.2, "colluder QoS probability of the audited run")
 	)
 	flag.Parse()
 
@@ -81,6 +99,16 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 
+	if *auditDir != "" {
+		if err := runAudited(*auditDir, *auditModel, *auditNodes, *auditB, *seed, *quick, *mgrs); err != nil {
+			fmt.Fprintf(os.Stderr, "socialtrust-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "" {
+			return
+		}
+	}
+
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
 		for _, s := range experiments.All() {
@@ -110,6 +138,55 @@ func main() {
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		dumpMetrics(*mDump, id)
 	}
+}
+
+// runAudited executes one simulation with the flight recorder on, writes
+// the audit trail to dir, and prints the run's detection-quality table.
+func runAudited(dir, model string, nodes int, b float64, seed uint64, quick bool, managers int) error {
+	var m sim.CollusionModel
+	switch strings.ToUpper(model) {
+	case "NONE":
+		m = sim.NoCollusion
+	case "PCM":
+		m = sim.PCM
+	case "MCM":
+		m = sim.MCM
+	case "MMM":
+		m = sim.MMM
+	default:
+		return fmt.Errorf("-audit-model must be none, PCM, MCM or MMM, got %q", model)
+	}
+	cfg := sim.DefaultConfig(m, sim.EngineEigenTrust, b, true)
+	cfg.NumNodes = nodes
+	if nodes != 200 {
+		// Preserve the paper's population proportions at other sizes.
+		cfg.NumPretrusted = nodes * 9 / 200
+		cfg.NumColluders = (nodes * 30 / 200) &^ 1
+		cfg.NumBoosted = cfg.NumColluders / 4
+	}
+	if quick {
+		cfg.QueryCycles = 15
+		cfg.SimulationCycles = 12
+	}
+	cfg.Seed = seed
+	cfg.Managers = managers
+	cfg.AuditDir = dir
+
+	start := time.Now()
+	if _, err := sim.Run(cfg); err != nil {
+		return err
+	}
+	fmt.Printf("audited %s run (%d nodes, %d colluders) in %v; trail in %s\n",
+		m, cfg.NumNodes, cfg.NumColluders, time.Since(start).Round(time.Millisecond), dir)
+	gt, events, err := audit.LoadDir(dir)
+	if err != nil {
+		return err
+	}
+	if err := audit.Score(gt, events).WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
 }
 
 // dumpMetrics prints the obs snapshot after one experiment in the requested

@@ -9,6 +9,7 @@
 //	stress -sizes 200,1600 -cycles 10
 //	stress -managers 8           # route ratings through the manager overlay
 //	stress -metrics-addr :9090 -pprof   # live metrics + profiling
+//	stress -audit out/           # decision-audit trail per size in out/n<size>
 //
 // Each size row includes the peak goroutine count and the bytes allocated
 // during the run, sampled through the obs runtime gauges, so the scaling
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +41,7 @@ func main() {
 		mAddr    = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address while running")
 		mPprof   = flag.Bool("pprof", false, "mount net/http/pprof on the metrics server (requires -metrics-addr)")
 		mDump    = flag.String("metrics-dump", "", "print a metrics snapshot after the sweep: text|json")
+		auditDir = flag.String("audit", "", "write each size's decision-audit trail to <dir>/n<size>")
 		verbose  = flag.Bool("v", false, "verbose progress logging on stderr")
 	)
 	flag.Parse()
@@ -107,6 +110,9 @@ func main() {
 		cfg.QueryCycles = *qc
 		cfg.Seed = *seed
 		cfg.Managers = *managers
+		if *auditDir != "" {
+			cfg.AuditDir = filepath.Join(*auditDir, fmt.Sprintf("n%d", n))
+		}
 
 		obs.ResetRuntimePeaks()
 		before := obs.CaptureRuntime()

@@ -1,0 +1,146 @@
+// Package audit turns the flight recorder's decision-event stream
+// (internal/obs/event) into detection-quality forensics. The simulator
+// knows which nodes are colluders and which directed pairs carry collusion
+// ratings — the ground truth the paper's Section 5 evaluation is scored
+// against — so instead of eyeballing aggregate counters, the filter's
+// B1–B4 firings can be joined against that truth and scored as
+// per-behavior, per-cycle precision/recall/F1.
+//
+// The package has three parts:
+//
+//   - GroundTruth, the serialized truth of one simulation run (node roles
+//     plus the directed collusion rating edges);
+//   - Score, the forensics pass joining FilterDecision events against a
+//     GroundTruth into a Report;
+//   - WriteDir/LoadDir, the on-disk audit-directory format shared by
+//     sim.Config.AuditDir and cmd/socialtrust-audit (ground_truth.json
+//     plus one JSONL stream per event kind).
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"socialtrust/internal/obs/event"
+)
+
+// TruthEdge is one directed collusion rating edge: From floods To with
+// ratings (positive boosts unless Negative, which marks a slander edge).
+type TruthEdge struct {
+	From     int  `json:"from"`
+	To       int  `json:"to"`
+	Negative bool `json:"negative,omitempty"`
+}
+
+// GroundTruth is the serialized truth of one simulation run.
+type GroundTruth struct {
+	NumNodes int    `json:"num_nodes"`
+	Model    string `json:"model"`  // collusion model (PCM/MCM/MMM/none)
+	Engine   string `json:"engine"` // underlying reputation engine
+	Seed     uint64 `json:"seed"`
+
+	Pretrusted []int `json:"pretrusted"`
+	Colluders  []int `json:"colluders"`
+	// CompromisedPretrusted lists pretrusted nodes wired into the
+	// collusion; SlanderVictims the normal peers targeted by negative
+	// collusion. Both empty in the paper's base setups.
+	CompromisedPretrusted []int `json:"compromised_pretrusted,omitempty"`
+	SlanderVictims        []int `json:"slander_victims,omitempty"`
+
+	// Edges are the directed collusion rating edges (one per direction for
+	// pair-wise and MMM back-rating structures).
+	Edges []TruthEdge `json:"edges"`
+}
+
+// File names inside an audit directory.
+const (
+	GroundTruthFile = "ground_truth.json"
+	DecisionsFile   = "filter_decisions.jsonl"
+	CyclesFile      = "cycle_series.jsonl"
+	ManagerFile     = "manager_events.jsonl"
+)
+
+// WriteDir writes one run's audit output: the ground truth and the event
+// stream split into one JSONL file per event kind. The directory is
+// created if needed; existing files are truncated. All four files are
+// always written (possibly empty) so consumers can rely on the layout.
+func WriteDir(dir string, gt GroundTruth, events []event.Event) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	gtJSON, err := json.MarshalIndent(gt, "", "  ")
+	if err != nil {
+		return fmt.Errorf("audit: marshal ground truth: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, GroundTruthFile), append(gtJSON, '\n'), 0o644); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	var decisions, cycles, managers []event.Event
+	for _, e := range events {
+		switch {
+		case e.Filter != nil:
+			decisions = append(decisions, e)
+		case e.Cycle != nil:
+			cycles = append(cycles, e)
+		case e.Manager != nil:
+			managers = append(managers, e)
+		}
+	}
+	for _, part := range []struct {
+		name   string
+		events []event.Event
+	}{
+		{DecisionsFile, decisions},
+		{CyclesFile, cycles},
+		{ManagerFile, managers},
+	} {
+		f, err := os.Create(filepath.Join(dir, part.name))
+		if err != nil {
+			return fmt.Errorf("audit: %w", err)
+		}
+		werr := event.WriteJSONL(f, part.events)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("audit: write %s: %w", part.name, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("audit: close %s: %w", part.name, cerr)
+		}
+	}
+	return nil
+}
+
+// LoadDir reads an audit directory written by WriteDir: the ground truth
+// (required) and every present JSONL event stream, merged back into one
+// sequence-ordered slice. Missing JSONL files load as empty streams.
+func LoadDir(dir string) (GroundTruth, []event.Event, error) {
+	var gt GroundTruth
+	b, err := os.ReadFile(filepath.Join(dir, GroundTruthFile))
+	if err != nil {
+		return gt, nil, fmt.Errorf("audit: %w", err)
+	}
+	if err := json.Unmarshal(b, &gt); err != nil {
+		return gt, nil, fmt.Errorf("audit: parse %s: %w", GroundTruthFile, err)
+	}
+	var events []event.Event
+	for _, name := range []string{DecisionsFile, CyclesFile, ManagerFile} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return gt, nil, fmt.Errorf("audit: %w", err)
+		}
+		part, perr := event.ReadJSONL(f)
+		f.Close()
+		if perr != nil {
+			return gt, nil, fmt.Errorf("audit: read %s: %w", name, perr)
+		}
+		events = append(events, part...)
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].Seq < events[b].Seq })
+	return gt, events, nil
+}

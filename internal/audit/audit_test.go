@@ -1,0 +1,193 @@
+package audit
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"socialtrust/internal/core"
+	"socialtrust/internal/obs/event"
+)
+
+// synthetic run: two positive truth edges, one negative truth edge, two
+// cycles of decisions mixing true and false positives.
+func syntheticRun() (GroundTruth, []event.Event) {
+	gt := GroundTruth{
+		NumNodes: 10, Model: "MCM", Engine: "EigenTrust", Seed: 1,
+		Pretrusted: []int{0}, Colluders: []int{1, 2, 3},
+		Edges: []TruthEdge{
+			{From: 1, To: 2},
+			{From: 3, To: 2},
+			{From: 1, To: 4, Negative: true},
+		},
+	}
+	fd := func(interval, rater, ratee int, mask core.Behavior) event.Event {
+		return event.Event{Filter: &event.FilterDecision{
+			Interval: interval, Rater: rater, Ratee: ratee,
+			Mask: int(mask), Behaviors: mask.String(),
+			Weight: 0.5, GaussianWeight: 0.5, FreqScale: 1,
+		}}
+	}
+	events := []event.Event{
+		// Cycle 1: both positive truth edges caught (one by B1|B3, one by
+		// B1), plus one false positive on an innocent pair (5→6).
+		fd(1, 1, 2, core.B1|core.B3),
+		fd(1, 3, 2, core.B1),
+		fd(1, 5, 6, core.B1),
+		// Cycle 2: the slander edge caught by B4; positive edges missed.
+		fd(2, 1, 4, core.B4),
+		{Cycle: &event.CycleSeries{Cycle: 1}},
+		{Cycle: &event.CycleSeries{Cycle: 2}},
+	}
+	return gt, events
+}
+
+func findScore(t *testing.T, scores []BehaviorScore, behavior string) BehaviorScore {
+	t.Helper()
+	for _, s := range scores {
+		if s.Behavior == behavior {
+			return s
+		}
+	}
+	t.Fatalf("no %s row in %+v", behavior, scores)
+	return BehaviorScore{}
+}
+
+func TestScoreSynthetic(t *testing.T) {
+	gt, events := syntheticRun()
+	rep := Score(gt, events)
+
+	if rep.Cycles != 2 || rep.Decisions != 4 {
+		t.Fatalf("cycles=%d decisions=%d, want 2/4", rep.Cycles, rep.Decisions)
+	}
+	if rep.PositiveTruthEdges != 2 || rep.NegativeTruthEdges != 1 {
+		t.Fatalf("truth edges %d/%d, want 2/1", rep.PositiveTruthEdges, rep.NegativeTruthEdges)
+	}
+
+	// B1 fired 3 times overall, 2 of them on positive truth edges; over 2
+	// cycles the recall denominator is 2 edges × 2 cycles = 4, detected 2.
+	b1 := findScore(t, rep.Overall, "B1")
+	if b1.Fired != 3 || b1.TruePositives != 2 {
+		t.Errorf("B1 overall fired/tp = %d/%d, want 3/2", b1.Fired, b1.TruePositives)
+	}
+	if b1.TruthPairs != 4 || b1.DetectedPairs != 2 {
+		t.Errorf("B1 overall detected/truth = %d/%d, want 2/4", b1.DetectedPairs, b1.TruthPairs)
+	}
+	if got, want := b1.Precision, 2.0/3.0; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("B1 precision = %g, want %g", got, want)
+	}
+	if got := b1.Recall; got != 0.5 {
+		t.Errorf("B1 recall = %g, want 0.5", got)
+	}
+
+	// B4 fired once, on the negative truth edge: perfect precision, and
+	// 1 of 1×2 edge-cycles detected.
+	b4 := findScore(t, rep.Overall, "B4")
+	if b4.Fired != 1 || b4.TruePositives != 1 || b4.Precision != 1 {
+		t.Errorf("B4 overall = %+v", b4)
+	}
+	if b4.TruthPairs != 2 || b4.Recall != 0.5 {
+		t.Errorf("B4 recall = %g (truth %d), want 0.5 (2)", b4.Recall, b4.TruthPairs)
+	}
+
+	// "any": 4 decisions, 3 on truth pairs; 3 detected of 3 edges × 2
+	// cycles.
+	anyRow := findScore(t, rep.Overall, AnyBehavior)
+	if anyRow.Fired != 4 || anyRow.TruePositives != 3 {
+		t.Errorf("any overall = %+v", anyRow)
+	}
+	if anyRow.TruthPairs != 6 || anyRow.DetectedPairs != 3 || anyRow.Recall != 0.5 {
+		t.Errorf("any recall = %+v", anyRow)
+	}
+
+	// Per-cycle: cycle 1 has perfect positive-edge recall for B1.
+	if len(rep.PerCycle) != 2 {
+		t.Fatalf("per-cycle rows = %d, want 2", len(rep.PerCycle))
+	}
+	c1b1 := findScore(t, rep.PerCycle[0].Scores, "B1")
+	if c1b1.Recall != 1 || c1b1.TruthPairs != 2 {
+		t.Errorf("cycle 1 B1 = %+v, want recall 1 over 2 truth pairs", c1b1)
+	}
+	c2 := rep.PerCycle[1]
+	if c2.Cycle != 2 {
+		t.Fatalf("second per-cycle row is cycle %d", c2.Cycle)
+	}
+	if b := findScore(t, c2.Scores, "B1"); b.Fired != 0 || b.Recall != 0 {
+		t.Errorf("cycle 2 B1 = %+v, want silent", b)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	rep := Score(GroundTruth{Model: "none"}, nil)
+	if rep.Cycles != 0 || rep.Decisions != 0 || len(rep.PerCycle) != 0 {
+		t.Fatalf("empty score = %+v", rep)
+	}
+	for _, s := range rep.Overall {
+		if s.Precision != 0 || s.Recall != 0 || s.F1 != 0 {
+			t.Fatalf("empty overall row %+v not zeroed", s)
+		}
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	gt, events := syntheticRun()
+	rep := Score(gt, events)
+	var sb strings.Builder
+	if err := rep.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"model=MCM", "B1", "B4", "any", "cycles=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table lacks %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := rep.WritePerCycle(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "B1:3") {
+		t.Errorf("per-cycle table lacks B1 firing count:\n%s", sb.String())
+	}
+}
+
+func TestDirRoundTrip(t *testing.T) {
+	gt, events := syntheticRun()
+	dir := filepath.Join(t.TempDir(), "audit")
+	if err := WriteDir(dir, gt, events); err != nil {
+		t.Fatal(err)
+	}
+	gotGT, gotEvents, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotGT.Model != gt.Model || len(gotGT.Edges) != len(gt.Edges) || len(gotGT.Colluders) != len(gt.Colluders) {
+		t.Fatalf("ground truth mutated: %+v", gotGT)
+	}
+	if len(gotEvents) != len(events) {
+		t.Fatalf("loaded %d events, want %d", len(gotEvents), len(events))
+	}
+	nFilter, nCycle := 0, 0
+	for _, e := range gotEvents {
+		switch {
+		case e.Filter != nil:
+			nFilter++
+		case e.Cycle != nil:
+			nCycle++
+		}
+	}
+	if nFilter != 4 || nCycle != 2 {
+		t.Fatalf("loaded kinds %d/%d, want 4 decisions / 2 cycles", nFilter, nCycle)
+	}
+	// Scoring the round-tripped stream matches the in-memory result.
+	if a, b := Score(gt, events), Score(gotGT, gotEvents); a.Decisions != b.Decisions ||
+		findScore(t, a.Overall, AnyBehavior) != findScore(t, b.Overall, AnyBehavior) {
+		t.Fatal("round-tripped score diverges")
+	}
+}
+
+func TestLoadDirMissingGroundTruth(t *testing.T) {
+	if _, _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("missing ground truth did not error")
+	}
+}

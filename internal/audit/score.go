@@ -1,0 +1,274 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"socialtrust/internal/core"
+	"socialtrust/internal/obs/event"
+)
+
+// behaviorOrder fixes the scoring and rendering order of the four
+// suspicious behaviors of Section 3.
+var behaviorOrder = []core.Behavior{core.B1, core.B2, core.B3, core.B4}
+
+// AnyBehavior labels the union row: a decision counts once regardless of
+// how many behaviors fired, and a truth pair counts as detected when any
+// behavior flagged it — the "did the filter catch this colluding pair at
+// all" question.
+const AnyBehavior = "any"
+
+// BehaviorScore is the detection quality of one behavior (or the "any"
+// union) over one cycle or the whole run.
+//
+//   - Precision = TruePositives / Fired: of the decisions firing this
+//     behavior, the fraction whose directed pair really is a collusion
+//     edge of the matching polarity (positive edges for B1–B3, negative
+//     for B4, either for "any").
+//   - Recall = DetectedPairs / TruthPairs: of the targetable truth edges
+//     (per cycle, or edge-cycles over the run), the fraction flagged.
+//   - F1 is their harmonic mean.
+type BehaviorScore struct {
+	Behavior      string  `json:"behavior"`
+	Fired         int     `json:"fired"`
+	TruePositives int     `json:"true_positives"`
+	DetectedPairs int     `json:"detected_pairs"`
+	TruthPairs    int     `json:"truth_pairs"`
+	Precision     float64 `json:"precision"`
+	Recall        float64 `json:"recall"`
+	F1            float64 `json:"f1"`
+}
+
+// CycleScore is one update interval's detection quality, one row per
+// behavior plus the "any" union.
+type CycleScore struct {
+	Cycle  int             `json:"cycle"`
+	Scores []BehaviorScore `json:"scores"`
+}
+
+// Report is the forensics join of a run's filter decisions against its
+// ground truth.
+type Report struct {
+	Model  string `json:"model"`
+	Engine string `json:"engine"`
+	// Cycles is the number of update intervals the run covered (the recall
+	// denominator basis: every truth edge is targetable every interval,
+	// since collusion edges rate at every query cycle).
+	Cycles    int `json:"cycles"`
+	Decisions int `json:"decisions"`
+	// Truth-edge population by polarity.
+	PositiveTruthEdges int `json:"positive_truth_edges"`
+	NegativeTruthEdges int `json:"negative_truth_edges"`
+
+	PerCycle []CycleScore    `json:"per_cycle"`
+	Overall  []BehaviorScore `json:"overall"`
+}
+
+type pair struct{ from, to int }
+
+// Score joins the FilterDecision events in the stream against the ground
+// truth and returns per-cycle and overall precision/recall/F1 per behavior.
+// CycleSeries events only contribute the interval count; Manager events are
+// ignored.
+func Score(gt GroundTruth, events []event.Event) Report {
+	posTruth := make(map[pair]bool)
+	negTruth := make(map[pair]bool)
+	for _, e := range gt.Edges {
+		if e.Negative {
+			negTruth[pair{e.From, e.To}] = true
+		} else {
+			posTruth[pair{e.From, e.To}] = true
+		}
+	}
+
+	rep := Report{
+		Model:              gt.Model,
+		Engine:             gt.Engine,
+		PositiveTruthEdges: len(posTruth),
+		NegativeTruthEdges: len(negTruth),
+	}
+
+	// rowKey indexes the "any" union as a pseudo-behavior 0.
+	type rowKey struct {
+		cycle    int
+		behavior core.Behavior
+	}
+	type row struct {
+		fired, tp int
+		detected  map[pair]bool
+	}
+	rows := make(map[rowKey]*row)
+	get := func(cycle int, b core.Behavior) *row {
+		k := rowKey{cycle, b}
+		r := rows[k]
+		if r == nil {
+			r = &row{detected: make(map[pair]bool)}
+			rows[k] = r
+		}
+		return r
+	}
+	truthFor := func(b core.Behavior) map[pair]bool {
+		if b == core.B4 {
+			return negTruth
+		}
+		return posTruth
+	}
+
+	cycles := 0
+	cycleSet := make(map[int]bool)
+	for _, e := range events {
+		if e.Cycle != nil && e.Cycle.Cycle > cycles {
+			cycles = e.Cycle.Cycle
+		}
+		d := e.Filter
+		if d == nil {
+			continue
+		}
+		rep.Decisions++
+		cycleSet[d.Interval] = true
+		if d.Interval > cycles {
+			cycles = d.Interval
+		}
+		p := pair{d.Rater, d.Ratee}
+		for _, b := range behaviorOrder {
+			if core.Behavior(d.Mask)&b == 0 {
+				continue
+			}
+			r := get(d.Interval, b)
+			r.fired++
+			if truthFor(b)[p] {
+				r.tp++
+				r.detected[p] = true
+			}
+		}
+		any := get(d.Interval, 0)
+		any.fired++
+		if posTruth[p] || negTruth[p] {
+			any.tp++
+			any.detected[p] = true
+		}
+	}
+	rep.Cycles = cycles
+
+	finish := func(label string, fired, tp, detected, truth int) BehaviorScore {
+		s := BehaviorScore{
+			Behavior: label, Fired: fired, TruePositives: tp,
+			DetectedPairs: detected, TruthPairs: truth,
+		}
+		if fired > 0 {
+			s.Precision = float64(tp) / float64(fired)
+		}
+		if truth > 0 {
+			s.Recall = float64(detected) / float64(truth)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		return s
+	}
+	label := func(b core.Behavior) string {
+		if b == 0 {
+			return AnyBehavior
+		}
+		return b.String()
+	}
+	truthCount := func(b core.Behavior) int {
+		switch b {
+		case 0:
+			return len(posTruth) + len(negTruth)
+		case core.B4:
+			return len(negTruth)
+		default:
+			return len(posTruth)
+		}
+	}
+
+	// Per-cycle rows for every interval that produced at least one
+	// decision, in cycle order.
+	cyclesWithDecisions := make([]int, 0, len(cycleSet))
+	for c := range cycleSet {
+		cyclesWithDecisions = append(cyclesWithDecisions, c)
+	}
+	sort.Ints(cyclesWithDecisions)
+	all := append([]core.Behavior{}, behaviorOrder...)
+	all = append(all, 0)
+	for _, c := range cyclesWithDecisions {
+		cs := CycleScore{Cycle: c}
+		for _, b := range all {
+			r := rows[rowKey{c, b}]
+			if r == nil {
+				r = &row{}
+			}
+			cs.Scores = append(cs.Scores, finish(label(b), r.fired, r.tp, len(r.detected), truthCount(b)))
+		}
+		rep.PerCycle = append(rep.PerCycle, cs)
+	}
+
+	// Overall rows pool counts across every covered interval: precision
+	// over all firings, recall over edge-intervals (truth edges × Cycles —
+	// an interval where a truth edge went unflagged is a miss even if no
+	// decision fired at all that interval).
+	for _, b := range all {
+		fired, tp, detected := 0, 0, 0
+		for _, c := range cyclesWithDecisions {
+			if r := rows[rowKey{c, b}]; r != nil {
+				fired += r.fired
+				tp += r.tp
+				detected += len(r.detected)
+			}
+		}
+		rep.Overall = append(rep.Overall, finish(label(b), fired, tp, detected, truthCount(b)*rep.Cycles))
+	}
+	return rep
+}
+
+// WriteTable renders the overall detection-quality table.
+func (r Report) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"detection quality: model=%s engine=%s cycles=%d decisions=%d truth-edges=%d(+)/%d(-)\n",
+		r.Model, r.Engine, r.Cycles, r.Decisions,
+		r.PositiveTruthEdges, r.NegativeTruthEdges); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-9s %8s %8s %9s %10s %8s %8s\n",
+		"behavior", "fired", "tp", "detected", "truth", "prec", "recall"); err != nil {
+		return err
+	}
+	for _, s := range r.Overall {
+		if _, err := fmt.Fprintf(w, "%-9s %8d %8d %9d %10d %8.3f %8.3f   F1=%.3f\n",
+			s.Behavior, s.Fired, s.TruePositives, s.DetectedPairs, s.TruthPairs,
+			s.Precision, s.Recall, s.F1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePerCycle renders one compact line per interval: the "any" union's
+// precision/recall plus which behaviors fired.
+func (r Report) WritePerCycle(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-7s %9s %8s %8s   %s\n",
+		"cycle", "decisions", "prec", "recall", "fired-by-behavior"); err != nil {
+		return err
+	}
+	for _, cs := range r.PerCycle {
+		var any BehaviorScore
+		byB := ""
+		for _, s := range cs.Scores {
+			if s.Behavior == AnyBehavior {
+				any = s
+				continue
+			}
+			if byB != "" {
+				byB += " "
+			}
+			byB += fmt.Sprintf("%s:%d", s.Behavior, s.Fired)
+		}
+		if _, err := fmt.Fprintf(w, "%-7d %9d %8.3f %8.3f   %s\n",
+			cs.Cycle, any.Fired, any.Precision, any.Recall, byB); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ import (
 
 	"socialtrust/internal/interest"
 	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/event"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 	"socialtrust/internal/socialgraph"
@@ -225,7 +226,20 @@ type SocialTrust struct {
 	tracker *interest.Tracker
 	inner   reputation.Engine
 	hist    *rating.History
-	last    Report
+
+	// lastMu guards last: Update (and Reset) publish the newest report
+	// while observers call LastReport from other goroutines (stress
+	// harnesses, metric scrapers). The Report value is copied out under the
+	// lock; its Adjusted slice is freshly built per pass and never mutated
+	// after publication, so readers may use it without further locking.
+	lastMu sync.Mutex
+	last   Report
+
+	// intervals counts Adjust passes (mutated under adjustMu): the 1-based
+	// interval stamped on flight-recorder FilterDecision events. When the
+	// simulator drives one Update per simulation cycle this equals the
+	// cycle number, aligning decision events with CycleSeries records.
+	intervals uint64
 
 	// sigCache memoizes per-pair signals keyed by the graph epoch: an
 	// interval in which the graph did not change costs O(new pairs) instead
@@ -310,7 +324,12 @@ func (s *SocialTrust) Name() string { return s.inner.Name() + "+SocialTrust" }
 // the wrapped engine.
 func (s *SocialTrust) Reset() {
 	s.hist = rating.NewHistory(s.cfg.NumNodes)
+	s.lastMu.Lock()
 	s.last = Report{}
+	s.lastMu.Unlock()
+	s.adjustMu.Lock()
+	s.intervals = 0
+	s.adjustMu.Unlock()
 	s.histVer++
 	s.sigCache.reset()
 	s.profClose = make(map[int]profCacheEntry)
@@ -336,14 +355,22 @@ func (s *SocialTrust) Reputations() []float64 { return s.inner.Reputations() }
 // Reputation implements reputation.Engine.
 func (s *SocialTrust) Reputation(node int) float64 { return s.inner.Reputation(node) }
 
-// LastReport returns the filtering report of the most recent Update.
-func (s *SocialTrust) LastReport() Report { return s.last }
+// LastReport returns the filtering report of the most recent Update. It is
+// safe to call concurrently with Update/Reset; the returned Report's
+// Adjusted slice is immutable after publication and may be read freely.
+func (s *SocialTrust) LastReport() Report {
+	s.lastMu.Lock()
+	defer s.lastMu.Unlock()
+	return s.last
+}
 
 // Update filters the snapshot per Section 4.3 and forwards the adjusted
 // ratings to the wrapped engine.
 func (s *SocialTrust) Update(snap rating.Snapshot) {
 	adjusted, report := s.Adjust(snap)
+	s.lastMu.Lock()
 	s.last = report
+	s.lastMu.Unlock()
 	// Profile history uses the original (unadjusted) ratings: the rater's
 	// observed behavior, not the filtered view, defines its profile.
 	s.hist.Absorb(snap.Ratings)
@@ -369,6 +396,16 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 	defer sp.End()
 	s.adjustMu.Lock()
 	defer s.adjustMu.Unlock()
+	s.intervals++
+
+	// Flight recorder: when enabled, every shrunk pair emits one
+	// FilterDecision with its full evidence chain. rec is latched once so
+	// the decision list and the emission agree even if the recorder is
+	// toggled mid-pass; the disabled path costs one atomic load and never
+	// allocates (the decisions slice stays nil).
+	rec := event.Current()
+	var decisions []event.FilterDecision
+	var decIdx map[rating.PairKey]int
 
 	pairs := s.pairScratch[:0]
 	for k := range snap.Counts {
@@ -456,11 +493,41 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 		// suspected, its rating volume is scaled down to the average
 		// pair's frequency F, so no flagged pair can out-shout a normal
 		// one no matter how fast it rates.
-		w := s.gaussianWeight(k.Rater, sig, base) * freqScale(c, behaviors, meanF)
+		gw, closeBase, simBase := s.gaussianWeightBases(k.Rater, sig, base)
+		fs := freqScale(c, behaviors, meanF)
+		w := gw * fs
 		if weights == nil {
 			weights = make(map[rating.PairKey]float64)
 		}
 		weights[k] = w
+		if rec != nil {
+			if decIdx == nil {
+				decIdx = make(map[rating.PairKey]int)
+			}
+			decIdx[k] = len(decisions)
+			decisions = append(decisions, event.FilterDecision{
+				Interval:            int(s.intervals),
+				Rater:               k.Rater,
+				Ratee:               k.Ratee,
+				Mask:                int(behaviors),
+				Behaviors:           behaviors.String(),
+				Closeness:           sig.closeness,
+				Similarity:          sig.similar,
+				Positive:            c.Positive,
+				Negative:            c.Negative,
+				PosThreshold:        posT,
+				NegThreshold:        negT,
+				ClosenessBaseMean:   closeBase.Mean,
+				ClosenessBaseWidth:  closeBase.width(),
+				ClosenessBaseN:      closeBase.N,
+				SimilarityBaseMean:  simBase.Mean,
+				SimilarityBaseWidth: simBase.width(),
+				SimilarityBaseN:     simBase.N,
+				GaussianWeight:      gw,
+				FreqScale:           fs,
+				Weight:              w,
+			})
+		}
 		report.Adjusted = append(report.Adjusted, PairAdjustment{
 			Pair:      k,
 			Weight:    w,
@@ -475,10 +542,20 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 		Counts:  snap.Counts,
 	}
 	for i, r := range snap.Ratings {
-		if w, ok := weights[rating.PairKey{Rater: r.Rater, Ratee: r.Ratee}]; ok {
+		k := rating.PairKey{Rater: r.Rater, Ratee: r.Ratee}
+		if w, ok := weights[k]; ok {
+			if decIdx != nil {
+				if di, ok := decIdx[k]; ok {
+					decisions[di].PreValue += r.Value
+					decisions[di].PostValue += r.Value * w
+				}
+			}
 			r.Value *= w
 		}
 		out.Ratings[i] = r
+	}
+	for i := range decisions {
+		rec.RecordFilter(decisions[i])
 	}
 	return out, report
 }
@@ -693,16 +770,26 @@ func quantiles(xs []float64, loQ, hiQ float64) (lo, hi float64) {
 // range (max == min) keeps the weight at α when the value sits on the
 // center and collapses it to ~0 otherwise.
 func (s *SocialTrust) gaussianWeight(rater int, sig pairSignals, base baseline) float64 {
+	w, _, _ := s.gaussianWeightBases(rater, sig, base)
+	return w
+}
+
+// gaussianWeightBases is gaussianWeight plus the baseline stats actually
+// chosen per dimension (system or per-rater profile) — the evidence the
+// flight recorder attaches to each FilterDecision. A disabled dimension
+// returns zero-value stats (N == 0).
+func (s *SocialTrust) gaussianWeightBases(rater int, sig pairSignals, base baseline) (float64, BaselineStats, BaselineStats) {
 	exponent := 0.0
+	var closeSt, simSt BaselineStats
 	if s.cfg.UseCloseness {
-		st := s.chooseBaseline(rater, base.closeness, s.profileCloseness)
-		exponent += deviation(sig.closeness, st)
+		closeSt = s.chooseBaseline(rater, base.closeness, s.profileCloseness)
+		exponent += deviation(sig.closeness, closeSt)
 	}
 	if s.cfg.UseSimilarity {
-		st := s.chooseBaseline(rater, base.similarity, s.profileSimilarity)
-		exponent += deviation(sig.similar, st)
+		simSt = s.chooseBaseline(rater, base.similarity, s.profileSimilarity)
+		exponent += deviation(sig.similar, simSt)
 	}
-	return s.cfg.Alpha * math.Exp(-exponent)
+	return s.cfg.Alpha * math.Exp(-exponent), closeSt, simSt
 }
 
 // chooseBaseline resolves the Gaussian center: the system baseline, or the

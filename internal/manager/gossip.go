@@ -3,8 +3,10 @@ package manager
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/event"
 	"socialtrust/internal/xrand"
 )
 
@@ -48,6 +50,17 @@ func PushSum(parts [][]float64, rounds int, seed uint64) ([][]float64, error) {
 	defer sp.End()
 	mGossipRuns.Inc()
 	mGossipRounds.Add(int64(rounds))
+	if rec := event.Current(); rec != nil {
+		start := time.Now()
+		defer func() {
+			rec.RecordManager(event.ManagerEvent{
+				Kind:         "gossip",
+				Participants: k,
+				Rounds:       rounds,
+				Seconds:      time.Since(start).Seconds(),
+			})
+		}()
+	}
 
 	values := make([][]float64, k)
 	weights := make([]float64, k)

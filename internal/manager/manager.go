@@ -20,8 +20,10 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/event"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 )
@@ -223,6 +225,11 @@ func (o *Overlay) EndInterval() []float64 {
 		sp.End()
 		mDrainTotal.Inc()
 	}()
+	rec := event.Current()
+	var drainStart time.Time
+	if rec != nil {
+		drainStart = time.Now()
+	}
 	// Phase 1: drain all shards concurrently.
 	snaps := make([]rating.Snapshot, len(o.shards))
 	var wg sync.WaitGroup
@@ -246,6 +253,14 @@ func (o *Overlay) EndInterval() []float64 {
 		errC := make(chan error, 1)
 		s.inbox <- message{kind: msgUpdateReps, reps: append([]float64(nil), reps...), errC: errC}
 		<-errC
+	}
+	if rec != nil {
+		rec.RecordManager(event.ManagerEvent{
+			Kind:    "drain",
+			Shards:  len(o.shards),
+			Ratings: len(merged.Ratings),
+			Seconds: time.Since(drainStart).Seconds(),
+		})
 	}
 	return reps
 }

@@ -1,0 +1,317 @@
+// Package event is the repository's decision-audit layer: a bounded,
+// lock-cheap ring-buffer flight recorder of structured decision events,
+// complementing the aggregate metrics of internal/obs with per-decision
+// forensics. Where obs answers "how many ratings were filtered", event
+// answers "*why* was this rating shrunk" — which suspicious behavior fired,
+// with what closeness/similarity evidence, against which baseline.
+//
+// Recording follows the same off-by-default discipline as the metric
+// registry: the package-level recorder is a single atomic pointer that is
+// nil until Enable is called, so an instrumented hot path pays one atomic
+// load (~1ns) and zero allocations while disabled. Emission sites that must
+// assemble an event payload should gate on Current():
+//
+//	if rec := event.Current(); rec != nil {
+//	    rec.RecordFilter(event.FilterDecision{...})
+//	}
+//
+// The recorder is a fixed-capacity ring: when full, the oldest events are
+// overwritten and counted in Dropped, so a runaway event source degrades
+// into losing history rather than memory. Drain copies the buffered events
+// out in order and clears the ring; WriteJSONL/ReadJSONL serialize event
+// streams one JSON object per line for offline analysis (see internal/audit
+// and cmd/socialtrust-audit).
+package event
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// FilterDecision records one SocialTrust filtering decision: a directed
+// (rater, ratee) pair whose ratings were shrunk in one update interval,
+// with the full evidence chain of Sections 3–4 of the paper.
+type FilterDecision struct {
+	// Interval is the 1-based filter interval (== simulation cycle when
+	// driven by the simulator's per-cycle reputation update).
+	Interval int `json:"interval"`
+	Rater    int `json:"rater"`
+	Ratee    int `json:"ratee"`
+
+	// Mask is the B1..B4 behavior bitmask (core.Behavior); Behaviors is its
+	// human-readable rendering ("B1|B3").
+	Mask      int    `json:"mask"`
+	Behaviors string `json:"behaviors"`
+
+	// The social signals of the pair: Ωc and Ωs.
+	Closeness  float64 `json:"closeness"`
+	Similarity float64 `json:"similarity"`
+
+	// Interval frequency evidence: t+(i,j), t−(i,j), and the thresholds
+	// they were compared against.
+	Positive     int     `json:"positive"`
+	Negative     int     `json:"negative"`
+	PosThreshold float64 `json:"pos_threshold"`
+	NegThreshold float64 `json:"neg_threshold"`
+
+	// The baseline the Gaussian was centered on for each dimension (system
+	// or per-rater profile, whichever was chosen), as mean/width/population.
+	// N == 0 means the dimension was disabled or had no baseline.
+	ClosenessBaseMean   float64 `json:"closeness_base_mean"`
+	ClosenessBaseWidth  float64 `json:"closeness_base_width"`
+	ClosenessBaseN      int     `json:"closeness_base_n"`
+	SimilarityBaseMean  float64 `json:"similarity_base_mean"`
+	SimilarityBaseWidth float64 `json:"similarity_base_width"`
+	SimilarityBaseN     int     `json:"similarity_base_n"`
+
+	// GaussianWeight is the Equation 9 factor, FreqScale the frequency
+	// normalization min(1, F/t), and Weight their product — the factor
+	// actually applied to the pair's rating values.
+	GaussianWeight float64 `json:"gaussian_weight"`
+	FreqScale      float64 `json:"freq_scale"`
+	Weight         float64 `json:"weight"`
+
+	// PreValue/PostValue are the pair's summed rating values before and
+	// after the shrink (PostValue == PreValue·Weight).
+	PreValue  float64 `json:"pre_value"`
+	PostValue float64 `json:"post_value"`
+}
+
+// CycleSeries is one simulation cycle's time-series record.
+type CycleSeries struct {
+	// Cycle is the 1-based simulation cycle.
+	Cycle    int     `json:"cycle"`
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	// AuthenticRatio is the cumulative authentic-download ratio;
+	// ColluderShare the fraction of this cycle's requests served by
+	// colluders.
+	AuthenticRatio float64 `json:"authentic_ratio"`
+	ColluderShare  float64 `json:"colluder_share"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	// Mean normalized reputation by node population after the cycle's
+	// reputation update.
+	MeanRepPretrusted float64 `json:"mean_rep_pretrusted"`
+	MeanRepNormal     float64 `json:"mean_rep_normal"`
+	MeanRepColluder   float64 `json:"mean_rep_colluder"`
+}
+
+// ManagerEvent records one resource-manager overlay operation.
+type ManagerEvent struct {
+	// Kind is "drain" (the periodic drain/merge/broadcast pass) or
+	// "gossip" (one push-sum protocol run).
+	Kind string `json:"kind"`
+	// Drain: overlay shard count and merged interval rating count.
+	Shards  int `json:"shards,omitempty"`
+	Ratings int `json:"ratings,omitempty"`
+	// Gossip: participants and rounds executed.
+	Participants int `json:"participants,omitempty"`
+	Rounds       int `json:"rounds,omitempty"`
+	// Seconds is the operation's wall time.
+	Seconds float64 `json:"seconds"`
+}
+
+// Event is one recorded flight-recorder entry. Exactly one payload field is
+// non-nil; Seq is a monotonic per-recorder sequence number assigned at
+// record time (gaps after a Drain indicate ring overwrites — see Dropped).
+type Event struct {
+	Seq     uint64          `json:"seq"`
+	Filter  *FilterDecision `json:"filter,omitempty"`
+	Cycle   *CycleSeries    `json:"cycle,omitempty"`
+	Manager *ManagerEvent   `json:"manager,omitempty"`
+}
+
+// DefaultCapacity is the ring size Enable uses when given a non-positive
+// capacity: large enough to hold every decision of a paper-scale run
+// (200 nodes × 50 cycles flags a few thousand pairs), small enough to
+// bound memory at a few MB.
+const DefaultCapacity = 1 << 16
+
+// Recorder is a bounded ring buffer of events. All methods are safe for
+// concurrent use; Record-side cost is one mutex acquisition plus a slot
+// copy. The zero Recorder is not usable; call NewRecorder.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event // len(buf) == capacity, allocated up front
+	start   int     // index of the oldest buffered event
+	n       int     // buffered event count
+	seq     uint64  // total events ever recorded
+	dropped uint64  // events overwritten before being drained
+}
+
+// NewRecorder creates a recorder holding at most capacity events
+// (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Capacity returns the ring size.
+func (r *Recorder) Capacity() int { return len(r.buf) }
+
+// record appends one event, overwriting the oldest when full.
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
+	if r.n == len(r.buf) {
+		r.buf[r.start] = e
+		r.start++
+		if r.start == len(r.buf) {
+			r.start = 0
+		}
+		r.dropped++
+	} else {
+		i := r.start + r.n
+		if i >= len(r.buf) {
+			i -= len(r.buf)
+		}
+		r.buf[i] = e
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// RecordFilter records one filtering decision.
+func (r *Recorder) RecordFilter(d FilterDecision) { r.record(Event{Filter: &d}) }
+
+// RecordCycle records one simulation-cycle time-series sample.
+func (r *Recorder) RecordCycle(c CycleSeries) { r.record(Event{Cycle: &c}) }
+
+// RecordManager records one manager-overlay operation.
+func (r *Recorder) RecordManager(m ManagerEvent) { r.record(Event{Manager: &m}) }
+
+// Drain copies the buffered events out in record order (oldest first) and
+// clears the ring. Sequence numbers keep increasing across drains.
+func (r *Recorder) Drain() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		j := r.start + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		out = append(out, r.buf[j])
+	}
+	r.start, r.n = 0, 0
+	return out
+}
+
+// Len returns the number of currently buffered events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Recorded returns the total number of events ever recorded.
+func (r *Recorder) Recorded() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dropped returns the number of events lost to ring overwrites.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// active is the package-level recorder; nil means recording is disabled.
+var active atomic.Pointer[Recorder]
+
+// Enable installs (and returns) a fresh package-level recorder with the
+// given capacity (DefaultCapacity when <= 0), replacing any previous one.
+// Events buffered in a replaced recorder are lost unless drained first.
+func Enable(capacity int) *Recorder {
+	r := NewRecorder(capacity)
+	active.Store(r)
+	return r
+}
+
+// Disable uninstalls the package-level recorder. Undrained events in it are
+// discarded (hold the *Recorder returned by Enable to drain after
+// disabling).
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a package-level recorder is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Current returns the package-level recorder, or nil while disabled.
+// Emission sites gate their payload assembly on this.
+func Current() *Recorder { return active.Load() }
+
+// RecordFilter records into the package-level recorder (no-op if disabled).
+func RecordFilter(d FilterDecision) {
+	if r := active.Load(); r != nil {
+		r.RecordFilter(d)
+	}
+}
+
+// RecordCycle records into the package-level recorder (no-op if disabled).
+func RecordCycle(c CycleSeries) {
+	if r := active.Load(); r != nil {
+		r.RecordCycle(c)
+	}
+}
+
+// RecordManager records into the package-level recorder (no-op if
+// disabled).
+func RecordManager(m ManagerEvent) {
+	if r := active.Load(); r != nil {
+		r.RecordManager(m)
+	}
+}
+
+// Drain drains the package-level recorder (nil while disabled).
+func Drain() []Event {
+	if r := active.Load(); r != nil {
+		return r.Drain()
+	}
+	return nil
+}
+
+// WriteJSONL writes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("event: encode seq %d: %w", events[i].Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream written by WriteJSONL. Blank lines
+// are skipped; a malformed line is an error carrying its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("event: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("event: read: %w", err)
+	}
+	return out, nil
+}

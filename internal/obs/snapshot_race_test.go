@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotConcurrentWithWritesAndCreation hammers one registry from
+// three directions at once — counter/histogram writers, goroutines creating
+// fresh labeled series via Label, and readers snapshotting and rendering —
+// to prove under -race that Snapshot/WriteText see a consistent registry
+// while metrics are being written and registered.
+func TestSnapshotConcurrentWithWritesAndCreation(t *testing.T) {
+	withEnabled(t, true, func() {
+		r := NewRegistry()
+		base := r.Counter("hot_total")
+		hist := r.Histogram("hot_seconds")
+
+		const writers, per = 8, 400
+		var wg sync.WaitGroup
+		// Writers on pre-existing metrics.
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					base.Inc()
+					hist.Observe(float64(i) / per)
+				}
+			}(w)
+		}
+		// Creators registering new labeled series while readers iterate.
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					name := Label("labeled_total", "shard", strconv.Itoa(w*per+i))
+					r.Counter(name).Inc()
+				}
+			}(w)
+		}
+		// Readers: snapshots must be internally consistent and renderable.
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		readers := sync.WaitGroup{}
+		for w := 0; w < 2; w++ {
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					snap := r.Snapshot()
+					if snap.Counters["hot_total"] > writers*per {
+						t.Errorf("snapshot counter overshot: %d", snap.Counters["hot_total"])
+						return
+					}
+					if err := r.WriteText(io.Discard); err != nil {
+						t.Errorf("WriteText: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		<-done
+		readers.Wait()
+
+		final := r.Snapshot()
+		if got := final.Counters["hot_total"]; got != writers*per {
+			t.Fatalf("final counter = %d, want %d", got, writers*per)
+		}
+		if got := final.Histograms["hot_seconds"].Count; got != writers*per {
+			t.Fatalf("final histogram count = %d, want %d", got, writers*per)
+		}
+		for w := 0; w < 4; w++ {
+			for i := 0; i < per; i += per / 4 {
+				name := fmt.Sprintf(`labeled_total{shard="%d"}`, w*per+i)
+				if final.Counters[name] != 1 {
+					t.Fatalf("labeled series %s = %d, want 1", name, final.Counters[name])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"socialtrust/internal/audit"
+	"socialtrust/internal/core"
+	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/event"
+)
+
+// TestAuditedRunReconciles runs a 200-node MCM experiment through the
+// manager overlay with the audit trail on and cross-checks the three
+// observability layers against each other:
+//
+//   - every shrunk pair traces to exactly one FilterDecision — the event
+//     count equals the socialtrust_pairs_adjusted_total delta;
+//   - the per-behavior shrunk-rating sums derived from the events equal the
+//     socialtrust_filtered_total{behavior=...} deltas;
+//   - every decision carries its full evidence chain;
+//   - the on-disk audit directory round-trips and scores.
+func TestAuditedRunReconciles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full audited run")
+	}
+	if event.Enabled() {
+		t.Skip("a flight recorder is already installed globally")
+	}
+	prevObs := obs.Enabled()
+	obs.Enable()
+	defer obs.SetEnabled(prevObs)
+
+	cfg := DefaultConfig(MCM, EngineEigenTrust, 0.2, true)
+	cfg.SimulationCycles = 6
+	cfg.QueryCycles = 8
+	cfg.Managers = 4
+	cfg.Seed = 7
+	cfg.AuditDir = t.TempDir()
+
+	before := obs.ReadSnapshot()
+	res, err := Run(cfg)
+	after := obs.ReadSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRequests == 0 {
+		t.Fatal("run served no requests")
+	}
+	if event.Enabled() {
+		t.Fatal("Run left the flight recorder installed")
+	}
+
+	gt, events, err := audit.LoadDir(cfg.AuditDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth describes the MCM wiring.
+	if gt.Model != "MCM" || gt.NumNodes != 200 || len(gt.Colluders) != cfg.NumColluders {
+		t.Fatalf("ground truth header = %+v", gt)
+	}
+	if len(gt.Edges) == 0 {
+		t.Fatal("ground truth has no collusion edges")
+	}
+	colluder := make(map[int]bool)
+	for _, id := range gt.Colluders {
+		colluder[id] = true
+	}
+	for _, e := range gt.Edges {
+		if !colluder[e.From] || !colluder[e.To] || e.Negative {
+			t.Fatalf("MCM truth edge %+v outside the colluder set", e)
+		}
+	}
+
+	var decisions []event.FilterDecision
+	cycleEvents, drainEvents := 0, 0
+	for _, e := range events {
+		switch {
+		case e.Filter != nil:
+			decisions = append(decisions, *e.Filter)
+		case e.Cycle != nil:
+			cycleEvents++
+		case e.Manager != nil && e.Manager.Kind == "drain":
+			drainEvents++
+			if e.Manager.Shards != cfg.Managers {
+				t.Errorf("drain event shards = %d, want %d", e.Manager.Shards, cfg.Managers)
+			}
+		}
+	}
+	if cycleEvents != cfg.SimulationCycles {
+		t.Errorf("cycle events = %d, want %d", cycleEvents, cfg.SimulationCycles)
+	}
+	if drainEvents != cfg.SimulationCycles {
+		t.Errorf("drain events = %d, want %d", drainEvents, cfg.SimulationCycles)
+	}
+	if len(decisions) == 0 {
+		t.Fatal("audited MCM run produced no filter decisions")
+	}
+
+	// Reconciliation (a): one event per shrunk pair.
+	cDelta := func(name string) int64 { return after.Counters[name] - before.Counters[name] }
+	if got, want := int64(len(decisions)), cDelta("socialtrust_pairs_adjusted_total"); got != want {
+		t.Errorf("decision events = %d, pairs-adjusted metric delta = %d", got, want)
+	}
+	// Reconciliation (b): per-behavior shrunk-rating sums match the
+	// socialtrust_filtered_total series (Positive counts for B1–B3 firings,
+	// Negative for B4, a pair contributing to each behavior it matched).
+	wantByBehavior := make(map[core.Behavior]int64)
+	for _, d := range decisions {
+		for _, b := range []core.Behavior{core.B1, core.B2, core.B3, core.B4} {
+			if core.Behavior(d.Mask)&b == 0 {
+				continue
+			}
+			if b == core.B4 {
+				wantByBehavior[b] += int64(d.Negative)
+			} else {
+				wantByBehavior[b] += int64(d.Positive)
+			}
+		}
+	}
+	for _, b := range []core.Behavior{core.B1, core.B2, core.B3, core.B4} {
+		series := obs.Label("socialtrust_filtered_total", "behavior", b.String())
+		if got, want := cDelta(series), wantByBehavior[b]; got != want {
+			t.Errorf("%s delta = %d, events say %d", series, got, want)
+		}
+	}
+
+	// Every decision carries its full evidence chain.
+	for _, d := range decisions {
+		if d.Interval < 1 || d.Interval > cfg.SimulationCycles {
+			t.Fatalf("decision interval %d outside run: %+v", d.Interval, d)
+		}
+		if d.Behaviors == "" || d.Mask == 0 {
+			t.Fatalf("decision without behaviors: %+v", d)
+		}
+		if d.Weight <= 0 || d.GaussianWeight <= 0 || d.FreqScale <= 0 {
+			t.Fatalf("decision without weights: %+v", d)
+		}
+		if d.PosThreshold <= 0 || d.NegThreshold <= 0 {
+			t.Fatalf("decision without thresholds: %+v", d)
+		}
+		if d.ClosenessBaseN == 0 || d.SimilarityBaseN == 0 {
+			t.Fatalf("decision without baseline evidence: %+v", d)
+		}
+		if d.PreValue == 0 || d.PostValue == 0 {
+			t.Fatalf("decision without pre/post values: %+v", d)
+		}
+	}
+
+	// The forensics pass over the run is sane: MCM decisions overwhelmingly
+	// target real collusion edges.
+	rep := audit.Score(gt, events)
+	if rep.Decisions != len(decisions) || rep.Cycles != cfg.SimulationCycles {
+		t.Fatalf("score header = %+v", rep)
+	}
+	for _, s := range rep.Overall {
+		if s.Behavior == audit.AnyBehavior && s.Precision < 0.5 {
+			t.Errorf("any-behavior precision %.3f suspiciously low: %+v", s.Precision, s)
+		}
+	}
+}

@@ -202,6 +202,15 @@ type Config struct {
 	// Harness.
 	Seed    uint64
 	Workers int // parallelism of the query-intent phase; 0 = GOMAXPROCS
+
+	// AuditDir, when non-empty, makes Run record the decision-audit trail:
+	// the package-level flight recorder (internal/obs/event) is enabled for
+	// the run and on completion the ground truth plus every FilterDecision,
+	// CycleSeries and ManagerEvent are written to this directory in the
+	// internal/audit layout, ready for cmd/socialtrust-audit. The recorder
+	// is process-global, so audited runs must not execute concurrently —
+	// concurrent runs would interleave their events.
+	AuditDir string
 }
 
 // DefaultConfig returns the paper's Section 5.1 setup with the given

@@ -3,6 +3,7 @@ package sim
 import (
 	"runtime"
 
+	"socialtrust/internal/audit"
 	"socialtrust/internal/core"
 	"socialtrust/internal/interest"
 	"socialtrust/internal/manager"
@@ -541,6 +542,32 @@ func (n *Network) whitewash(id int) {
 
 // ColluderIDs forwards the configured colluder ID set.
 func (n *Network) ColluderIDs() []int { return n.Cfg.ColluderIDs() }
+
+// GroundTruth serializes the run's collusion truth for the decision-audit
+// layer: node roles plus every directed collusion rating edge (MMM
+// back-rating edges expand into their own directed entries).
+func (n *Network) GroundTruth() audit.GroundTruth {
+	cfg := n.Cfg
+	gt := audit.GroundTruth{
+		NumNodes:              cfg.NumNodes,
+		Model:                 cfg.Collusion.String(),
+		Engine:                n.Engine.Name(),
+		Seed:                  cfg.Seed,
+		Pretrusted:            cfg.PretrustedIDs(),
+		Colluders:             cfg.ColluderIDs(),
+		CompromisedPretrusted: n.CompromisedIDs(),
+		SlanderVictims:        n.SlanderVictimIDs(),
+	}
+	for i := range n.colludeEdges {
+		e := &n.colludeEdges[i]
+		neg := e.value() < 0
+		gt.Edges = append(gt.Edges, audit.TruthEdge{From: e.From, To: e.To, Negative: neg})
+		if e.Back > 0 {
+			gt.Edges = append(gt.Edges, audit.TruthEdge{From: e.To, To: e.From, Negative: neg})
+		}
+	}
+	return gt
+}
 
 // CompromisedIDs returns the pretrusted nodes wired into the collusion.
 func (n *Network) CompromisedIDs() []int {

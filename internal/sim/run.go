@@ -6,8 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"socialtrust/internal/audit"
 	"socialtrust/internal/interest"
 	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/event"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/socialgraph"
 )
@@ -86,13 +88,45 @@ type intent struct {
 	explore  bool // pick uniformly, ignoring reputation (exploration)
 }
 
-// Run executes the configured experiment and returns its Result.
+// Run executes the configured experiment and returns its Result. When
+// Config.AuditDir is set, the run executes with the flight recorder enabled
+// and its audit trail (ground truth + decision/cycle/manager events) is
+// written there on completion.
 func Run(cfg Config) (*Result, error) {
 	net, err := NewNetwork(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return net.Run(), nil
+	if net.Cfg.AuditDir == "" {
+		return net.Run(), nil
+	}
+	rec := event.Enable(auditCapacity(net.Cfg))
+	defer event.Disable()
+	res := net.Run()
+	events := rec.Drain()
+	if dropped := rec.Dropped(); dropped > 0 {
+		obs.Logger().Warn("audit ring overflowed; oldest events lost",
+			"dropped", dropped, "kept", len(events), "capacity", rec.Capacity())
+	}
+	if err := audit.WriteDir(net.Cfg.AuditDir, net.GroundTruth(), events); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// auditCapacity sizes the flight-recorder ring for one audited run: room
+// for every cycle's worth of flagged pairs plus cycle/manager records, with
+// a hard cap keeping the up-front buffer in the tens of MB even for stress
+// geometries.
+func auditCapacity(cfg Config) int {
+	c := cfg.SimulationCycles * (cfg.NumNodes + 64)
+	if c < event.DefaultCapacity {
+		return event.DefaultCapacity
+	}
+	if c > 1<<18 {
+		return 1 << 18
+	}
+	return c
 }
 
 // Run executes the simulation on a constructed network.
@@ -213,6 +247,23 @@ func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, 
 		authRatio = float64(res.AuthenticServed) / float64(served)
 	}
 	mAuthRatio.Set(authRatio)
+	if rec := event.Current(); rec != nil {
+		cs := event.CycleSeries{
+			Cycle:          sc + 1,
+			Requests:       requests,
+			QPS:            qps,
+			AuthenticRatio: authRatio,
+			WallSeconds:    wall.Seconds(),
+		}
+		if k := len(res.PerCycleColluderShare); k > 0 {
+			cs.ColluderShare = res.PerCycleColluderShare[k-1]
+		}
+		if k := len(res.History); k > 0 {
+			cs.MeanRepPretrusted, cs.MeanRepNormal, cs.MeanRepColluder =
+				meanRepsByType(n.Cfg, res.History[k-1])
+		}
+		rec.RecordCycle(cs)
+	}
 	if obs.Logger().Enabled(context.Background(), slog.LevelInfo) && progressEvery.Allow() {
 		obs.Logger().Info("sim progress",
 			"engine", n.Engine.Name(),
@@ -222,6 +273,24 @@ func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, 
 			"authentic_ratio", authRatio,
 			"cycle_wall", wall.Round(time.Millisecond))
 	}
+}
+
+// meanRepsByType averages a reputation vector per node population.
+func meanRepsByType(cfg Config, reps []float64) (pre, normal, coll float64) {
+	var sums [3]float64
+	var counts [3]int
+	for id, r := range reps {
+		t := cfg.Type(id)
+		sums[t] += r
+		counts[t]++
+	}
+	mean := func(t NodeType) float64 {
+		if counts[t] == 0 {
+			return 0
+		}
+		return sums[t] / float64(counts[t])
+	}
+	return mean(Pretrusted), mean(Normal), mean(Colluder)
 }
 
 // cycleShare computes the colluder request share since the previous call.

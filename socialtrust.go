@@ -41,11 +41,13 @@ package socialtrust
 import (
 	"net/http"
 
+	"socialtrust/internal/audit"
 	"socialtrust/internal/core"
 	"socialtrust/internal/experiments"
 	"socialtrust/internal/interest"
 	"socialtrust/internal/manager"
 	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/event"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 	"socialtrust/internal/reputation/ebay"
@@ -311,3 +313,63 @@ func MetricsHandler(pprofToo bool) http.Handler { return obs.Handler(pprofToo) }
 // ServeMetrics starts a background HTTP server for MetricsHandler on addr
 // and enables metric recording. Close the returned server when done.
 func ServeMetrics(addr string, pprofToo bool) (*http.Server, error) { return obs.Serve(addr, pprofToo) }
+
+// Decision-audit layer (internal/obs/event + internal/audit).
+//
+// Beyond the aggregate metrics above, the flight recorder captures
+// structured per-decision events: one FilterDecisionEvent per shrunk rating
+// pair (with the full B1–B4 evidence chain), per-cycle simulator series, and
+// manager-overlay operations. Like metrics, recording is off by default and
+// costs ~1 ns per call site while disabled. SimConfig.AuditDir automates the
+// whole loop for simulation runs; cmd/socialtrust-audit analyzes the output.
+type (
+	// AuditEvent is one flight-recorder entry (exactly one payload set).
+	AuditEvent = event.Event
+	// FilterDecisionEvent records why one rating pair was shrunk.
+	FilterDecisionEvent = event.FilterDecision
+	// CycleSeriesEvent is one simulation cycle's time-series record.
+	CycleSeriesEvent = event.CycleSeries
+	// ManagerOverlayEvent records one manager-overlay drain or gossip run.
+	ManagerOverlayEvent = event.ManagerEvent
+	// FlightRecorder is the bounded ring buffer behind the audit layer.
+	FlightRecorder = event.Recorder
+	// AuditGroundTruth is the serialized collusion truth of one simulation.
+	AuditGroundTruth = audit.GroundTruth
+	// AuditTruthEdge is one directed collusion rating edge.
+	AuditTruthEdge = audit.TruthEdge
+	// DetectionReport scores filter decisions against ground truth.
+	DetectionReport = audit.Report
+	// DetectionScore is one behavior's precision/recall/F1 row.
+	DetectionScore = audit.BehaviorScore
+)
+
+// EnableFlightRecorder installs a fresh process-wide flight recorder holding
+// at most capacity events (the package default for capacity <= 0) and
+// returns it.
+func EnableFlightRecorder(capacity int) *FlightRecorder { return event.Enable(capacity) }
+
+// DisableFlightRecorder uninstalls the process-wide flight recorder.
+func DisableFlightRecorder() { event.Disable() }
+
+// FlightRecorderEnabled reports whether a flight recorder is installed.
+func FlightRecorderEnabled() bool { return event.Enabled() }
+
+// DrainAuditEvents drains the process-wide flight recorder (nil while
+// disabled).
+func DrainAuditEvents() []AuditEvent { return event.Drain() }
+
+// WriteAuditDir writes one run's audit trail (ground truth + events) in the
+// layout cmd/socialtrust-audit consumes.
+func WriteAuditDir(dir string, gt AuditGroundTruth, events []AuditEvent) error {
+	return audit.WriteDir(dir, gt, events)
+}
+
+// LoadAuditDir reads an audit directory written by WriteAuditDir (or a
+// simulation run with SimConfig.AuditDir set).
+func LoadAuditDir(dir string) (AuditGroundTruth, []AuditEvent, error) { return audit.LoadDir(dir) }
+
+// ScoreDetection joins filter decisions against ground truth into
+// per-behavior, per-cycle precision/recall/F1.
+func ScoreDetection(gt AuditGroundTruth, events []AuditEvent) DetectionReport {
+	return audit.Score(gt, events)
+}
