@@ -14,6 +14,10 @@
 // The filter flags (-rater, -ratee, -behavior, -cycle) compose; when any is
 // given, the matching decisions are listed with their full evidence chain
 // instead of the aggregate table.
+//
+// When the audited run was subjected to fault injection (socialtrust-sim
+// -fault-drop/-fault-crash), its injected-event log is summarized under the
+// detection table and embedded in the -json report.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"socialtrust"
@@ -55,6 +60,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "socialtrust-audit: %v\n", err)
 		os.Exit(1)
 	}
+	faults, err := socialtrust.LoadFaultEvents(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "socialtrust-audit: %v\n", err)
+		os.Exit(1)
+	}
 
 	// Filtered forensics view: list matching decisions instead of scoring.
 	if *rater >= 0 || *ratee >= 0 || wantMask != 0 || *cycle > 0 {
@@ -67,7 +77,8 @@ func main() {
 		out := struct {
 			GroundTruth socialtrust.AuditGroundTruth `json:"ground_truth"`
 			Report      socialtrust.DetectionReport  `json:"report"`
-		}{gt, rep}
+			FaultEvents []socialtrust.FaultEvent     `json:"fault_events,omitempty"`
+		}{gt, rep, faults}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -80,6 +91,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "socialtrust-audit: %v\n", err)
 		os.Exit(1)
 	}
+	if len(faults) > 0 {
+		fmt.Println()
+		printFaultSummary(faults)
+	}
 	if *perCycle {
 		fmt.Println()
 		if err := rep.WritePerCycle(os.Stdout); err != nil {
@@ -87,6 +102,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// printFaultSummary condenses the run's injected-fault log into one line per
+// event kind, in a deterministic order.
+func printFaultSummary(events []socialtrust.FaultEvent) {
+	counts := make(map[string]int)
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("injected faults (%d events):", len(events))
+	for _, k := range kinds {
+		fmt.Printf(" %s=%d", k, counts[k])
+	}
+	fmt.Println()
 }
 
 // parseBehavior maps "B1".."B4" (or a "B1|B3" union) to a behavior mask.

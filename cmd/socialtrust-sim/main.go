@@ -30,6 +30,12 @@
 // The audited run uses the paper's 200-node default geometry (tunable with
 // -audit-nodes and -audit-b) and honors -seed, -quick and -managers. Its
 // detection-quality table is printed after the run.
+//
+// Robustness — the audited run can be subjected to population churn and a
+// deterministic fault-injection plan at the manager mailbox boundary
+// (message drops, shard crashes), reproducible by fault seed:
+//
+//	socialtrust-sim -audit out/ -churn -fault-drop 0.1 -fault-crash -fault-seed 7
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 
 	"socialtrust/internal/audit"
 	"socialtrust/internal/experiments"
+	"socialtrust/internal/fault"
 	"socialtrust/internal/obs"
 	"socialtrust/internal/sim"
 )
@@ -64,6 +71,11 @@ func main() {
 		auditModel = flag.String("audit-model", "MCM", "collusion model of the audited run: none|PCM|MCM|MMM")
 		auditNodes = flag.Int("audit-nodes", 200, "network size of the audited run")
 		auditB     = flag.Float64("audit-b", 0.2, "colluder QoS probability of the audited run")
+
+		churn      = flag.Bool("churn", false, "churn the peer population of the audited run (moderate default regime)")
+		faultDrop  = flag.Float64("fault-drop", 0, "per-delivery message drop probability injected at the manager mailbox boundary")
+		faultCrash = flag.Bool("fault-crash", false, "inject random manager shard crashes (5% per shard per update interval)")
+		faultSeed  = flag.Uint64("fault-seed", 0, "seed of the deterministic fault plan (same seed = same injected-event sequence)")
 	)
 	flag.Parse()
 
@@ -99,8 +111,21 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 
+	faults := fault.Config{Seed: *faultSeed, Drop: *faultDrop}
+	if *faultCrash {
+		faults.CrashRate = 0.05
+	}
+	if faults.Enabled() && *auditDir == "" {
+		fmt.Fprintln(os.Stderr, "socialtrust-sim: fault injection applies to the audited run; add -audit <dir>")
+		os.Exit(2)
+	}
+
 	if *auditDir != "" {
-		if err := runAudited(*auditDir, *auditModel, *auditNodes, *auditB, *seed, *quick, *mgrs); err != nil {
+		var churnCfg sim.ChurnConfig
+		if *churn {
+			churnCfg = sim.DefaultChurn()
+		}
+		if err := runAudited(*auditDir, *auditModel, *auditNodes, *auditB, *seed, *quick, *mgrs, churnCfg, faults); err != nil {
 			fmt.Fprintf(os.Stderr, "socialtrust-sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -141,8 +166,10 @@ func main() {
 }
 
 // runAudited executes one simulation with the flight recorder on, writes
-// the audit trail to dir, and prints the run's detection-quality table.
-func runAudited(dir, model string, nodes int, b float64, seed uint64, quick bool, managers int) error {
+// the audit trail to dir, and prints the run's detection-quality table —
+// optionally under churn and a deterministic fault-injection regime.
+func runAudited(dir, model string, nodes int, b float64, seed uint64, quick bool, managers int,
+	churn sim.ChurnConfig, faults fault.Config) error {
 	var m sim.CollusionModel
 	switch strings.ToUpper(model) {
 	case "NONE":
@@ -171,13 +198,29 @@ func runAudited(dir, model string, nodes int, b float64, seed uint64, quick bool
 	cfg.Seed = seed
 	cfg.Managers = managers
 	cfg.AuditDir = dir
+	cfg.Churn = churn
+	cfg.Faults = faults
+	if faults.Enabled() && cfg.Managers <= 0 {
+		// Faults live at the manager mailbox boundary; default an overlay in.
+		cfg.Managers = 8
+		fmt.Fprintln(os.Stderr, "fault injection requires the manager overlay; defaulting -managers to 8")
+	}
 
 	start := time.Now()
-	if _, err := sim.Run(cfg); err != nil {
+	res, err := sim.Run(cfg)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("audited %s run (%d nodes, %d colluders) in %v; trail in %s\n",
 		m, cfg.NumNodes, cfg.NumColluders, time.Since(start).Round(time.Millisecond), dir)
+	if churn.Enabled() {
+		fmt.Printf("churn: %d departures, %d rejoins (%d whitewash)\n",
+			res.Churn.Departures, res.Churn.Rejoins, res.Churn.WhitewashRejoins)
+	}
+	if faults.Enabled() {
+		fmt.Printf("faults: %d ratings lost, %d partial drains, %d replica-recovered shard intervals\n",
+			res.RatingsLost, res.PartialDrains, res.ReplicaDrains)
+	}
 	gt, events, err := audit.LoadDir(dir)
 	if err != nil {
 		return err

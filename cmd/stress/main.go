@@ -10,6 +10,7 @@
 //	stress -managers 8           # route ratings through the manager overlay
 //	stress -metrics-addr :9090 -pprof   # live metrics + profiling
 //	stress -audit out/           # decision-audit trail per size in out/n<size>
+//	stress -churn -managers 8 -fault-drop 0.1 -fault-crash   # chaos sweep
 //
 // Each size row includes the peak goroutine count and the bytes allocated
 // during the run, sampled through the obs runtime gauges, so the scaling
@@ -43,6 +44,11 @@ func main() {
 		mDump    = flag.String("metrics-dump", "", "print a metrics snapshot after the sweep: text|json")
 		auditDir = flag.String("audit", "", "write each size's decision-audit trail to <dir>/n<size>")
 		verbose  = flag.Bool("v", false, "verbose progress logging on stderr")
+
+		churn      = flag.Bool("churn", false, "churn the peer population of every run (moderate default regime)")
+		faultDrop  = flag.Float64("fault-drop", 0, "per-delivery message drop probability at the manager mailbox boundary")
+		faultCrash = flag.Bool("fault-crash", false, "inject random manager shard crashes (5% per shard per update interval)")
+		faultSeed  = flag.Uint64("fault-seed", 0, "seed of the deterministic fault plan")
 	)
 	flag.Parse()
 
@@ -57,6 +63,15 @@ func main() {
 	if *managers < 0 {
 		fmt.Fprintf(os.Stderr, "stress: -managers must be >= 0, got %d\n", *managers)
 		os.Exit(2)
+	}
+	faults := socialtrust.FaultConfig{Seed: *faultSeed, Drop: *faultDrop}
+	if *faultCrash {
+		faults.CrashRate = 0.05
+	}
+	if faults.Enabled() && *managers <= 0 {
+		// Faults live at the manager mailbox boundary; default an overlay in.
+		*managers = 8
+		fmt.Fprintln(os.Stderr, "fault injection requires the manager overlay; defaulting -managers to 8")
 	}
 	if *verbose {
 		obs.SetLogLevel(slog.LevelInfo)
@@ -110,6 +125,10 @@ func main() {
 		cfg.QueryCycles = *qc
 		cfg.Seed = *seed
 		cfg.Managers = *managers
+		if *churn {
+			cfg.Churn = socialtrust.DefaultChurn()
+		}
+		cfg.Faults = faults
 		if *auditDir != "" {
 			cfg.AuditDir = filepath.Join(*auditDir, fmt.Sprintf("n%d", n))
 		}
@@ -149,6 +168,11 @@ func main() {
 			float64(res.TotalRequests)/wall.Seconds(),
 			ratio, fmt.Sprintf("%.1f%%", res.ColluderRequestShare()*100),
 			peakGor, fmtBytes(allocBytes))
+		if *churn || faults.Enabled() {
+			fmt.Printf("         churn %d out / %d in (%d whitewash); %d ratings lost, %d partial drains, %d replica-recovered\n",
+				res.Churn.Departures, res.Churn.Rejoins, res.Churn.WhitewashRejoins,
+				res.RatingsLost, res.PartialDrains, res.ReplicaDrains)
+		}
 	}
 	if *mDump != "" {
 		obs.CaptureRuntime()

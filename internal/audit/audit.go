@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"socialtrust/internal/fault"
 	"socialtrust/internal/obs/event"
 )
 
@@ -61,7 +62,54 @@ const (
 	DecisionsFile   = "filter_decisions.jsonl"
 	CyclesFile      = "cycle_series.jsonl"
 	ManagerFile     = "manager_events.jsonl"
+	// FaultsFile holds the fault plan's injected-event log for runs under
+	// fault injection (absent otherwise). Same seed ⇒ byte-identical file —
+	// the golden determinism artifact.
+	FaultsFile = "fault_events.jsonl"
 )
+
+// WriteFaultEvents writes a fault plan's injected-event log alongside the
+// audit streams, one JSON object per line in injection order.
+func WriteFaultEvents(dir string, events []fault.Event) error {
+	f, err := os.Create(filepath.Join(dir, FaultsFile))
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			f.Close()
+			return fmt.Errorf("audit: write %s: %w", FaultsFile, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("audit: close %s: %w", FaultsFile, err)
+	}
+	return nil
+}
+
+// LoadFaultEvents reads the injected-event log of an audit directory.
+// A missing file loads as an empty log (the run injected no faults).
+func LoadFaultEvents(dir string) ([]fault.Event, error) {
+	f, err := os.Open(filepath.Join(dir, FaultsFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	var out []fault.Event
+	for dec.More() {
+		var e fault.Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("audit: read %s: %w", FaultsFile, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
 
 // WriteDir writes one run's audit output: the ground truth and the event
 // stream split into one JSONL file per event kind. The directory is

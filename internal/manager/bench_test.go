@@ -3,6 +3,7 @@ package manager
 import (
 	"testing"
 
+	"socialtrust/internal/fault"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation/ebay"
 )
@@ -43,6 +44,31 @@ func BenchmarkOverlayQuery(b *testing.B) {
 		i := 0
 		for pb.Next() {
 			o.Reputation(i % 256)
+			i++
+		}
+	})
+}
+
+// BenchmarkOverlaySubmitReplicated measures the fault-tolerant submission
+// path with zero injected faults: primary delivery plus replica mirroring
+// under deadlines. Compared against BenchmarkOverlaySubmit in
+// scripts/bench.sh (BENCH_fault.json) to price the hardened path.
+func BenchmarkOverlaySubmitReplicated(b *testing.B) {
+	o, err := NewWithOptions(256, 8, ebay.New(256), Options{
+		Fault: alwaysOnPlan(b, fault.Config{}, 8),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r := rating.Rating{Rater: i % 256, Ratee: (i + 1) % 256, Value: 1, Cycle: i}
+			if err := o.Submit(r); err != nil {
+				b.Fatal(err)
+			}
 			i++
 		}
 	})

@@ -33,6 +33,40 @@ var (
 // bit-reproducible for a given seed. Returns each participant's estimate of
 // the average vector.
 func PushSum(parts [][]float64, rounds int, seed uint64) ([][]float64, error) {
+	return pushSumRun(parts, rounds, seed, nil, nil)
+}
+
+// PushSumFaulty runs push-sum under a crash model: crashAt maps a
+// participant index to the 0-based round at whose start it fails. A crashed
+// participant's (vector, weight) mass is lost — zeroed, exactly what a
+// process crash does to in-memory gossip state — and the survivors stop
+// addressing it, so no further mass leaks into the dead node. The protocol
+// conserves the surviving mass: every post-crash round redistributes it
+// among live participants only, and live estimates converge to the average
+// of the mass that survived. Crashed participants report a zero vector
+// (their weight is zero; there is nothing to normalize).
+func PushSumFaulty(parts [][]float64, rounds int, seed uint64, crashAt map[int]int) ([][]float64, error) {
+	for i, r := range crashAt {
+		if i < 0 || i >= len(parts) {
+			return nil, fmt.Errorf("manager: crash participant %d out of range", i)
+		}
+		if r < 0 {
+			return nil, fmt.Errorf("manager: crash round %d for participant %d is negative", r, i)
+		}
+	}
+	if len(crashAt) >= len(parts) {
+		return nil, fmt.Errorf("manager: crashing all %d participants leaves no survivors", len(parts))
+	}
+	return pushSumRun(parts, rounds, seed, crashAt, nil)
+}
+
+// pushSumRun is the shared push-sum core. crashAt is the crash schedule
+// (nil for the fault-free protocol, which keeps the seed code path and its
+// bit-exact results); onRound, when non-nil, observes the post-delivery
+// (values, weights) state after each round — the white-box hook the
+// mass-conservation tests use.
+func pushSumRun(parts [][]float64, rounds int, seed uint64, crashAt map[int]int,
+	onRound func(round int, values [][]float64, weights []float64)) ([][]float64, error) {
 	k := len(parts)
 	if k == 0 {
 		return nil, fmt.Errorf("manager: PushSum needs at least one participant")
@@ -77,21 +111,79 @@ func PushSum(parts [][]float64, rounds int, seed uint64) ([][]float64, error) {
 		vector []float64
 		weight float64
 	}
+	// dead[i] marks a crashed participant; live lists survivors in index
+	// order (rebuilt when a crash fires) so target draws stay uniform over
+	// live peers.
+	dead := make([]bool, k)
+	live := make([]int, k)
+	for i := range live {
+		live[i] = i
+	}
+	rebuildLive := func() {
+		live = live[:0]
+		for i := 0; i < k; i++ {
+			if !dead[i] {
+				live = append(live, i)
+			}
+		}
+	}
+
 	outbox := make([]push, k)
 	for r := 0; r < rounds; r++ {
-		// Concurrent phase: every participant halves its mass and
+		// Crash phase: zero the state of participants failing this round —
+		// their in-memory (vector, weight) mass dies with the process.
+		if len(crashAt) > 0 {
+			changed := false
+			for i, cr := range crashAt {
+				if cr == r && !dead[i] {
+					dead[i] = true
+					changed = true
+					for d := 0; d < dim; d++ {
+						values[i][d] = 0
+					}
+					weights[i] = 0
+				}
+			}
+			if changed {
+				rebuildLive()
+			}
+		}
+		// Concurrent phase: every live participant halves its mass and
 		// addresses one half, touching only its own state.
 		var wg sync.WaitGroup
 		for i := 0; i < k; i++ {
+			if dead[i] {
+				outbox[i] = push{to: i} // zero-mass self-push: delivery is a no-op
+				continue
+			}
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
 				target := i
-				if k > 1 {
-					target = streams[i].Intn(k - 1)
-					if target >= i {
-						target++ // uniform over peers other than self
+				if crashAt == nil {
+					// Fault-free path: uniform over all peers other than
+					// self (the seed protocol, bit-exact).
+					if k > 1 {
+						target = streams[i].Intn(k - 1)
+						if target >= i {
+							target++
+						}
 					}
+				} else if len(live) > 1 {
+					// Crash model: survivors address live peers only, so no
+					// mass leaks into dead nodes.
+					t := streams[i].Intn(len(live) - 1)
+					self := 0
+					for j, v := range live {
+						if v == i {
+							self = j
+							break
+						}
+					}
+					if t >= self {
+						t++
+					}
+					target = live[t]
 				}
 				half := make([]float64, dim)
 				for d := 0; d < dim; d++ {
@@ -107,16 +199,25 @@ func PushSum(parts [][]float64, rounds int, seed uint64) ([][]float64, error) {
 		// deterministic.
 		for i := 0; i < k; i++ {
 			msg := outbox[i]
+			if msg.vector == nil {
+				continue // dead participant pushed nothing
+			}
 			for d := 0; d < dim; d++ {
 				values[msg.to][d] += msg.vector[d]
 			}
 			weights[msg.to] += msg.weight
+		}
+		if onRound != nil {
+			onRound(r, values, weights)
 		}
 	}
 
 	out := make([][]float64, k)
 	for i := 0; i < k; i++ {
 		out[i] = make([]float64, dim)
+		if weights[i] == 0 {
+			continue // crashed participant: zero estimate, nothing to normalize
+		}
 		for d := 0; d < dim; d++ {
 			out[i][d] = values[i][d] / weights[i]
 		}

@@ -79,6 +79,77 @@ func TestPushSumConservesMass(t *testing.T) {
 	}
 }
 
+// TestPushSumFaultyConservesMass is the crash-model satellite: when a
+// participant's vector is zeroed mid-round, the only mass the protocol may
+// lose is what the dead node held at crash time. Every subsequent round
+// must conserve the surviving total exactly (survivors address live peers
+// only), and live estimates must converge to the surviving average.
+func TestPushSumFaultyConservesMass(t *testing.T) {
+	parts := [][]float64{{1, 10}, {5, 20}, {9, 30}, {100, 40}}
+	const crashed, crashRound, rounds = 3, 4, 60
+	dim := len(parts[0])
+
+	var survivingTotal []float64 // value totals, then the weight total appended
+	_, err := pushSumRun(parts, rounds, 7, map[int]int{crashed: crashRound},
+		func(round int, values [][]float64, weights []float64) {
+			total := make([]float64, dim+1)
+			for i := range values {
+				for d := 0; d < dim; d++ {
+					total[d] += values[i][d]
+				}
+				total[dim] += weights[i]
+			}
+			if round < crashRound {
+				return
+			}
+			if round == crashRound {
+				survivingTotal = total
+				return
+			}
+			for d := 0; d <= dim; d++ {
+				if diff := total[d] - survivingTotal[d]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("round %d dim %d: total mass %v, want %v (leaked %v)",
+						round, d, total[d], survivingTotal[d], diff)
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := PushSumFaulty(parts, rounds, 7, map[int]int{crashed: crashRound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < dim; d++ {
+		// Live estimates converge to survivingTotal / survivingWeight; all
+		// three survivors must agree with each other.
+		for _, i := range []int{1, 2} {
+			if diff := out[i][d] - out[0][d]; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("survivors disagree at dim %d: %v vs %v", d, out[i][d], out[0][d])
+			}
+		}
+	}
+	for d := 0; d < dim; d++ {
+		if out[crashed][d] != 0 {
+			t.Fatalf("crashed participant reported estimate %v, want 0", out[crashed][d])
+		}
+	}
+}
+
+func TestPushSumFaultyValidation(t *testing.T) {
+	parts := [][]float64{{1}, {2}}
+	if _, err := PushSumFaulty(parts, 5, 1, map[int]int{5: 0}); err == nil {
+		t.Error("out-of-range crash participant should error")
+	}
+	if _, err := PushSumFaulty(parts, 5, 1, map[int]int{0: -1}); err == nil {
+		t.Error("negative crash round should error")
+	}
+	if _, err := PushSumFaulty(parts, 5, 1, map[int]int{0: 0, 1: 1}); err == nil {
+		t.Error("crashing every participant should error")
+	}
+}
+
 func TestPushSumDeterministic(t *testing.T) {
 	parts := [][]float64{{1, 2}, {3, 4}, {5, 6}}
 	a, err := PushSum(parts, 20, 9)

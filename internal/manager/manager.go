@@ -13,15 +13,43 @@
 // SocialTrust-wrapped) reputation engine — the paper's periodic global
 // reputation calculation — and broadcasts the fresh reputation vector back
 // to every manager, which then serves queries from its local copy.
+//
+// # Failure model
+//
+// The paper assumes managers are trustworthy and always available; this
+// implementation drops the availability half of that assumption. With a
+// fault plan installed (Options.Fault, see internal/fault), the overlay runs
+// in fault-tolerant mode:
+//
+//   - every submission is mirrored to a replica ledger on the successor
+//     shard (ratee's shard p primary, (p+1) mod k replica), so one shard
+//     crash loses no interval data;
+//   - Submit and Query carry context deadlines with bounded
+//     exponential-backoff retry, failing over to the replica shard when the
+//     primary is down or unreachable;
+//   - EndInterval degrades gracefully: it drains whatever shards answer
+//     within the drain deadline, substitutes replica mirrors for crashed
+//     primaries, scores partial drains in manager_drain_partial_total, and
+//     never blocks on a dead shard. Crashed shards rejoin with the
+//     last-known reputation vector.
+//
+// Without a plan the overlay behaves exactly as the seed implementation
+// (single ledger per shard, no mirroring, no timeouts) except that a dead
+// shard now yields typed ErrShardDown/ErrTimeout errors instead of
+// deadlocking callers.
 package manager
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"socialtrust/internal/fault"
 	"socialtrust/internal/obs"
 	"socialtrust/internal/obs/event"
 	"socialtrust/internal/rating"
@@ -38,17 +66,34 @@ var (
 	mDrainTotal   = obs.C("manager_drain_total")
 	mSubmitLat    = obs.H("manager_submit_seconds")
 	mQueryLat     = obs.H("manager_query_seconds")
+
+	// Fault-tolerance metrics.
+	mRetries      = obs.C("manager_submit_retries_total")
+	mFailovers    = obs.C("manager_submit_failover_total")
+	mCrashes      = obs.C("manager_shard_crashes_total")
+	mRestarts     = obs.C("manager_shard_restarts_total")
+	mDrainPartial = obs.C("manager_drain_partial_total")
+	mDrainReplica = obs.C("manager_drain_replica_total")
 )
 
 // message is the manager mailbox protocol.
 type message struct {
-	kind  msgKind
-	r     rating.Rating
-	node  int
-	repC  chan float64
-	snapC chan rating.Snapshot
-	reps  []float64
-	errC  chan error
+	kind     msgKind
+	r        rating.Rating
+	replica  bool // submission targets the shard's replica mirror ledger
+	deferred bool // delayed delivery: applied at the next drain
+	node     int
+	repC     chan float64
+	drainC   chan drainReply
+	reps     []float64
+	errC     chan error
+}
+
+// drainReply is one shard's answer to a drain: its primary interval
+// snapshot and (fault-tolerant mode) the mirror of its predecessor's.
+type drainReply struct {
+	primary rating.Snapshot
+	replica rating.Snapshot
 }
 
 type msgKind int
@@ -60,13 +105,76 @@ const (
 	msgUpdateReps
 )
 
-// shard is one manager goroutine's state.
+// shardState is one incarnation of a manager goroutine: crash kills the
+// incarnation (its ledgers die with it), restart installs a fresh one.
+type shardState struct {
+	id    int
+	inbox chan message
+	// kill is closed by the overlay to crash this incarnation; down is
+	// closed by the serve loop on exit (crash or overlay close), releasing
+	// every caller blocked on this incarnation.
+	kill chan struct{}
+	down chan struct{}
+
+	ledger  *rating.Ledger // primary: ratings whose ratee maps to this shard
+	replica *rating.Ledger // fault mode: mirror of the predecessor's primary
+	// deferred holds delay-injected submissions, applied to the matching
+	// ledger when the next drain arrives (a slow message that still made it
+	// within the interval).
+	deferred        []rating.Rating
+	deferredReplica []rating.Rating
+
+	reps []float64
+}
+
+// shard is the stable identity of one manager slot across incarnations.
 type shard struct {
-	id     int
-	inbox  chan message
-	ledger *rating.Ledger
-	reps   []float64
-	depth  *obs.Gauge // mailbox depth after the last handled message
+	id    int
+	cur   atomic.Pointer[shardState]
+	depth *obs.Gauge // mailbox depth after the last handled message
+}
+
+// Options tunes the overlay's fault-tolerance machinery. The zero Options
+// reproduces the seed overlay: no replication, no timeouts, no fault plan.
+type Options struct {
+	// Fault installs a fault-injection plan (message drops/delays/
+	// duplication and shard crash/restart schedules). A non-nil plan —
+	// even one injecting nothing, see fault.Config.AlwaysOn — switches the
+	// overlay into fault-tolerant mode: replica mirroring, retry/failover
+	// on Submit and Query, and drain-deadline degradation in EndInterval.
+	Fault *fault.Plan
+
+	// SubmitTimeout bounds one submission delivery attempt (default 5ms);
+	// QueryTimeout one reputation query attempt (default 5ms); DrainTimeout
+	// one shard's drain or broadcast in EndInterval (default 100ms).
+	SubmitTimeout time.Duration
+	QueryTimeout  time.Duration
+	DrainTimeout  time.Duration
+
+	// RetryAttempts is the per-target delivery attempt budget (default 3);
+	// RetryBackoff the base sleep between attempts, doubling each retry
+	// (default 200µs).
+	RetryAttempts int
+	RetryBackoff  time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SubmitTimeout <= 0 {
+		o.SubmitTimeout = 5 * time.Millisecond
+	}
+	if o.QueryTimeout <= 0 {
+		o.QueryTimeout = 5 * time.Millisecond
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 100 * time.Millisecond
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 200 * time.Microsecond
+	}
+	return o
 }
 
 // Overlay is a running resource-manager overlay.
@@ -74,21 +182,39 @@ type Overlay struct {
 	numNodes int
 	shards   []*shard
 	engine   reputation.Engine
+	opts     Options
+	plan     *fault.Plan // nil = seed behavior
 
-	mu     sync.Mutex // guards engine updates and Close
-	wg     sync.WaitGroup
-	closed chan struct{}
-	once   sync.Once
+	mu       sync.Mutex // guards engine updates, shard lifecycle, and Close
+	lastReps []float64  // last broadcast vector; restarting shards sync to it
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	once     sync.Once
 }
 
-// ErrClosed is returned by operations on a closed overlay.
-var ErrClosed = fmt.Errorf("manager: overlay is closed")
+// Typed overlay errors.
+var (
+	// ErrClosed is returned by operations on a closed overlay.
+	ErrClosed = errors.New("manager: overlay is closed")
+	// ErrShardDown is returned when the responsible shard (and, in
+	// fault-tolerant mode, its replica) has crashed.
+	ErrShardDown = errors.New("manager: shard is down")
+	// ErrTimeout is returned when a request's context deadline lapsed
+	// before the shard acknowledged it (including simulated-time loss of a
+	// dropped message under fault injection).
+	ErrTimeout = errors.New("manager: request timed out")
+)
 
 // New starts an overlay of numManagers manager goroutines fronting the
 // given reputation engine. The engine may be a bare baseline or a
 // SocialTrust-wrapped one; the overlay treats it as the global reputation
 // calculation of the paper's design.
 func New(numNodes, numManagers int, engine reputation.Engine) (*Overlay, error) {
+	return NewWithOptions(numNodes, numManagers, engine, Options{})
+}
+
+// NewWithOptions starts an overlay with explicit fault-tolerance options.
+func NewWithOptions(numNodes, numManagers int, engine reputation.Engine, opts Options) (*Overlay, error) {
 	if numNodes <= 0 {
 		return nil, fmt.Errorf("manager: numNodes must be positive")
 	}
@@ -98,61 +224,158 @@ func New(numNodes, numManagers int, engine reputation.Engine) (*Overlay, error) 
 	if engine == nil {
 		return nil, fmt.Errorf("manager: engine is required")
 	}
-	o := &Overlay{numNodes: numNodes, engine: engine, closed: make(chan struct{})}
+	if opts.Fault != nil && opts.Fault.Shards() != numManagers {
+		return nil, fmt.Errorf("manager: fault plan built for %d shards, overlay has %d",
+			opts.Fault.Shards(), numManagers)
+	}
+	o := &Overlay{
+		numNodes: numNodes,
+		engine:   engine,
+		opts:     opts.withDefaults(),
+		plan:     opts.Fault,
+		closed:   make(chan struct{}),
+	}
 	initial := engine.Reputations()
+	o.lastReps = append([]float64(nil), initial...)
 	for m := 0; m < numManagers; m++ {
 		s := &shard{
-			id:     m,
-			inbox:  make(chan message, 256),
-			ledger: rating.NewLedger(numNodes),
-			reps:   append([]float64(nil), initial...),
-			depth:  obs.G(obs.Label("manager_mailbox_depth", "shard", strconv.Itoa(m))),
+			id:    m,
+			depth: obs.G(obs.Label("manager_mailbox_depth", "shard", strconv.Itoa(m))),
 		}
+		s.cur.Store(o.newIncarnation(m, initial))
 		o.shards = append(o.shards, s)
 		o.wg.Add(1)
-		go o.serve(s)
+		go o.serve(s, s.cur.Load())
 	}
 	return o, nil
 }
 
-// serve is a manager goroutine's event loop. It exits on the overlay's
-// closed signal; inbox channels are never closed, so senders cannot panic.
-func (o *Overlay) serve(s *shard) {
+// replicated reports whether replica mirroring is active.
+func (o *Overlay) replicated() bool { return o.plan != nil }
+
+// newIncarnation builds a fresh shard state with empty ledgers.
+func (o *Overlay) newIncarnation(id int, reps []float64) *shardState {
+	st := &shardState{
+		id:     id,
+		inbox:  make(chan message, 256),
+		kill:   make(chan struct{}),
+		down:   make(chan struct{}),
+		ledger: rating.NewLedger(o.numNodes),
+		reps:   append([]float64(nil), reps...),
+	}
+	if o.replicated() {
+		st.replica = rating.NewLedger(o.numNodes)
+	}
+	return st
+}
+
+// serve is a manager incarnation's event loop. It exits on the overlay's
+// closed signal or the incarnation's kill signal; inbox channels are never
+// closed, so senders cannot panic. On exit it closes down, releasing every
+// caller still waiting on this incarnation.
+func (o *Overlay) serve(s *shard, st *shardState) {
 	defer o.wg.Done()
+	defer close(st.down)
 	for {
 		select {
 		case <-o.closed:
 			return
-		case msg := <-s.inbox:
+		case <-st.kill:
+			return
+		case msg := <-st.inbox:
 			switch msg.kind {
 			case msgSubmit:
-				msg.errC <- s.ledger.Add(msg.r)
+				st.handleSubmit(msg)
 			case msgQuery:
 				if msg.node < 0 || msg.node >= o.numNodes {
 					msg.repC <- 0
-					s.depth.Set(float64(len(s.inbox)))
+					s.depth.Set(float64(len(st.inbox)))
 					continue
 				}
-				msg.repC <- s.reps[msg.node]
+				msg.repC <- st.reps[msg.node]
 			case msgDrain:
-				msg.snapC <- s.ledger.EndInterval()
+				// The reply send must not wedge the loop past shutdown: a
+				// caller that gave up (drain deadline) never reads drainC.
+				select {
+				case msg.drainC <- st.drain():
+				case <-o.closed:
+					return
+				case <-st.kill:
+					return
+				}
 			case msgUpdateReps:
-				s.reps = msg.reps
+				st.reps = msg.reps
 				msg.errC <- nil
 			}
-			s.depth.Set(float64(len(s.inbox)))
+			s.depth.Set(float64(len(st.inbox)))
 		}
 	}
+}
+
+// handleSubmit applies one submission to the incarnation's ledgers.
+// Delay-injected messages are acknowledged on receipt and applied at the
+// next drain.
+func (st *shardState) handleSubmit(msg message) {
+	if msg.deferred {
+		if msg.replica {
+			st.deferredReplica = append(st.deferredReplica, msg.r)
+		} else {
+			st.deferred = append(st.deferred, msg.r)
+		}
+		msg.errC <- nil
+		return
+	}
+	if msg.replica {
+		msg.errC <- st.replica.Add(msg.r)
+		return
+	}
+	msg.errC <- st.ledger.Add(msg.r)
+}
+
+// drain flushes deferred submissions into the ledgers and snapshots the
+// interval.
+func (st *shardState) drain() drainReply {
+	for _, r := range st.deferred {
+		_ = st.ledger.Add(r) // validated at submit time
+	}
+	st.deferred = st.deferred[:0]
+	var rep drainReply
+	rep.primary = st.ledger.EndInterval()
+	if st.replica != nil {
+		for _, r := range st.deferredReplica {
+			_ = st.replica.Add(r)
+		}
+		st.deferredReplica = st.deferredReplica[:0]
+		rep.replica = st.replica.EndInterval()
+	}
+	return rep
 }
 
 // ManagerOf returns the manager index responsible for a node.
 func (o *Overlay) ManagerOf(node int) int { return node % len(o.shards) }
 
+// replicaOf returns the shard holding node's replica mirror.
+func (o *Overlay) replicaOf(primary int) int { return (primary + 1) % len(o.shards) }
+
 // NumManagers reports the overlay size.
 func (o *Overlay) NumManagers() int { return len(o.shards) }
 
-// Submit routes one rating to the ratee's manager. Safe for concurrent use;
-// returns ErrClosed after Close.
+// downOrClosed maps a dead-incarnation signal to the right typed error:
+// Close also tears incarnations down, and callers racing it should see
+// ErrClosed, not ErrShardDown.
+func (o *Overlay) downOrClosed() error {
+	select {
+	case <-o.closed:
+		return ErrClosed
+	default:
+		return ErrShardDown
+	}
+}
+
+// Submit routes one rating to the ratee's manager. Safe for concurrent use.
+// Returns ErrClosed after Close, ErrShardDown when the responsible shard
+// (and, in fault-tolerant mode, its replica) has crashed, and ErrTimeout
+// when delivery attempts exhausted their deadlines.
 func (o *Overlay) Submit(r rating.Rating) error {
 	sp := mSubmitLat.Start()
 	err := o.submit(r)
@@ -168,43 +391,227 @@ func (o *Overlay) submit(r rating.Rating) error {
 	if r.Ratee < 0 || r.Ratee >= o.numNodes {
 		return fmt.Errorf("manager: ratee %d out of range", r.Ratee)
 	}
+	if o.plan != nil {
+		return o.submitFT(r)
+	}
+	return o.submitDirect(r)
+}
+
+// submitDirect is the seed fast path: one blocking delivery to the primary
+// shard, with no replication or deadline. It cannot hang: a dead
+// incarnation's down signal aborts both the send and the ack wait.
+func (o *Overlay) submitDirect(r rating.Rating) error {
+	st := o.shards[o.ManagerOf(r.Ratee)].cur.Load()
 	errC := make(chan error, 1)
 	select {
 	case <-o.closed:
 		return ErrClosed
-	case o.shards[o.ManagerOf(r.Ratee)].inbox <- message{kind: msgSubmit, r: r, errC: errC}:
+	case <-st.down:
+		return o.downOrClosed()
+	case st.inbox <- message{kind: msgSubmit, r: r, errC: errC}:
 	}
 	select {
 	case err := <-errC:
 		return err
+	case <-st.down:
+		return o.downOrClosed()
 	case <-o.closed:
 		return ErrClosed // shut down before the manager processed it
 	}
 }
 
+// submitFT is the fault-tolerant submission path: the rating is validated
+// up front (delay-injected copies are acknowledged before the ledger sees
+// them), delivered to the primary with retries, and mirrored to the replica
+// shard. The submission survives as long as either copy lands: a primary
+// failure with a successful mirror is a failover, not an error.
+func (o *Overlay) submitFT(r rating.Rating) error {
+	if r.Rater < 0 || r.Rater >= o.numNodes {
+		return fmt.Errorf("manager: rater %d out of range", r.Rater)
+	}
+	if r.Rater == r.Ratee {
+		return fmt.Errorf("rating: self-rating by node %d rejected", r.Rater)
+	}
+	p := o.ManagerOf(r.Ratee)
+	rep := o.replicaOf(p)
+	primaryErr := o.deliverRetry(p, r, false)
+	var replicaErr error
+	if rep != p {
+		replicaErr = o.deliverRetry(rep, r, true)
+	} else {
+		replicaErr = primaryErr // single-shard overlay has no distinct replica
+	}
+	if primaryErr == nil {
+		return nil
+	}
+	if errors.Is(primaryErr, ErrClosed) {
+		return primaryErr
+	}
+	if replicaErr == nil {
+		// Primary unreachable but the replica holds the rating; the next
+		// drain recovers it from the mirror.
+		mFailovers.Inc()
+		return nil
+	}
+	return primaryErr
+}
+
+// deliverRetry attempts delivery to one shard with bounded exponential
+// backoff. Shard-down and overlay-closed conditions abort immediately
+// (crashed incarnations only restart at interval boundaries, so retrying
+// them is wasted time); timeouts are retried.
+func (o *Overlay) deliverRetry(shardID int, r rating.Rating, replica bool) error {
+	backoff := o.opts.RetryBackoff
+	var err error
+	for attempt := 0; attempt < o.opts.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			mRetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		err = o.deliverOnce(shardID, r, replica)
+		if err == nil || errors.Is(err, ErrShardDown) || errors.Is(err, ErrClosed) {
+			return err
+		}
+	}
+	return err
+}
+
+// deliverOnce performs one submission delivery under the submit deadline,
+// consulting the fault plan for the message's fate.
+func (o *Overlay) deliverOnce(shardID int, r rating.Rating, replica bool) error {
+	st := o.shards[shardID].cur.Load()
+	select {
+	case <-st.down:
+		return o.downOrClosed()
+	default:
+	}
+	v := o.plan.DeliveryVerdict(shardID)
+	if v.Drop {
+		// The message is lost in transit: the ack deadline lapses. The
+		// timeout is charged in simulated time — returning immediately —
+		// so high drop rates do not stall the run on wall-clock sleeps.
+		return ErrTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.opts.SubmitTimeout)
+	defer cancel()
+	msg := message{kind: msgSubmit, r: r, replica: replica, deferred: v.Delay, errC: make(chan error, 1)}
+	if err := o.send(ctx, st, msg); err != nil {
+		return err
+	}
+	if v.Duplicate {
+		dup := msg
+		dup.errC = make(chan error, 1) // nobody reads it; buffered so the shard never blocks
+		_ = o.send(ctx, st, dup)
+	}
+	select {
+	case err := <-msg.errC:
+		return err
+	case <-st.down:
+		return o.downOrClosed()
+	case <-o.closed:
+		return ErrClosed
+	case <-ctx.Done():
+		return ErrTimeout
+	}
+}
+
+// send enqueues one message on an incarnation's mailbox under ctx.
+func (o *Overlay) send(ctx context.Context, st *shardState, msg message) error {
+	select {
+	case st.inbox <- msg:
+		return nil
+	case <-st.down:
+		return o.downOrClosed()
+	case <-o.closed:
+		return ErrClosed
+	case <-ctx.Done():
+		return ErrTimeout
+	}
+}
+
 // Reputation queries the manager responsible for node for its current
-// global reputation. Safe for concurrent use; returns 0 after Close.
+// global reputation. Safe for concurrent use; returns 0 after Close or when
+// the shard is unreachable (use Query for the typed error).
 func (o *Overlay) Reputation(node int) float64 {
+	v, _ := o.Query(node)
+	return v
+}
+
+// Query returns node's reputation from its manager's broadcast copy. In
+// fault-tolerant mode an unreachable primary fails over to the replica
+// shard (every shard holds the full broadcast vector). Returns ErrShardDown
+// when no responsible shard is reachable, ErrTimeout on deadline, ErrClosed
+// after Close.
+func (o *Overlay) Query(node int) (float64, error) {
 	if node < 0 || node >= o.numNodes {
-		return 0
+		return 0, fmt.Errorf("manager: node %d out of range", node)
 	}
 	sp := mQueryLat.Start()
 	defer func() {
 		sp.End()
 		mQueryTotal.Inc()
 	}()
+	p := o.ManagerOf(node)
+	v, err := o.queryShard(p, node)
+	if err == nil || o.plan == nil || errors.Is(err, ErrClosed) {
+		return v, err
+	}
+	if rep := o.replicaOf(p); rep != p {
+		return o.queryShard(rep, node)
+	}
+	return v, err
+}
+
+// queryShard asks one shard for node's reputation. Fault-tolerant mode
+// bounds the wait with the query deadline.
+func (o *Overlay) queryShard(shardID, node int) (float64, error) {
+	st := o.shards[shardID].cur.Load()
 	repC := make(chan float64, 1)
+	msg := message{kind: msgQuery, node: node, repC: repC}
+	var timeout <-chan time.Time
+	if o.plan != nil {
+		t := time.NewTimer(o.opts.QueryTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case <-o.closed:
-		return 0
-	case o.shards[o.ManagerOf(node)].inbox <- message{kind: msgQuery, node: node, repC: repC}:
+		return 0, ErrClosed
+	case <-st.down:
+		return 0, o.downOrClosed()
+	case <-timeout:
+		return 0, ErrTimeout
+	case st.inbox <- msg:
 	}
 	select {
 	case rep := <-repC:
-		return rep
+		return rep, nil
+	case <-st.down:
+		return 0, o.downOrClosed()
 	case <-o.closed:
-		return 0
+		return 0, ErrClosed
+	case <-timeout:
+		return 0, ErrTimeout
 	}
+}
+
+// DrainStatus reports how one EndInterval degraded under faults.
+type DrainStatus struct {
+	// Drained counts shards whose primary snapshot arrived; ReplicaUsed
+	// lists shards recovered from their successor's mirror; Missing lists
+	// shards whose interval data was lost outright (primary and replica
+	// both unreachable).
+	Drained     int
+	ReplicaUsed []int
+	Missing     []int
+	// Partial is true when any shard's data was lost (Missing non-empty):
+	// the update proceeded on the surviving quorum.
+	Partial bool
+	// Crashed and Restarted list the shard transitions the fault plan
+	// applied at this interval boundary.
+	Crashed   []int
+	Restarted []int
 }
 
 // EndInterval performs the paper's periodic global reputation update: it
@@ -213,11 +620,23 @@ func (o *Overlay) Reputation(node int) float64 {
 // performs its B1–B4 adjustment), and broadcasts the new reputation vector
 // back to all managers. Returns the updated vector.
 func (o *Overlay) EndInterval() []float64 {
+	reps, _ := o.EndIntervalStatus()
+	return reps
+}
+
+// EndIntervalStatus is EndInterval plus the drain's degradation report.
+// Under a fault plan it applies the interval's scheduled crashes first
+// (losing those shards' primary interval ledgers), drains the survivors
+// within the drain deadline, substitutes replica mirrors for crashed
+// primaries, and restarts shards whose outage ended — synced to the freshly
+// broadcast vector. It never blocks on a dead shard.
+func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	var status DrainStatus
 	select {
 	case <-o.closed:
-		return make([]float64, o.numNodes)
+		return make([]float64, o.numNodes), status
 	default:
 	}
 	sp := obs.Start("manager.drain")
@@ -230,46 +649,183 @@ func (o *Overlay) EndInterval() []float64 {
 	if rec != nil {
 		drainStart = time.Now()
 	}
-	// Phase 1: drain all shards concurrently.
-	snaps := make([]rating.Snapshot, len(o.shards))
+	interval := 0
+	// Phase 0 (fault mode): apply this interval's scheduled outages. A
+	// crash at interval t loses the shard's interval-t primary ledger — the
+	// replica mirror on its successor is the only surviving copy.
+	if o.plan != nil {
+		crashes, restarts := o.plan.BeginInterval()
+		interval = o.plan.Interval()
+		status.Crashed = crashes
+		status.Restarted = restarts
+		for _, s := range crashes {
+			o.crashShardLocked(s)
+			mCrashes.Inc()
+			if rec != nil {
+				rec.RecordManager(event.ManagerEvent{Kind: "crash", Shard: s, Interval: interval})
+			}
+		}
+		// Restarts are applied after the drain+broadcast below so the
+		// rejoining incarnation syncs to the interval's fresh vector.
+		defer func() {
+			for _, s := range restarts {
+				o.restartShardLocked(s)
+				mRestarts.Inc()
+				if rec != nil {
+					rec.RecordManager(event.ManagerEvent{Kind: "restart", Shard: s, Interval: interval})
+				}
+			}
+		}()
+	}
+	// Phase 1: drain all reachable shards concurrently.
+	replies := make([]*drainReply, len(o.shards))
 	var wg sync.WaitGroup
-	for i, s := range o.shards {
+	for i := range o.shards {
 		wg.Add(1)
-		go func(i int, s *shard) {
+		go func(i int) {
 			defer wg.Done()
-			snapC := make(chan rating.Snapshot, 1)
-			s.inbox <- message{kind: msgDrain, snapC: snapC}
-			snaps[i] = <-snapC
-		}(i, s)
+			replies[i] = o.drainShard(i)
+		}(i)
 	}
 	wg.Wait()
-	// Phase 2: merge into one global snapshot.
+	// Phase 2: assemble the interval's snapshots — primaries where they
+	// arrived, replica mirrors where they did not — and merge.
+	snaps := make([]rating.Snapshot, 0, len(o.shards))
+	for i := range o.shards {
+		if replies[i] != nil {
+			snaps = append(snaps, replies[i].primary)
+			status.Drained++
+			continue
+		}
+		if j := o.replicaOf(i); o.replicated() && j != i && replies[j] != nil {
+			snaps = append(snaps, replies[j].replica)
+			status.ReplicaUsed = append(status.ReplicaUsed, i)
+			mDrainReplica.Inc()
+			continue
+		}
+		status.Missing = append(status.Missing, i)
+	}
+	if len(status.Missing) > 0 {
+		status.Partial = true
+		mDrainPartial.Inc()
+	}
 	merged := mergeSnapshots(snaps)
-	// Phase 3: global reputation calculation.
+	// Phase 3: global reputation calculation over the surviving quorum's
+	// data. Nodes whose interval ratings were lost keep their last-known
+	// engine reputation — the engine state is cumulative.
 	o.engine.Update(merged)
 	reps := o.engine.Reputations()
-	// Phase 4: broadcast.
+	o.lastReps = append(o.lastReps[:0], reps...)
+	// Phase 4: broadcast to every reachable shard. Down shards are skipped;
+	// they sync on restart.
 	for _, s := range o.shards {
+		st := s.cur.Load()
 		errC := make(chan error, 1)
-		s.inbox <- message{kind: msgUpdateReps, reps: append([]float64(nil), reps...), errC: errC}
-		<-errC
+		msg := message{kind: msgUpdateReps, reps: append([]float64(nil), reps...), errC: errC}
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if o.plan != nil {
+			ctx, cancel = context.WithTimeout(ctx, o.opts.DrainTimeout)
+		}
+		if err := o.send(ctx, st, msg); err == nil {
+			select {
+			case <-errC:
+			case <-st.down:
+			case <-o.closed:
+			case <-ctx.Done():
+			}
+		}
+		cancel()
 	}
 	if rec != nil {
 		rec.RecordManager(event.ManagerEvent{
-			Kind:    "drain",
-			Shards:  len(o.shards),
-			Ratings: len(merged.Ratings),
-			Seconds: time.Since(drainStart).Seconds(),
+			Kind:     "drain",
+			Shards:   len(o.shards),
+			Ratings:  len(merged.Ratings),
+			Seconds:  time.Since(drainStart).Seconds(),
+			Interval: interval,
+			Missing:  len(status.Missing),
+			Replicas: len(status.ReplicaUsed),
+			Partial:  status.Partial,
 		})
 	}
-	return reps
+	return reps, status
+}
+
+// drainShard sends one drain request and collects the reply, bounded by the
+// drain deadline in fault mode. Returns nil when the shard is unreachable.
+func (o *Overlay) drainShard(i int) *drainReply {
+	st := o.shards[i].cur.Load()
+	drainC := make(chan drainReply, 1)
+	msg := message{kind: msgDrain, drainC: drainC}
+	ctx := context.Background()
+	if o.plan != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.opts.DrainTimeout)
+		defer cancel()
+	}
+	if err := o.send(ctx, st, msg); err != nil {
+		return nil
+	}
+	select {
+	case rep := <-drainC:
+		return &rep
+	case <-st.down:
+		return nil
+	case <-o.closed:
+		return nil
+	case <-ctx.Done():
+		return nil
+	}
+}
+
+// crashShardLocked kills the shard's current incarnation, losing its
+// interval ledgers. Callers hold o.mu. Idempotent on already-down shards.
+func (o *Overlay) crashShardLocked(i int) {
+	st := o.shards[i].cur.Load()
+	select {
+	case <-st.down:
+		return // already down
+	default:
+	}
+	close(st.kill)
+	<-st.down // wait for the serve loop to exit before proceeding
+}
+
+// restartShardLocked installs a fresh incarnation synced to the last
+// broadcast reputation vector. Callers hold o.mu. A live shard is left
+// untouched.
+func (o *Overlay) restartShardLocked(i int) {
+	s := o.shards[i]
+	st := s.cur.Load()
+	select {
+	case <-st.down:
+	default:
+		return // still alive
+	}
+	fresh := o.newIncarnation(i, o.lastReps)
+	s.cur.Store(fresh)
+	o.wg.Add(1)
+	go o.serve(s, fresh)
+}
+
+// crashShard is the test hook for killing one shard outside a fault plan.
+func (o *Overlay) crashShard(i int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.crashShardLocked(i)
 }
 
 // mergeSnapshots combines per-shard interval snapshots into one, restoring
-// the deterministic global ordering rating.Ledger guarantees.
+// the deterministic global ordering rating.Ledger guarantees. Nil or empty
+// entries — the partial-drain path, where a shard's snapshot never arrived —
+// contribute nothing.
 func mergeSnapshots(snaps []rating.Snapshot) rating.Snapshot {
 	out := rating.Snapshot{Counts: make(map[rating.PairKey]rating.PairCounts)}
 	for _, s := range snaps {
+		if len(s.Ratings) == 0 && len(s.Counts) == 0 {
+			continue
+		}
 		out.Ratings = append(out.Ratings, s.Ratings...)
 		for k, c := range s.Counts {
 			agg := out.Counts[k]

@@ -98,12 +98,20 @@ type CycleSeries struct {
 	MeanRepPretrusted float64 `json:"mean_rep_pretrusted"`
 	MeanRepNormal     float64 `json:"mean_rep_normal"`
 	MeanRepColluder   float64 `json:"mean_rep_colluder"`
+	// Churn annotations (set only when the run churns the population):
+	// online population after the cycle's churn step and the cycle's
+	// departure/rejoin counts.
+	Online     int `json:"online,omitempty"`
+	Departures int `json:"departures,omitempty"`
+	Rejoins    int `json:"rejoins,omitempty"`
 }
 
-// ManagerEvent records one resource-manager overlay operation.
+// ManagerEvent records one resource-manager overlay operation or fault
+// transition.
 type ManagerEvent struct {
-	// Kind is "drain" (the periodic drain/merge/broadcast pass) or
-	// "gossip" (one push-sum protocol run).
+	// Kind is "drain" (the periodic drain/merge/broadcast pass), "gossip"
+	// (one push-sum protocol run), or — under fault injection — "crash" /
+	// "restart" (one shard incarnation going down / coming back).
 	Kind string `json:"kind"`
 	// Drain: overlay shard count and merged interval rating count.
 	Shards  int `json:"shards,omitempty"`
@@ -113,6 +121,18 @@ type ManagerEvent struct {
 	Rounds       int `json:"rounds,omitempty"`
 	// Seconds is the operation's wall time.
 	Seconds float64 `json:"seconds"`
+
+	// Fault-injection annotations. Interval is the 1-based update interval
+	// (crash/restart/fault-mode drains). Shard is the affected shard for
+	// crash/restart events (meaningless for other kinds). Degraded drains
+	// report how many shards' interval data was recovered from a replica
+	// mirror (Replicas) or lost outright (Missing); Partial marks a drain
+	// that proceeded on a surviving quorum rather than full data.
+	Interval int  `json:"interval,omitempty"`
+	Shard    int  `json:"shard"`
+	Missing  int  `json:"missing,omitempty"`
+	Replicas int  `json:"replicas,omitempty"`
+	Partial  bool `json:"partial,omitempty"`
 }
 
 // Event is one recorded flight-recorder entry. Exactly one payload field is

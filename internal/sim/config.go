@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"socialtrust/internal/core"
+	"socialtrust/internal/fault"
 )
 
 // NodeType classifies peers per the paper's node model.
@@ -98,6 +99,54 @@ func (k EngineKind) String() string {
 	default:
 		return fmt.Sprintf("EngineKind(%d)", int(k))
 	}
+}
+
+// ChurnConfig models a dynamic peer population — the departure from the
+// paper's static 200-node testbed that real P2P deployments force. Sessions
+// are geometric: each simulation cycle, every online non-pretrusted peer
+// departs with probability DepartPerCycle and every offline peer returns
+// with probability RejoinPerCycle. Offline peers issue no queries, serve no
+// content (zero capacity), and send no collusion ratings. Pretrusted peers
+// are treated as infrastructure and never churn (the paper's trustworthy
+// core). The zero ChurnConfig disables churn.
+type ChurnConfig struct {
+	// DepartPerCycle is the per-online-peer, per-simulation-cycle departure
+	// probability (mean session length 1/DepartPerCycle cycles).
+	DepartPerCycle float64
+	// RejoinPerCycle is the per-offline-peer, per-cycle return probability
+	// (mean offline period 1/RejoinPerCycle cycles; zero strands departed
+	// peers offline for the rest of the run).
+	RejoinPerCycle float64
+	// WhitewashFraction is the probability a rejoining peer comes back
+	// under a fresh identity (whitewash-rejoin): the engine forgets it, its
+	// social edges are rebuilt, and it restarts at newcomer reputation.
+	WhitewashFraction float64
+}
+
+// Enabled reports whether the configuration churns the population at all.
+func (c ChurnConfig) Enabled() bool { return c.DepartPerCycle > 0 }
+
+func (c ChurnConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DepartPerCycle", c.DepartPerCycle},
+		{"RejoinPerCycle", c.RejoinPerCycle},
+		{"WhitewashFraction", c.WhitewashFraction},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("sim: churn %s %v outside [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// DefaultChurn is the moderate churn regime the -churn CLI flag enables:
+// ~5% of online peers leave each cycle (mean session 20 cycles), offline
+// peers return quickly, and one in ten returns under a fresh identity.
+func DefaultChurn() ChurnConfig {
+	return ChurnConfig{DepartPerCycle: 0.05, RejoinPerCycle: 0.5, WhitewashFraction: 0.1}
 }
 
 // IntRange is an inclusive [Lo,Hi] integer range parameter.
@@ -198,6 +247,17 @@ type Config struct {
 	// statistically identical but float summation order differs, so vectors
 	// are not bit-equal across the two modes).
 	Managers int
+
+	// Churn, when enabled, applies session churn to the non-pretrusted
+	// population each simulation cycle (see ChurnConfig).
+	Churn ChurnConfig
+
+	// Faults, when enabled, runs the manager overlay in fault-tolerant mode
+	// against a deterministic fault-injection plan (message drops/delays/
+	// duplication and shard crash/restart schedules — see internal/fault).
+	// Requires Managers > 0: faults are injected at the manager mailbox
+	// boundary, which the direct-ledger path does not have.
+	Faults fault.Config
 
 	// Harness.
 	Seed    uint64
@@ -309,6 +369,15 @@ func (c Config) validate() error {
 	}
 	if c.Managers < 0 || c.Managers > c.NumNodes {
 		return fmt.Errorf("sim: Managers %d invalid for %d nodes", c.Managers, c.NumNodes)
+	}
+	if err := c.Churn.validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Faults.Enabled() && c.Managers <= 0 {
+		return fmt.Errorf("sim: fault injection targets the manager overlay; set Managers > 0")
 	}
 	return nil
 }

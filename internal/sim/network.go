@@ -2,9 +2,11 @@ package sim
 
 import (
 	"runtime"
+	"time"
 
 	"socialtrust/internal/audit"
 	"socialtrust/internal/core"
+	"socialtrust/internal/fault"
 	"socialtrust/internal/interest"
 	"socialtrust/internal/manager"
 	"socialtrust/internal/rating"
@@ -72,6 +74,9 @@ type Network struct {
 	// and the periodic reputation update is driven through the paper's
 	// resource-manager overlay instead of the in-process ledger.
 	Overlay *manager.Overlay
+	// FaultPlan is non-nil when Config.Faults is enabled: the overlay runs
+	// in fault-tolerant mode against this deterministic injection plan.
+	FaultPlan *fault.Plan
 
 	// byCategory[c] lists the nodes whose claimed profile includes c —
 	// the candidate server pool for a category-c request.
@@ -79,6 +84,12 @@ type Network struct {
 
 	colludeEdges   []collusionEdge
 	slanderVictims []int
+
+	// online[id] tracks churn presence; every entry is true when churn is
+	// disabled. ratingsLost counts submissions lost to injected faults.
+	online      []bool
+	churnRNG    *xrand.Stream
+	ratingsLost int
 
 	root *xrand.Stream
 }
@@ -112,6 +123,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err := n.buildOverlay(); err != nil {
 		return nil, err
 	}
+	n.online = make([]bool, cfg.NumNodes)
+	for i := range n.online {
+		n.online[i] = true
+	}
+	n.churnRNG = root.SplitString("churn")
 	return n, nil
 }
 
@@ -423,7 +439,21 @@ func (n *Network) buildOverlay() error {
 	if n.Cfg.Managers <= 0 {
 		return nil
 	}
-	o, err := manager.New(n.Cfg.NumNodes, n.Cfg.Managers, n.Engine)
+	var opts manager.Options
+	if n.Cfg.Faults.Enabled() {
+		plan, err := fault.NewPlan(n.Cfg.Faults, n.Cfg.Managers)
+		if err != nil {
+			return err
+		}
+		n.FaultPlan = plan
+		opts.Fault = plan
+		// Retry backoff at simulation time-scale: a paper-geometry run under
+		// 10% drop retries hundreds of thousands of deliveries, and the
+		// overlay's production default (200µs doubling) would dominate wall
+		// time with sleeps that model no simulated quantity.
+		opts.RetryBackoff = 20 * time.Microsecond
+	}
+	o, err := manager.NewWithOptions(n.Cfg.NumNodes, n.Cfg.Managers, n.Engine, opts)
 	if err != nil {
 		return err
 	}
@@ -535,9 +565,51 @@ func (n *Network) whitewash(id int) {
 			n.addCollusionLink(e.From, e.To, rng)
 		}
 	}
-	if cfg.OscillationCycle > 0 {
+	if cfg.OscillationCycle > 0 && node.Type == Colluder {
 		n.startHoneymoon(node)
 	}
+}
+
+// churnStep applies one simulation cycle's churn transitions: online
+// non-pretrusted peers depart, offline peers rejoin — some under a fresh
+// identity (whitewash-rejoin). Returns the cycle's departure and rejoin
+// counts.
+func (n *Network) churnStep(res *Result) (departed, rejoined int) {
+	ch := n.Cfg.Churn
+	for id := n.Cfg.NumPretrusted; id < n.Cfg.NumNodes; id++ {
+		if n.online[id] {
+			if n.churnRNG.Bool(ch.DepartPerCycle) {
+				n.online[id] = false
+				departed++
+			}
+			continue
+		}
+		if n.churnRNG.Bool(ch.RejoinPerCycle) {
+			n.online[id] = true
+			rejoined++
+			if ch.WhitewashFraction > 0 && n.churnRNG.Bool(ch.WhitewashFraction) {
+				n.whitewash(id)
+				res.Churn.WhitewashRejoins++
+				mChurnWash.Inc()
+			}
+		}
+	}
+	res.Churn.Departures += departed
+	res.Churn.Rejoins += rejoined
+	mChurnDepart.Add(int64(departed))
+	mChurnRejoin.Add(int64(rejoined))
+	return departed, rejoined
+}
+
+// onlineCount reports the currently online population.
+func (n *Network) onlineCount() int {
+	c := 0
+	for _, up := range n.online {
+		if up {
+			c++
+		}
+	}
+	return c
 }
 
 // ColluderIDs forwards the configured colluder ID set.

@@ -3,6 +3,8 @@ package sim
 import (
 	"math"
 	"testing"
+
+	"socialtrust/internal/fault"
 )
 
 // TestOverlayModeMatchesDirect runs the same seeded experiment through the
@@ -35,6 +37,41 @@ func TestOverlayModeMatchesDirect(t *testing.T) {
 			t.Fatalf("reputation[%d]: direct %g, overlay %g (Δ %g)",
 				i, direct.FinalReputations[i], overlay.FinalReputations[i], d)
 		}
+	}
+}
+
+// TestFaultModeBitIdenticalToSeedOverlay proves the replica machinery free
+// of observable effect when nothing is injected: the same experiment through
+// the seed overlay and through fault-tolerant mode (replication, retries,
+// deadlines armed via AlwaysOn, zero injected faults) must produce
+// bit-identical reputation vectors — the replica ledgers mirror the
+// primaries exactly and never perturb the merge.
+func TestFaultModeBitIdenticalToSeedOverlay(t *testing.T) {
+	cfg := DefaultConfig(PCM, EngineEigenTrust, 0.6, true)
+	cfg.QueryCycles, cfg.SimulationCycles = 5, 4
+	cfg.Seed = 7
+	cfg.Managers = 4
+
+	seed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fault.Config{AlwaysOn: true}
+	hardened, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed.TotalRequests != hardened.TotalRequests {
+		t.Fatalf("requests: seed %d, fault-mode %d", seed.TotalRequests, hardened.TotalRequests)
+	}
+	for i := range seed.FinalReputations {
+		if seed.FinalReputations[i] != hardened.FinalReputations[i] {
+			t.Fatalf("reputation[%d]: seed overlay %g, fault-mode overlay %g (not bit-identical)",
+				i, seed.FinalReputations[i], hardened.FinalReputations[i])
+		}
+	}
+	if hardened.RatingsLost != 0 || hardened.PartialDrains != 0 || hardened.ReplicaDrains != 0 {
+		t.Fatalf("AlwaysOn plan with zero rates injected faults: %+v", hardened)
 	}
 }
 

@@ -2,12 +2,14 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"log/slog"
 	"sync"
 	"time"
 
 	"socialtrust/internal/audit"
 	"socialtrust/internal/interest"
+	"socialtrust/internal/manager"
 	"socialtrust/internal/obs"
 	"socialtrust/internal/obs/event"
 	"socialtrust/internal/rating"
@@ -26,6 +28,12 @@ var (
 	mCycleLat       = obs.H("sim_cycle_seconds")
 	mQPS            = obs.G("sim_queries_per_second")
 	mAuthRatio      = obs.G("sim_authentic_ratio")
+
+	// Churn and fault-regime accounting.
+	mChurnDepart = obs.C("sim_churn_departures_total")
+	mChurnRejoin = obs.C("sim_churn_rejoins_total")
+	mChurnWash   = obs.C("sim_churn_whitewash_total")
+	mRatingsLost = obs.C("sim_ratings_lost_total")
 )
 
 // progressEvery throttles the simulator's periodic progress line (enabled by
@@ -60,6 +68,25 @@ type Result struct {
 	// PerCycleColluderShare records the fraction of each simulation cycle's
 	// requests served by colluders.
 	PerCycleColluderShare []float64
+
+	// Churn aggregates the run's population churn (zero when disabled).
+	Churn ChurnStats
+
+	// Fault-regime accounting (all zero without a fault plan). RatingsLost
+	// counts submissions lost to injected faults (both the primary and the
+	// replica copy failed); PartialDrains counts interval drains that
+	// proceeded on a surviving quorum with data lost; ReplicaDrains counts
+	// shard-intervals recovered from a replica mirror.
+	RatingsLost   int
+	PartialDrains int
+	ReplicaDrains int
+}
+
+// ChurnStats aggregates churn events over a run.
+type ChurnStats struct {
+	Departures       int
+	Rejoins          int
+	WhitewashRejoins int
 }
 
 // ConvergenceThreshold is the colluder-reputation level of the paper's
@@ -110,6 +137,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if err := audit.WriteDir(net.Cfg.AuditDir, net.GroundTruth(), events); err != nil {
 		return nil, err
+	}
+	if net.FaultPlan != nil {
+		if err := audit.WriteFaultEvents(net.Cfg.AuditDir, net.FaultPlan.Events()); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
@@ -167,10 +199,18 @@ func (n *Network) Run() *Result {
 				}
 			}
 		}
+		departed, rejoined := 0, 0
+		if cfg.Churn.Enabled() {
+			departed, rejoined = n.churnStep(res)
+		}
 		for qc := 0; qc < cfg.QueryCycles; qc++ {
 			cycle := sc*cfg.QueryCycles + qc
 			for i := range capacities {
-				capacities[i] = cfg.Capacity
+				if n.online[i] {
+					capacities[i] = cfg.Capacity
+				} else {
+					capacities[i] = 0 // offline peers serve nothing
+				}
 			}
 			n.computeIntents(intents, reps)
 			n.assign(intents, capacities, reps, cycle, res)
@@ -179,18 +219,24 @@ func (n *Network) Run() *Result {
 		res.PerCycleColluderShare = append(res.PerCycleColluderShare,
 			cycleShare(res, &lastTotal, &lastColl))
 		if n.Overlay != nil {
-			reps = n.Overlay.EndInterval()
+			var st manager.DrainStatus
+			reps, st = n.Overlay.EndIntervalStatus()
+			if st.Partial {
+				res.PartialDrains++
+			}
+			res.ReplicaDrains += len(st.ReplicaUsed)
 		} else {
 			snap := n.Ledger.EndInterval()
 			n.Engine.Update(snap)
 			reps = n.Engine.Reputations()
 		}
 		n.Tracker.Reset() // Equation 11 weights are per simulation cycle
-		// Whitewashing: punished colluders abandon their identities.
+		// Whitewashing: punished colluders abandon their identities (only
+		// while online — an offline peer cannot re-enter).
 		if cfg.WhitewashThreshold > 0 {
 			washed := false
 			for _, id := range cfg.ColluderIDs() {
-				if reps[id] < cfg.WhitewashThreshold {
+				if n.online[id] && reps[id] < cfg.WhitewashThreshold {
 					n.whitewash(id)
 					res.Whitewashes++
 					washed = true
@@ -207,11 +253,12 @@ func (n *Network) Run() *Result {
 				everAbove[ci] = true
 			}
 		}
-		n.observeCycle(res, sc, cycleStart, reqBefore, authBefore, inauthBefore, collBefore)
+		n.observeCycle(res, sc, cycleStart, reqBefore, authBefore, inauthBefore, collBefore, departed, rejoined)
 	}
 	if n.Overlay != nil {
 		n.Overlay.Close() // stop the manager goroutines; state is harvested
 	}
+	res.RatingsLost = n.ratingsLost
 	res.FinalReputations = reps
 	for ci := range res.ConvergenceCycles {
 		switch {
@@ -228,7 +275,7 @@ func (n *Network) Run() *Result {
 
 // observeCycle records one simulation cycle's metrics and, when Info-level
 // logging is on, an at-most-every-2s progress line for long runs.
-func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, authBefore, inauthBefore, collBefore int) {
+func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, authBefore, inauthBefore, collBefore, departed, rejoined int) {
 	wall := time.Since(start)
 	requests := res.TotalRequests - reqBefore
 	mSimCycles.Inc()
@@ -261,6 +308,11 @@ func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, 
 		if k := len(res.History); k > 0 {
 			cs.MeanRepPretrusted, cs.MeanRepNormal, cs.MeanRepColluder =
 				meanRepsByType(n.Cfg, res.History[k-1])
+		}
+		if n.Cfg.Churn.Enabled() {
+			cs.Online = n.onlineCount()
+			cs.Departures = departed
+			cs.Rejoins = rejoined
 		}
 		rec.RecordCycle(cs)
 	}
@@ -333,6 +385,9 @@ func (n *Network) computeIntents(out []intent, reps []float64) {
 // intentFor draws one node's query intent. An inactive node yields
 // client == -1.
 func (n *Network) intentFor(node *Node) intent {
+	if !n.online[node.ID] {
+		return intent{client: -1} // churned out: no queries this cycle
+	}
 	rng := node.rng
 	if !rng.Bool(node.Activity) {
 		return intent{client: -1}
@@ -439,7 +494,16 @@ func (n *Network) record(rater, ratee int, value float64, cycle int, cat interes
 		err = n.Ledger.Add(r)
 	}
 	if err != nil {
-		panic(err) // construction guarantees rater != ratee
+		// Under fault injection a submission can be lost in transit (both
+		// the primary and the replica copy failed): the reputation system
+		// never sees the rating, but the client-side substrates below still
+		// record the interaction it experienced.
+		if n.FaultPlan != nil && (errors.Is(err, manager.ErrTimeout) || errors.Is(err, manager.ErrShardDown)) {
+			n.ratingsLost++
+			mRatingsLost.Inc()
+		} else {
+			panic(err) // construction guarantees rater != ratee
+		}
 	}
 	n.Graph.RecordInteraction(socialgraph.NodeID(rater), socialgraph.NodeID(ratee), 1)
 	n.Tracker.Record(rater, cat)
@@ -451,6 +515,9 @@ func (n *Network) record(rater, ratee int, value float64, cycle int, cat interes
 func (n *Network) collude(cycle int) {
 	for ei := range n.colludeEdges {
 		e := &n.colludeEdges[ei]
+		if !n.online[e.From] || !n.online[e.To] {
+			continue // a churned-out partner cannot send or receive ratings
+		}
 		n.spam(e.From, e.To, e.Ratings, e.value(), cycle)
 		if e.Back > 0 {
 			n.spam(e.To, e.From, e.Back, e.value(), cycle)

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # scripts/bench.sh — emit machine-readable benchmark snapshots:
 #
-#   BENCH_obs.json  — manager overlay submit/query round trips and one
-#                     EigenTrust power-iteration update (the PR-1 set).
-#   BENCH_perf.json — the hot-path perf set: warm/cold cache Adjust, the
-#                     batched vs per-pair closeness, and the CSR power
-#                     iteration, tracking the signal-cache and CSR work.
+#   BENCH_obs.json   — manager overlay submit/query round trips and one
+#                      EigenTrust power-iteration update (the PR-1 set).
+#   BENCH_perf.json  — the hot-path perf set: warm/cold cache Adjust, the
+#                      batched vs per-pair closeness, and the CSR power
+#                      iteration, tracking the signal-cache and CSR work.
+#   BENCH_fault.json — the robustness set: plain vs replicated overlay
+#                      submit (the fault-tolerance overhead) next to warm
+#                      Adjust, guarding the disabled fault path's latency.
 #
 # Usage:
 #
-#   scripts/bench.sh [obs-output.json] [perf-output.json]
+#   scripts/bench.sh [obs-output.json] [perf-output.json] [fault-output.json]
 #
 # BENCHTIME (default 1s) tunes go test -benchtime; use e.g. BENCHTIME=100x
 # for a quick smoke pass.
@@ -18,10 +21,11 @@ cd "$(dirname "$0")/.."
 
 OUT_OBS=${1:-BENCH_obs.json}
 OUT_PERF=${2:-BENCH_perf.json}
+OUT_FAULT=${3:-BENCH_fault.json}
 BENCHTIME=${BENCHTIME:-1s}
 
 raw=$(
-  go test -run '^$' -bench '^(BenchmarkOverlaySubmit|BenchmarkOverlayQuery)$' \
+  go test -run '^$' -bench '^(BenchmarkOverlaySubmit|BenchmarkOverlaySubmitReplicated|BenchmarkOverlayQuery)$' \
     -benchtime "$BENCHTIME" ./internal/manager
   go test -run '^$' -bench '^BenchmarkPowerIterationParallel500$' \
     -benchtime "$BENCHTIME" ./internal/reputation/eigentrust
@@ -60,3 +64,4 @@ emit_json() {
 
 emit_json '^(OverlaySubmit|OverlayQuery|PowerIterationParallel500)$' "$OUT_OBS"
 emit_json '^(PowerIterationParallel500|AdjustWarmCache|AdjustColdCache|ClosenessFrom|ClosenessPerPair)$' "$OUT_PERF"
+emit_json '^(OverlaySubmit|OverlaySubmitReplicated|AdjustWarmCache)$' "$OUT_FAULT"

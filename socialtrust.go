@@ -44,6 +44,7 @@ import (
 	"socialtrust/internal/audit"
 	"socialtrust/internal/core"
 	"socialtrust/internal/experiments"
+	"socialtrust/internal/fault"
 	"socialtrust/internal/interest"
 	"socialtrust/internal/manager"
 	"socialtrust/internal/obs"
@@ -190,6 +191,10 @@ type (
 	Network = sim.Network
 	// NodeType classifies simulated peers.
 	NodeType = sim.NodeType
+	// ChurnConfig parameterizes population churn: per-cycle departure and
+	// rejoin probabilities and the fraction of rejoins that whitewash
+	// (return under a fresh identity).
+	ChurnConfig = sim.ChurnConfig
 )
 
 // Node types of the paper's node model.
@@ -216,6 +221,11 @@ func DefaultSimConfig(model CollusionModel, engine EngineKind, b float64, social
 	return sim.DefaultConfig(model, engine, b, socialTrust)
 }
 
+// DefaultChurn returns a moderate churn regime: 5% of online non-pretrusted
+// peers depart per cycle, half the offline population rejoins per cycle, and
+// 10% of rejoins whitewash.
+func DefaultChurn() ChurnConfig { return sim.DefaultChurn() }
+
 // RunSim executes one simulation.
 func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
@@ -228,12 +238,59 @@ type (
 	// paper's Section 4.3: sharded manager goroutines collect ratings and
 	// serve reputation queries, with a periodic global update.
 	ManagerOverlay = manager.Overlay
+	// ManagerOptions tunes the overlay's fault tolerance: per-operation
+	// timeouts, retry attempts/backoff, the drain deadline, and an optional
+	// fault-injection plan. The zero value reproduces the seed overlay.
+	ManagerOptions = manager.Options
+	// ManagerDrainStatus reports how one update interval's drain degraded:
+	// which shards were recovered from replicas and which were lost.
+	ManagerDrainStatus = manager.DrainStatus
+)
+
+// Typed overlay failures. Submit and Reputation return ErrShardDown when the
+// responsible shard (and, in fault-tolerant mode, its replica holder) is
+// crashed, ErrTimeout when an armed deadline expires or the fault plan drops
+// every delivery attempt, and ErrClosed after Close.
+var (
+	ErrManagerClosed = manager.ErrClosed
+	ErrShardDown     = manager.ErrShardDown
+	ErrTimeout       = manager.ErrTimeout
 )
 
 // NewManagerOverlay starts an overlay of numManagers manager goroutines
 // fronting the given engine (bare or SocialTrust-wrapped).
 func NewManagerOverlay(numNodes, numManagers int, engine Engine) (*ManagerOverlay, error) {
 	return manager.New(numNodes, numManagers, engine)
+}
+
+// NewManagerOverlayWithOptions starts an overlay with explicit fault-tolerance
+// options: replica mirroring to the successor shard, bounded-backoff retries,
+// timeouts, and (optionally) a deterministic fault-injection plan.
+func NewManagerOverlayWithOptions(numNodes, numManagers int, engine Engine, opts ManagerOptions) (*ManagerOverlay, error) {
+	return manager.NewWithOptions(numNodes, numManagers, engine, opts)
+}
+
+// Fault injection (internal/fault).
+type (
+	// FaultConfig declares a deterministic fault regime: message drop /
+	// delay / duplication rates at the manager mailbox boundary, plus
+	// random or scheduled shard crashes, all derived from one seed.
+	FaultConfig = fault.Config
+	// FaultPlan is an armed fault regime; the overlay consults it on every
+	// delivery and at every update-interval boundary, and it logs each
+	// injected event in a deterministic, replayable sequence.
+	FaultPlan = fault.Plan
+	// FaultEvent is one injected fault in the plan's append-only log.
+	FaultEvent = fault.Event
+	// FaultCrash schedules one deterministic shard outage.
+	FaultCrash = fault.Crash
+)
+
+// NewFaultPlan arms a fault regime over the given shard count. Pass the plan
+// to ManagerOptions.Fault (and derive churn/faults in simulations through
+// SimConfig.Faults instead).
+func NewFaultPlan(cfg FaultConfig, shards int) (*FaultPlan, error) {
+	return fault.NewPlan(cfg, shards)
 }
 
 // Sybil defense (internal/sybil).
@@ -373,3 +430,8 @@ func LoadAuditDir(dir string) (AuditGroundTruth, []AuditEvent, error) { return a
 func ScoreDetection(gt AuditGroundTruth, events []AuditEvent) DetectionReport {
 	return audit.Score(gt, events)
 }
+
+// LoadFaultEvents reads the injected-fault log an audited fault-injection run
+// leaves next to its audit trail. It returns (nil, nil) when the run injected
+// no faults (no log file).
+func LoadFaultEvents(dir string) ([]FaultEvent, error) { return audit.LoadFaultEvents(dir) }
