@@ -11,6 +11,15 @@
 //	stress -metrics-addr :9090 -pprof   # live metrics + profiling
 //	stress -audit out/           # decision-audit trail per size in out/n<size>
 //	stress -churn -managers 8 -fault-drop 0.1 -fault-crash   # chaos sweep
+//	stress -nodes scale          # pipeline sweep at the 2k/10k/50k presets
+//	stress -nodes 2k,10k -intervals 5   # custom pipeline sweep
+//
+// The -nodes mode bypasses the simulator and measures the raw interval
+// pipeline — batched overlay ingest, drain, SocialTrust adjust, EigenTrust
+// iteration — reporting ratings/sec ingest throughput and adjust+iterate
+// wall time per interval: the BenchmarkPipeline numbers, reproducible
+// without go test. Sizes take a k suffix (2k = 2000) in both -nodes and
+// -sizes; "-nodes scale" expands to the 2k,10k,50k preset.
 //
 // Each size row includes the peak goroutine count and the bytes allocated
 // during the run, sampled through the obs runtime gauges, so the scaling
@@ -44,6 +53,9 @@ func main() {
 		mDump    = flag.String("metrics-dump", "", "print a metrics snapshot after the sweep: text|json")
 		auditDir = flag.String("audit", "", "write each size's decision-audit trail to <dir>/n<size>")
 		verbose  = flag.Bool("v", false, "verbose progress logging on stderr")
+
+		nodes     = flag.String("nodes", "", "pipeline-sweep sizes (k suffix ok, e.g. 2k,10k,50k; \"scale\" = that preset); bypasses the simulator")
+		intervals = flag.Int("intervals", 3, "update intervals per pipeline-sweep size (-nodes mode)")
 
 		churn      = flag.Bool("churn", false, "churn the peer population of every run (moderate default regime)")
 		faultDrop  = flag.Float64("fault-drop", 0, "per-delivery message drop probability at the manager mailbox boundary")
@@ -105,10 +117,28 @@ func main() {
 		}
 	}()
 
+	if *nodes != "" {
+		sweep := *nodes
+		if sweep == "scale" {
+			sweep = "2k,10k,50k"
+		}
+		var ns []int
+		for _, tok := range strings.Split(sweep, ",") {
+			n, err := parseSize(tok)
+			if err != nil || n < 50 {
+				fmt.Fprintf(os.Stderr, "stress: bad size %q\n", tok)
+				os.Exit(1)
+			}
+			ns = append(ns, n)
+		}
+		runPipelineSweep(ns, *intervals, *seed)
+		return
+	}
+
 	fmt.Printf("%-8s %-10s %-12s %-14s %-12s %-8s %-10s %-10s\n",
 		"nodes", "colluders", "wall", "requests/s", "coll/norm", "share", "peak-gor", "alloc")
 	for _, tok := range strings.Split(*sizes, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		n, err := parseSize(tok)
 		if err != nil || n < 50 {
 			fmt.Fprintf(os.Stderr, "stress: bad size %q\n", tok)
 			os.Exit(1)
@@ -186,6 +216,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stress: metrics dump: %v\n", err)
 		}
 	}
+}
+
+// parseSize parses a network size, accepting a k suffix (2k = 2000).
+func parseSize(tok string) (int, error) {
+	tok = strings.TrimSpace(tok)
+	mult := 1
+	if t := strings.TrimSuffix(tok, "k"); t != tok {
+		tok, mult = t, 1000
+	}
+	n, err := strconv.Atoi(tok)
+	return n * mult, err
 }
 
 // fmtBytes renders a byte count human-readably (base 1024).

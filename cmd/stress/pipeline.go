@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"socialtrust/internal/core"
+	"socialtrust/internal/interest"
+	"socialtrust/internal/manager"
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation/eigentrust"
+	"socialtrust/internal/socialgraph"
+	"socialtrust/internal/xrand"
+)
+
+// The -nodes pipeline sweep: the BenchmarkPipeline deployment shape,
+// reproducible without go test. One interval is a batched overlay ingest of a
+// whole trace followed by the drain/adjust/iterate pass; ingest and
+// adjust+iterate are timed separately so the two halves of the scale story
+// (SubmitBatch throughput, parallel Adjust/EigenTrust wall time) each get a
+// column.
+const (
+	sweepShards    = 16 // manager goroutines fronting the engine
+	sweepDegree    = 6  // random social edges grown per node
+	sweepRPN       = 4  // ratings per node per interval
+	sweepCats      = 16 // interest category universe
+	sweepPretrust  = 20
+	sweepBatchSize = 8192 // ratings per SubmitBatch call
+)
+
+// buildSweepPipeline wires the full stack at size n: a social graph with
+// sweepDegree random edges per node, interest profiles over a small category
+// universe, a SocialTrust-wrapped EigenTrust engine, and a manager overlay
+// sharded sweepShards ways. Closeness paths are capped at 3 hops — the
+// paper's observed transaction radius — which keeps the Ωc BFS bounded at
+// 50k nodes.
+func buildSweepPipeline(n int, seed uint64) (*manager.Overlay, *xrand.Stream, error) {
+	rng := xrand.New(seed + uint64(n))
+	g := socialgraph.New(n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < sweepDegree; d++ {
+			j := rng.Intn(n)
+			if j != i {
+				g.AddRelationship(socialgraph.NodeID(i), socialgraph.NodeID(j),
+					socialgraph.Relationship{Kind: socialgraph.Friendship})
+			}
+		}
+	}
+	sets := make([]interest.Set, n)
+	for i := range sets {
+		cats := make([]interest.Category, 4)
+		for c := range cats {
+			cats[c] = interest.Category(rng.Intn(sweepCats))
+		}
+		sets[i] = interest.NewSet(cats...)
+	}
+	pretrusted := make([]int, sweepPretrust)
+	for i := range pretrusted {
+		pretrusted[i] = i
+	}
+	inner := eigentrust.New(eigentrust.Config{NumNodes: n, Pretrusted: pretrusted})
+	fc := core.Config{NumNodes: n}
+	fc.Closeness.MaxPathHops = 3
+	filter := core.New(fc, g, sets, interest.NewTracker(n), inner)
+	o, err := manager.New(n, sweepShards, filter)
+	return o, rng, err
+}
+
+// sweepTrace draws one interval's worth of ratings: sweepRPN per node,
+// random endpoints, 20% negative.
+func sweepTrace(n int, rng *xrand.Stream) []rating.Rating {
+	trace := make([]rating.Rating, 0, n*sweepRPN)
+	for i := 0; i < n*sweepRPN; i++ {
+		rater := rng.Intn(n)
+		ratee := rng.Intn(n)
+		if ratee == rater {
+			ratee = (ratee + 1) % n
+		}
+		v := 1.0
+		if rng.Float64() < 0.2 {
+			v = -1
+		}
+		trace = append(trace, rating.Rating{
+			Rater: rater, Ratee: ratee, Value: v,
+			Cycle: i / n, Category: rng.Intn(sweepCats),
+		})
+	}
+	return trace
+}
+
+// runPipelineSweep measures the raw interval pipeline at each size: batched
+// ingest throughput (ratings/sec through SubmitBatch) and the adjust+iterate
+// wall time of the EndInterval drain, per interval.
+func runPipelineSweep(sizes []int, intervals int, seed uint64) {
+	fmt.Printf("%-8s %-9s %-12s %-14s %-16s\n",
+		"nodes", "interval", "ingest", "ratings/s", "adjust+iterate")
+	for _, n := range sizes {
+		o, rng, err := buildSweepPipeline(n, seed)
+		if err != nil {
+			fmt.Printf("stress: n=%d: %v\n", n, err)
+			return
+		}
+		for iv := 0; iv < intervals; iv++ {
+			trace := sweepTrace(n, rng)
+			start := time.Now()
+			for lo := 0; lo < len(trace); lo += sweepBatchSize {
+				hi := lo + sweepBatchSize
+				if hi > len(trace) {
+					hi = len(trace)
+				}
+				if errs := o.SubmitBatch(trace[lo:hi]); errs != nil {
+					for _, err := range errs {
+						if err != nil {
+							fmt.Printf("stress: n=%d: %v\n", n, err)
+							return
+						}
+					}
+				}
+			}
+			ingest := time.Since(start)
+			start = time.Now()
+			o.EndInterval()
+			drain := time.Since(start)
+			fmt.Printf("%-8d %-9d %-12v %-14.0f %-16v\n",
+				n, iv+1, ingest.Round(time.Microsecond),
+				float64(len(trace))/ingest.Seconds(), drain.Round(time.Millisecond))
+		}
+		o.Close()
+	}
+}

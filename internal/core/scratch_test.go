@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"socialtrust/internal/rating"
+)
+
+// smallInterval builds a tiny snapshot over the same node population, the
+// kind of quiet interval that follows a one-off burst.
+func smallInterval(n int) rating.Snapshot {
+	led := rating.NewLedger(n)
+	for i := 0; i < 10; i++ {
+		if err := led.Add(rating.Rating{Rater: i, Ratee: i + 1, Value: 1}); err != nil {
+			panic(err)
+		}
+	}
+	return led.EndInterval()
+}
+
+// TestScratchShrinksAfterSustainedLowUtilization pins the shrink policy: a
+// single huge interval must not pin peak-sized per-pair scratch forever, but
+// the shrink only triggers after shrinkAfter consecutive low-utilization
+// intervals, so oscillating workloads don't churn allocations.
+func TestScratchShrinksAfterSustainedLowUtilization(t *testing.T) {
+	const n = 600
+	st, big := perfScenario(n, 1)
+	st.Adjust(big)
+	peak := cap(st.pairScratch)
+	if peak <= shrinkMinCap {
+		t.Fatalf("scenario too small to exercise shrink: cap=%d <= %d", peak, shrinkMinCap)
+	}
+
+	small := smallInterval(n)
+	for i := 0; i < shrinkAfter-1; i++ {
+		st.Adjust(small)
+		if got := cap(st.pairScratch); got != peak {
+			t.Fatalf("scratch resized after only %d low intervals: cap=%d want %d", i+1, got, peak)
+		}
+	}
+	st.Adjust(small)
+	shrunk := cap(st.pairScratch)
+	if shrunk >= peak {
+		t.Fatalf("scratch did not shrink after %d low intervals: cap=%d peak=%d", shrinkAfter, shrunk, peak)
+	}
+	if got := cap(st.sigScratch); got >= peak {
+		t.Fatalf("sigScratch did not shrink: cap=%d peak=%d", got, peak)
+	}
+
+	// A big interval regrows transparently and resets the counter.
+	out, _ := st.Adjust(big)
+	if len(out.Ratings) != len(big.Ratings) {
+		t.Fatalf("post-shrink Adjust returned %d ratings, want %d", len(out.Ratings), len(big.Ratings))
+	}
+	if cap(st.pairScratch) < len(big.Ratings)/2 {
+		t.Fatalf("scratch did not regrow: cap=%d for %d ratings", cap(st.pairScratch), len(big.Ratings))
+	}
+}
+
+// TestScratchUtilizationCounterResets verifies one busy interval in the
+// middle of a quiet stretch restarts the low-utilization countdown.
+func TestScratchUtilizationCounterResets(t *testing.T) {
+	st, big := perfScenario(600, 1)
+	st.Adjust(big)
+	peak := cap(st.pairScratch)
+
+	small := smallInterval(600)
+	for i := 0; i < shrinkAfter-1; i++ {
+		st.Adjust(small)
+	}
+	st.Adjust(big) // resets the counter
+	for i := 0; i < shrinkAfter-1; i++ {
+		st.Adjust(small)
+		if got := cap(st.pairScratch); got != peak {
+			t.Fatalf("scratch resized %d low intervals after a busy one: cap=%d want %d", i+1, got, peak)
+		}
+	}
+}

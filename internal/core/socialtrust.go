@@ -52,6 +52,7 @@ var (
 	mPairsAdjusted   = obs.C("socialtrust_pairs_adjusted_total")
 	mRatingsAdjusted = obs.C("socialtrust_ratings_adjusted_total")
 	mAdjustLat       = obs.H("socialtrust_adjust_seconds")
+	mAdjustBlocks    = obs.C("socialtrust_adjust_parallel_blocks_total")
 )
 
 // Behavior identifies which suspicious pattern a pair matched.
@@ -248,13 +249,18 @@ type SocialTrust struct {
 	// histVer versions the rating-profile history (bumped by Update,
 	// ResetNode, Reset); the per-rater profile caches below are valid only
 	// while both the graph epoch and histVer match.
+	// histVer versions the rating-profile history; profClose/profSim are
+	// indexed by rater (not keyed by map) so the parallel classify phase can
+	// fill distinct slots without locking — rater-aligned blocks guarantee a
+	// single writer per slot.
 	histVer   uint64
-	profClose map[int]profCacheEntry
-	profSim   map[int]profCacheEntry
+	profClose []profCacheEntry
+	profSim   []profCacheEntry
 
 	// adjustMu serializes Adjust (and therefore Update), which reuses the
 	// scratch buffers below across calls so a warm-cache interval allocates
-	// almost nothing.
+	// almost nothing. lowUtil counts consecutive intervals whose pair count
+	// stayed far below the scratch capacity (see maybeShrinkScratch).
 	adjustMu     sync.Mutex
 	pairScratch  []rating.PairKey
 	sigScratch   []pairSignals
@@ -262,10 +268,18 @@ type SocialTrust struct {
 	groupScratch []int
 	closeVals    []float64
 	simVals      []float64
+	countScratch []rating.PairCounts
+	behavScratch []Behavior
+	gwScratch    []float64
+	fsScratch    []float64
+	blockScratch []int
+	partScratch  []float64
+	lowUtil      int
 }
 
 // profCacheEntry is one memoized per-rater baseline profile.
 type profCacheEntry struct {
+	valid      bool
 	graphEpoch uint64
 	histVer    uint64
 	stats      BaselineStats
@@ -312,8 +326,8 @@ func New(cfg Config, graph *socialgraph.Graph, sets []interest.Set, tracker *int
 		inner:     inner,
 		hist:      rating.NewHistory(cfg.NumNodes),
 		sigCache:  newSigCache(),
-		profClose: make(map[int]profCacheEntry),
-		profSim:   make(map[int]profCacheEntry),
+		profClose: make([]profCacheEntry, cfg.NumNodes),
+		profSim:   make([]profCacheEntry, cfg.NumNodes),
 	}
 }
 
@@ -332,8 +346,8 @@ func (s *SocialTrust) Reset() {
 	s.adjustMu.Unlock()
 	s.histVer++
 	s.sigCache.reset()
-	s.profClose = make(map[int]profCacheEntry)
-	s.profSim = make(map[int]profCacheEntry)
+	s.profClose = make([]profCacheEntry, s.cfg.NumNodes)
+	s.profSim = make([]profCacheEntry, s.cfg.NumNodes)
 	s.inner.Reset()
 }
 
@@ -425,9 +439,30 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 	signals := s.sigScratch[:len(pairs)]
 	s.computeSignals(pairs, signals)
 
-	posT, negT := s.frequencyThresholds(snap.Counts)
-	meanF := meanPairFrequency(snap.Counts)
-	base := s.systemBaseline(pairs, signals, snap.Counts, posT, negT)
+	// Hoist the per-pair count lookups out of every later phase: one pass
+	// over fixed-size index blocks (concurrent map reads are safe) leaves a
+	// slice aligned with the sorted pair order.
+	if cap(s.countScratch) < len(pairs) {
+		s.countScratch = make([]rating.PairCounts, len(pairs))
+	}
+	counts := s.countScratch[:len(pairs)]
+	workers := s.cfg.Workers
+	if len(pairs) < parallelMinPairs {
+		workers = 1 // goroutine fan-out costs more than it saves
+	}
+	forFixedBlocks(len(pairs), adjustChunk, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[i] = snap.Counts[pairs[i]]
+		}
+	})
+
+	totalRatings := 0
+	for _, c := range counts {
+		totalRatings += c.Total()
+	}
+	posT, negT := s.thresholdsFrom(totalRatings, len(pairs))
+	meanF := meanFrom(totalRatings, len(pairs))
+	base := s.systemBaseline(signals, counts, posT, negT)
 
 	// Closeness thresholds Tcl/Tch are percentiles of the baseline
 	// population; the similarity gates sit at the baseline mean
@@ -447,34 +482,77 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 		SimilarityBaseline: base.similarity,
 	}
 
+	// Classify phase: behavior masks, Gaussian weights and frequency scales
+	// land in index-aligned scratch, computed over contiguous rater-aligned
+	// blocks. Per-pair results are independent, so the partition never
+	// changes a value — it only decides which goroutine computes it — and
+	// rater alignment makes each per-rater profile cache slot single-writer.
+	if cap(s.behavScratch) < len(pairs) {
+		s.behavScratch = make([]Behavior, len(pairs))
+		s.gwScratch = make([]float64, len(pairs))
+		s.fsScratch = make([]float64, len(pairs))
+	}
+	behav := s.behavScratch[:len(pairs)]
+	gws := s.gwScratch[:len(pairs)]
+	fss := s.fsScratch[:len(pairs)]
+
+	target := 1
+	if workers > 1 {
+		target = workers * blocksPerWorker
+	}
+	blocks := raterBlocks(pairs, target, s.blockScratch)
+	mAdjustBlocks.Add(int64(len(blocks) - 1))
+	forBlocks(blocks, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := counts[i]
+			sig := signals[i]
+			var behaviors Behavior
+			// High-side comparisons are inclusive: similarity is a ratio of
+			// small integers, so the top quantile is frequently attained
+			// exactly (e.g. Tsh = 1.0) and a strict inequality would be
+			// unreachable. The frequency gate already limits false positives.
+			if float64(c.Positive) > posT {
+				if s.cfg.UseCloseness && sig.closeness < tcl {
+					behaviors |= B1
+				}
+				if s.cfg.UseCloseness && sig.closeness >= tch && reps[pairs[i].Ratee] < s.cfg.LowReputation {
+					behaviors |= B2
+				}
+				if s.cfg.UseSimilarity && sig.similar < tsl {
+					behaviors |= B3
+				}
+			}
+			if float64(c.Negative) > negT {
+				if s.cfg.UseSimilarity && sig.similar >= tsh {
+					behaviors |= B4
+				}
+			}
+			behav[i] = behaviors
+			if behaviors == 0 {
+				continue
+			}
+			// The Gaussian handles the social-signal anomaly; frequency
+			// normalization handles the volume anomaly: once a pair is
+			// suspected, its rating volume is scaled down to the average
+			// pair's frequency F, so no flagged pair can out-shout a normal
+			// one no matter how fast it rates.
+			gws[i] = s.gaussianWeight(pairs[i].Rater, sig, base)
+			fss[i] = freqScale(c, behaviors, meanF)
+		}
+	})
+	s.blockScratch = blocks[:0]
+
+	// Ordered merge: one serial pass in sorted-pair order builds the weight
+	// map, report and flight-recorder decisions, so metric totals, report
+	// ordering and event streams are identical no matter how the classify
+	// phase was partitioned.
 	var weights map[rating.PairKey]float64
 	for i, k := range pairs {
-		c := snap.Counts[k]
-		sig := signals[i]
-		var behaviors Behavior
-		// High-side comparisons are inclusive: similarity is a ratio of
-		// small integers, so the top quantile is frequently attained
-		// exactly (e.g. Tsh = 1.0) and a strict inequality would be
-		// unreachable. The frequency gate already limits false positives.
-		if float64(c.Positive) > posT {
-			if s.cfg.UseCloseness && sig.closeness < tcl {
-				behaviors |= B1
-			}
-			if s.cfg.UseCloseness && sig.closeness >= tch && reps[k.Ratee] < s.cfg.LowReputation {
-				behaviors |= B2
-			}
-			if s.cfg.UseSimilarity && sig.similar < tsl {
-				behaviors |= B3
-			}
-		}
-		if float64(c.Negative) > negT {
-			if s.cfg.UseSimilarity && sig.similar >= tsh {
-				behaviors |= B4
-			}
-		}
+		behaviors := behav[i]
 		if behaviors == 0 {
 			continue
 		}
+		c := counts[i]
 		mPairsAdjusted.Inc()
 		mRatingsAdjusted.Add(int64(c.Total()))
 		for bit, counter := range mFilteredByBehavior {
@@ -488,19 +566,16 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 				counter.Add(int64(c.Positive))
 			}
 		}
-		// The Gaussian handles the social-signal anomaly; frequency
-		// normalization handles the volume anomaly: once a pair is
-		// suspected, its rating volume is scaled down to the average
-		// pair's frequency F, so no flagged pair can out-shout a normal
-		// one no matter how fast it rates.
-		gw, closeBase, simBase := s.gaussianWeightBases(k.Rater, sig, base)
-		fs := freqScale(c, behaviors, meanF)
-		w := gw * fs
+		w := gws[i] * fss[i]
 		if weights == nil {
 			weights = make(map[rating.PairKey]float64)
 		}
 		weights[k] = w
 		if rec != nil {
+			// Re-derive the per-dimension stats for the evidence chain; the
+			// profile caches are warm from the classify pass, so this is two
+			// cache hits, not a recompute.
+			_, closeBase, simBase := s.gaussianWeightBases(k.Rater, signals[i], base)
 			if decIdx == nil {
 				decIdx = make(map[rating.PairKey]int)
 			}
@@ -511,8 +586,8 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 				Ratee:               k.Ratee,
 				Mask:                int(behaviors),
 				Behaviors:           behaviors.String(),
-				Closeness:           sig.closeness,
-				Similarity:          sig.similar,
+				Closeness:           signals[i].closeness,
+				Similarity:          signals[i].similar,
 				Positive:            c.Positive,
 				Negative:            c.Negative,
 				PosThreshold:        posT,
@@ -523,8 +598,8 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 				SimilarityBaseMean:  simBase.Mean,
 				SimilarityBaseWidth: simBase.width(),
 				SimilarityBaseN:     simBase.N,
-				GaussianWeight:      gw,
-				FreqScale:           fs,
+				GaussianWeight:      gws[i],
+				FreqScale:           fss[i],
 				Weight:              w,
 			})
 		}
@@ -532,8 +607,8 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 			Pair:      k,
 			Weight:    w,
 			Behaviors: behaviors,
-			Closeness: sig.closeness,
-			Similar:   sig.similar,
+			Closeness: signals[i].closeness,
+			Similar:   signals[i].similar,
 		})
 	}
 
@@ -541,23 +616,170 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 		Ratings: make([]rating.Rating, len(snap.Ratings)),
 		Counts:  snap.Counts,
 	}
-	for i, r := range snap.Ratings {
-		k := rating.PairKey{Rater: r.Rater, Ratee: r.Ratee}
-		if w, ok := weights[k]; ok {
-			if decIdx != nil {
-				if di, ok := decIdx[k]; ok {
-					decisions[di].PreValue += r.Value
-					decisions[di].PostValue += r.Value * w
+	switch {
+	case weights == nil:
+		copy(out.Ratings, snap.Ratings)
+	case rec == nil && workers > 1 && len(snap.Ratings) >= parallelMinPairs:
+		// Each slot is written by exactly one goroutine and the weight map
+		// is read-only here, so the parallel rewrite is race-free and
+		// element-for-element identical to the serial loop.
+		forFixedBlocks(len(snap.Ratings), adjustChunk, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r := snap.Ratings[i]
+				if w, ok := weights[rating.PairKey{Rater: r.Rater, Ratee: r.Ratee}]; ok {
+					r.Value *= w
 				}
+				out.Ratings[i] = r
 			}
-			r.Value *= w
+		})
+	default:
+		for i, r := range snap.Ratings {
+			k := rating.PairKey{Rater: r.Rater, Ratee: r.Ratee}
+			if w, ok := weights[k]; ok {
+				if decIdx != nil {
+					if di, ok := decIdx[k]; ok {
+						decisions[di].PreValue += r.Value
+						decisions[di].PostValue += r.Value * w
+					}
+				}
+				r.Value *= w
+			}
+			out.Ratings[i] = r
 		}
-		out.Ratings[i] = r
 	}
 	for i := range decisions {
 		rec.RecordFilter(decisions[i])
 	}
+	s.maybeShrinkScratch(len(pairs))
 	return out, report
+}
+
+// Parallel-phase tuning. parallelMinPairs gates goroutine fan-out: below
+// it every phase runs serially even when Workers > 1, so the paper-scale
+// 200-node warm path never pays spawn overhead. adjustChunk is the block
+// size of the index-partitioned phases and blocksPerWorker oversizes the
+// rater-aligned classify partition for load balance. None of these change
+// results — they only decide which goroutine computes them.
+const (
+	parallelMinPairs = 2048
+	adjustChunk      = 2048
+	blocksPerWorker  = 4
+)
+
+// forCountedBlocks runs fn(b) for every block index in [0, nb), fanned over
+// at most workers goroutines pulling indices from a shared counter; with
+// workers <= 1 (or a single block) it is a plain loop with no goroutines.
+func forCountedBlocks(nb, workers int, fn func(b int)) {
+	if workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		for b := 0; b < nb; b++ {
+			fn(b)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					return
+				}
+				fn(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forFixedBlocks covers [0, n) in fixed chunks of size chunk.
+func forFixedBlocks(n, chunk, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nb := (n + chunk - 1) / chunk
+	forCountedBlocks(nb, workers, func(b int) {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// forBlocks covers the half-open ranges [bounds[b], bounds[b+1]).
+func forBlocks(bounds []int, workers int, fn func(lo, hi int)) {
+	forCountedBlocks(len(bounds)-1, workers, func(b int) {
+		fn(bounds[b], bounds[b+1])
+	})
+}
+
+// raterBlocks partitions the rater-sorted pair list into at most target
+// contiguous ranges, advancing every cut to the next rater boundary so one
+// rater's run never spans two blocks — that rater's profile-cache slot then
+// has exactly one writer during the parallel classify phase.
+func raterBlocks(pairs []rating.PairKey, target int, scratch []int) []int {
+	bounds := append(scratch[:0], 0)
+	if len(pairs) == 0 {
+		return bounds
+	}
+	if target < 1 {
+		target = 1
+	}
+	step := (len(pairs) + target - 1) / target
+	for pos := 0; pos < len(pairs); {
+		cut := pos + step
+		if cut >= len(pairs) {
+			cut = len(pairs)
+		} else {
+			for cut < len(pairs) && pairs[cut].Rater == pairs[cut-1].Rater {
+				cut++
+			}
+		}
+		bounds = append(bounds, cut)
+		pos = cut
+	}
+	return bounds
+}
+
+// Scratch-shrink policy: one huge interval must not pin peak-sized scratch
+// forever. When the pair count stays under a quarter of the scratch
+// capacity for shrinkAfter consecutive intervals, every per-pair buffer is
+// reallocated near current demand; buffers at or below shrinkMinCap are
+// never churned.
+const (
+	shrinkMinCap = 1024
+	shrinkAfter  = 4
+)
+
+func (s *SocialTrust) maybeShrinkScratch(nPairs int) {
+	if cap(s.pairScratch) <= shrinkMinCap || nPairs*4 >= cap(s.pairScratch) {
+		s.lowUtil = 0
+		return
+	}
+	if s.lowUtil++; s.lowUtil < shrinkAfter {
+		return
+	}
+	s.lowUtil = 0
+	c := nPairs * 2
+	if c < shrinkMinCap {
+		c = shrinkMinCap
+	}
+	s.pairScratch = make([]rating.PairKey, 0, c)
+	s.sigScratch = make([]pairSignals, 0, c)
+	s.missScratch = make([]sigMiss, 0, c)
+	s.countScratch = make([]rating.PairCounts, 0, c)
+	s.behavScratch = make([]Behavior, 0, c)
+	s.gwScratch = make([]float64, 0, c)
+	s.fsScratch = make([]float64, 0, c)
+	s.closeVals = make([]float64, 0, c)
+	s.simVals = make([]float64, 0, c)
 }
 
 // computeSignals fills out[i] with Ωc and Ωs for pairs[i]. Pairs whose
@@ -683,27 +905,18 @@ func (s *SocialTrust) computeMissGroup(pairs []rating.PairKey, out []pairSignals
 	}
 }
 
-// frequencyThresholds derives T+t and T−t for the interval. The paper
-// defines the suspicion cut as θ·F where F is "the average rating frequency
-// from one node to another node in the system"; we compute F as the mean
-// total rating count over all transacting pairs, so no single polarity's
-// attacker can inflate its own threshold.
-func (s *SocialTrust) frequencyThresholds(counts map[rating.PairKey]rating.PairCounts) (pos, neg float64) {
+// thresholdsFrom derives T+t and T−t for an interval with total ratings
+// spread over n transacting pairs. The paper defines the suspicion cut as
+// θ·F where F is "the average rating frequency from one node to another
+// node in the system"; we compute F as the mean total rating count over all
+// transacting pairs, so no single polarity's attacker can inflate its own
+// threshold.
+func (s *SocialTrust) thresholdsFrom(total, n int) (pos, neg float64) {
 	pos, neg = s.cfg.FixedPosThreshold, s.cfg.FixedNegThreshold
 	if pos > 0 && neg > 0 {
 		return pos, neg
 	}
-	f := 0.0
-	if len(counts) > 0 {
-		total := 0
-		for _, c := range counts {
-			total += c.Total()
-		}
-		f = float64(total) / float64(len(counts))
-	}
-	if f < 1 {
-		f = 1
-	}
+	f := meanFrom(total, n)
 	if pos <= 0 {
 		pos = s.cfg.Theta * f
 	}
@@ -723,14 +936,15 @@ type baseline struct {
 	similarityValues []float64
 }
 
-func (s *SocialTrust) systemBaseline(pairs []rating.PairKey, signals []pairSignals,
-	counts map[rating.PairKey]rating.PairCounts, posT, negT float64) baseline {
+func (s *SocialTrust) systemBaseline(signals []pairSignals, counts []rating.PairCounts,
+	posT, negT float64) baseline {
 
 	// The value slices live in reusable scratch (consumers copy before
-	// sorting); only capacity persists across calls.
+	// sorting); only capacity persists across calls. The append order is the
+	// sorted-pair order regardless of Workers, which the blocked mean below
+	// relies on.
 	b := baseline{closenessValues: s.closeVals[:0], similarityValues: s.simVals[:0]}
-	for i, k := range pairs {
-		c := counts[k]
+	for i, c := range counts {
 		if float64(c.Positive) > posT || float64(c.Negative) > negT {
 			continue // frequency-suspicious pairs must not pollute the baseline
 		}
@@ -738,19 +952,55 @@ func (s *SocialTrust) systemBaseline(pairs []rating.PairKey, signals []pairSigna
 		b.similarityValues = append(b.similarityValues, signals[i].similar)
 	}
 	s.closeVals, s.simVals = b.closenessValues[:0], b.similarityValues[:0]
-	b.closeness = summarizeBaseline(b.closenessValues)
-	b.similarity = summarizeBaseline(b.similarityValues)
+	b.closeness = s.summarizeBaseline(b.closenessValues)
+	b.similarity = s.summarizeBaseline(b.similarityValues)
 	return b
 }
 
-func summarizeBaseline(xs []float64) BaselineStats {
+func (s *SocialTrust) summarizeBaseline(xs []float64) BaselineStats {
 	if len(xs) == 0 {
 		return BaselineStats{}
 	}
 	lo, hi, _ := stats.MinMax(xs)
 	p05, _ := stats.Percentile(xs, 5)
 	p95, _ := stats.Percentile(xs, 95)
-	return BaselineStats{Mean: stats.Mean(xs), Min: lo, Max: hi, Lo: p05, Hi: p95, N: len(xs)}
+	return BaselineStats{Mean: s.blockedMean(xs), Min: lo, Max: hi, Lo: p05, Hi: p95, N: len(xs)}
+}
+
+// meanBlock is the fixed accumulation granularity of the deterministic
+// baseline mean: partial sums are formed over consecutive meanBlock-sized
+// runs of the value sequence and reduced in run order, so the float result
+// depends only on the sequence — never on Workers. At or below one block
+// this is exactly the serial sum (stats.Mean), keeping small-N results
+// bit-identical to the pre-parallel code.
+const meanBlock = 4096
+
+func (s *SocialTrust) blockedMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	nb := (len(xs) + meanBlock - 1) / meanBlock
+	if cap(s.partScratch) < nb {
+		s.partScratch = make([]float64, nb)
+	}
+	parts := s.partScratch[:nb]
+	forCountedBlocks(nb, s.cfg.Workers, func(b int) {
+		lo := b * meanBlock
+		hi := lo + meanBlock
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		sum := 0.0
+		for _, v := range xs[lo:hi] {
+			sum += v
+		}
+		parts[b] = sum
+	})
+	total := 0.0
+	for _, p := range parts {
+		total += p
+	}
+	return total / float64(len(xs))
 }
 
 func quantiles(xs []float64, loQ, hiQ float64) (lo, hi float64) {
@@ -807,7 +1057,7 @@ func (s *SocialTrust) chooseBaseline(rater int, system BaselineStats, profile fu
 
 func (s *SocialTrust) profileCloseness(rater int) BaselineStats {
 	epoch := s.graph.Epoch()
-	if e, ok := s.profClose[rater]; ok && e.graphEpoch == epoch && e.histVer == s.histVer {
+	if e := &s.profClose[rater]; e.valid && e.graphEpoch == epoch && e.histVer == s.histVer {
 		return e.stats
 	}
 	peers := s.hist.RateesOf(rater)
@@ -817,7 +1067,7 @@ func (s *SocialTrust) profileCloseness(rater int) BaselineStats {
 	}
 	prof := s.graph.ProfileCloseness(socialgraph.NodeID(rater), ids, s.cfg.Closeness)
 	st := BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
-	s.profClose[rater] = profCacheEntry{graphEpoch: epoch, histVer: s.histVer, stats: st}
+	s.profClose[rater] = profCacheEntry{valid: true, graphEpoch: epoch, histVer: s.histVer, stats: st}
 	return st
 }
 
@@ -826,7 +1076,7 @@ func (s *SocialTrust) profileSimilarity(rater int) BaselineStats {
 	// sets and the rating history, so histVer alone keys the cache; the
 	// weighted form reads the live request tracker and is never cached.
 	if !s.cfg.WeightedSimilarity {
-		if e, ok := s.profSim[rater]; ok && e.histVer == s.histVer {
+		if e := &s.profSim[rater]; e.valid && e.histVer == s.histVer {
 			return e.stats
 		}
 	}
@@ -834,7 +1084,7 @@ func (s *SocialTrust) profileSimilarity(rater int) BaselineStats {
 	prof := interest.ProfileSimilarity(s.sets[rater], rater, peers, s.sets, s.cfg.WeightedSimilarity, s.tracker)
 	st := BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
 	if !s.cfg.WeightedSimilarity {
-		s.profSim[rater] = profCacheEntry{histVer: s.histVer, stats: st}
+		s.profSim[rater] = profCacheEntry{valid: true, histVer: s.histVer, stats: st}
 	}
 	return st
 }
@@ -858,14 +1108,19 @@ func freqScale(c rating.PairCounts, behaviors Behavior, meanF float64) float64 {
 // meanPairFrequency computes F, the mean total rating count per transacting
 // pair in the interval (floored at 1).
 func meanPairFrequency(counts map[rating.PairKey]rating.PairCounts) float64 {
-	if len(counts) == 0 {
-		return 1
-	}
 	total := 0
 	for _, c := range counts {
 		total += c.Total()
 	}
-	f := float64(total) / float64(len(counts))
+	return meanFrom(total, len(counts))
+}
+
+// meanFrom is meanPairFrequency over precomputed totals.
+func meanFrom(total, n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	f := float64(total) / float64(n)
 	if f < 1 {
 		f = 1
 	}

@@ -74,6 +74,74 @@ func BenchmarkOverlaySubmitReplicated(b *testing.B) {
 	})
 }
 
+// benchTrace prebuilds one interval of spread-out ratings over n nodes so
+// the submit benchmarks measure ingest, not trace generation.
+func benchTrace(n, count int) []rating.Rating {
+	rs := make([]rating.Rating, count)
+	for i := range rs {
+		rs[i] = rating.Rating{Rater: i % n, Ratee: (i*7 + 1) % n, Value: 1, Cycle: i / n}
+	}
+	for i := range rs {
+		if rs[i].Rater == rs[i].Ratee {
+			rs[i].Ratee = (rs[i].Ratee + 1) % n
+		}
+	}
+	return rs
+}
+
+// BenchmarkOverlaySubmit10k is the per-rating ingest baseline at 10k nodes /
+// 16 shards: one mailbox round trip per rating, over full intervals drained
+// outside the timer so ledgers stay at steady-state size. Reported per
+// rating for direct comparison with BenchmarkOverlaySubmitBatch.
+func BenchmarkOverlaySubmit10k(b *testing.B) {
+	const n = 10_000
+	o, err := New(n, 16, ebay.New(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Close()
+	trace := benchTrace(n, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range trace {
+			if err := o.Submit(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		o.EndInterval()
+		b.StartTimer()
+	}
+	perRating := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(trace))
+	b.ReportMetric(perRating, "ns/rating")
+}
+
+// BenchmarkOverlaySubmitBatch measures batched ingest at 10k nodes: one
+// SubmitBatch call per interval over a 4096-rating trace — one mailbox round
+// trip per shard instead of one per rating — with the drain outside the
+// timer, matching BenchmarkOverlaySubmit10k. The scale acceptance pins the
+// batched ns/rating at ≥ 3× faster than the per-rating baseline.
+func BenchmarkOverlaySubmitBatch(b *testing.B) {
+	const n = 10_000
+	o, err := New(n, 16, ebay.New(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Close()
+	trace := benchTrace(n, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if errs := o.SubmitBatch(trace); errs != nil {
+			b.Fatalf("SubmitBatch: %v", errs[0])
+		}
+		b.StopTimer()
+		o.EndInterval()
+		b.StartTimer()
+	}
+	perRating := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(trace))
+	b.ReportMetric(perRating, "ns/rating")
+}
+
 func BenchmarkPushSum16x200(b *testing.B) {
 	parts := make([][]float64, 16)
 	for i := range parts {

@@ -66,6 +66,7 @@ var (
 	mDrainTotal   = obs.C("manager_drain_total")
 	mSubmitLat    = obs.H("manager_submit_seconds")
 	mQueryLat     = obs.H("manager_query_seconds")
+	mBatchSize    = obs.H("manager_submit_batch_size", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
 
 	// Fault-tolerance metrics.
 	mRetries      = obs.C("manager_submit_retries_total")
@@ -87,6 +88,17 @@ type message struct {
 	drainC   chan drainReply
 	reps     []float64
 	errC     chan error
+	batch    []batchEntry    // msgSubmitBatch payload (fault mode): one ledger op per entry
+	plain    []rating.Rating // msgSubmitBatch payload (direct mode): primary ledger adds only
+	errsC    chan []error    // msgSubmitBatch reply, index-aligned; nil = every entry landed
+}
+
+// batchEntry is one rating of a batched submission, carrying the same
+// per-rating replica/deferred fate bits a standalone msgSubmit would.
+type batchEntry struct {
+	r        rating.Rating
+	replica  bool
+	deferred bool
 }
 
 // drainReply is one shard's answer to a drain: its primary interval
@@ -100,6 +112,7 @@ type msgKind int
 
 const (
 	msgSubmit msgKind = iota
+	msgSubmitBatch
 	msgQuery
 	msgDrain
 	msgUpdateReps
@@ -286,6 +299,8 @@ func (o *Overlay) serve(s *shard, st *shardState) {
 			switch msg.kind {
 			case msgSubmit:
 				st.handleSubmit(msg)
+			case msgSubmitBatch:
+				st.handleSubmitBatch(msg)
 			case msgQuery:
 				if msg.node < 0 || msg.node >= o.numNodes {
 					msg.repC <- 0
@@ -330,6 +345,41 @@ func (st *shardState) handleSubmit(msg message) {
 		return
 	}
 	msg.errC <- st.ledger.Add(msg.r)
+}
+
+// handleSubmitBatch applies one batched submission under a single mailbox
+// receive — the per-shard coalescing that makes batch ingest cheap: one
+// channel round trip and one reply allocation amortize over every rating
+// bound for this shard. Entry semantics (replica/deferred fate bits,
+// per-entry ledger errors) are identical to a sequence of msgSubmits.
+func (st *shardState) handleSubmitBatch(msg message) {
+	if msg.plain != nil {
+		// Direct mode: hand the whole sub-batch to the ledger, which visits
+		// each of its internal shards once instead of once per rating.
+		msg.errsC <- st.ledger.AddBatch(msg.plain)
+		return
+	}
+	var errs []error
+	for i, e := range msg.batch {
+		var err error
+		switch {
+		case e.deferred && e.replica:
+			st.deferredReplica = append(st.deferredReplica, e.r)
+		case e.deferred:
+			st.deferred = append(st.deferred, e.r)
+		case e.replica:
+			err = st.replica.Add(e.r)
+		default:
+			err = st.ledger.Add(e.r)
+		}
+		if err != nil {
+			if errs == nil {
+				errs = make([]error, len(msg.batch))
+			}
+			errs[i] = err
+		}
+	}
+	msg.errsC <- errs
 }
 
 // drain flushes deferred submissions into the ledgers and snapshots the
@@ -418,6 +468,329 @@ func (o *Overlay) submitDirect(r rating.Rating) error {
 	case <-o.closed:
 		return ErrClosed // shut down before the manager processed it
 	}
+}
+
+// SubmitBatch routes many ratings at once, grouping them by responsible
+// shard and delivering one batched mailbox message per shard instead of one
+// per rating. Replica mirroring and fault-plan verdicts (drop / delay /
+// duplicate) are still drawn and applied per rating, so a batch behaves
+// exactly like the equivalent Submit sequence — it just costs one channel
+// round trip per shard. The returned slice is index-aligned with rs; a nil
+// return means every rating landed. Safe for concurrent use.
+func (o *Overlay) SubmitBatch(rs []rating.Rating) []error {
+	if len(rs) == 0 {
+		return nil
+	}
+	sp := mSubmitLat.Start()
+	var errs []error
+	if o.plan != nil {
+		errs = o.submitBatchFT(rs)
+	} else {
+		errs = o.submitBatchDirect(rs)
+	}
+	sp.End()
+	mSubmitTotal.Add(int64(len(rs)))
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	mSubmitErrors.Add(int64(failed))
+	if failed == 0 {
+		return nil
+	}
+	return errs
+}
+
+// submitBatchDirect is the plain batched path: counting-sort the ratings
+// into one contiguous arena grouped by shard, send every shard its
+// sub-batch, then collect the acks — the sends all land before the first ack
+// wait, so the shards chew their batches concurrently. The error slice is
+// allocated only when something actually fails, so the all-landed common
+// case costs two arena allocations plus one channel round trip per shard.
+func (o *Overlay) submitBatchDirect(rs []rating.Rating) []error {
+	var errs []error
+	fail := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(rs))
+		}
+		errs[i] = err
+	}
+	k := len(o.shards)
+	starts := make([]int, k+1)
+	for i := range rs {
+		if rs[i].Ratee < 0 || rs[i].Ratee >= o.numNodes {
+			fail(i, fmt.Errorf("manager: ratee %d out of range", rs[i].Ratee))
+			continue
+		}
+		starts[o.ManagerOf(rs[i].Ratee)+1]++
+	}
+	for s := 0; s < k; s++ {
+		starts[s+1] += starts[s]
+	}
+	total := starts[k]
+	if total == 0 {
+		return errs
+	}
+	// arena[starts[s]:starts[s+1]] is shard s's sub-batch; idx maps each
+	// arena slot back to its position in rs for error reporting.
+	arena := make([]rating.Rating, total)
+	idx := make([]int, total)
+	fill := append([]int(nil), starts[:k]...)
+	for i := range rs {
+		if errs != nil && errs[i] != nil {
+			continue
+		}
+		s := o.ManagerOf(rs[i].Ratee)
+		arena[fill[s]] = rs[i]
+		idx[fill[s]] = i
+		fill[s]++
+	}
+	replies := make([]chan []error, k)
+	for s := 0; s < k; s++ {
+		lo, hi := starts[s], starts[s+1]
+		if lo == hi {
+			continue
+		}
+		mBatchSize.Observe(float64(hi - lo))
+		st := o.shards[s].cur.Load()
+		errsC := make(chan []error, 1)
+		select {
+		case <-o.closed:
+			failGroup(&errs, len(rs), idx[lo:hi], ErrClosed)
+		case <-st.down:
+			failGroup(&errs, len(rs), idx[lo:hi], o.downOrClosed())
+		case st.inbox <- message{kind: msgSubmitBatch, plain: arena[lo:hi], errsC: errsC}:
+			replies[s] = errsC
+		}
+	}
+	for s := 0; s < k; s++ {
+		if replies[s] == nil {
+			continue
+		}
+		lo, hi := starts[s], starts[s+1]
+		st := o.shards[s].cur.Load()
+		select {
+		case res := <-replies[s]:
+			for x, e := range res { // nil res = whole sub-batch landed
+				if e != nil {
+					fail(idx[lo+x], e)
+				}
+			}
+		case <-st.down:
+			failGroup(&errs, len(rs), idx[lo:hi], o.downOrClosed())
+		case <-o.closed:
+			failGroup(&errs, len(rs), idx[lo:hi], ErrClosed)
+		}
+	}
+	return errs
+}
+
+// failGroup stamps one error on every listed slot, allocating the
+// index-aligned error slice on first use.
+func failGroup(errs *[]error, n int, idxs []int, err error) {
+	if *errs == nil {
+		*errs = make([]error, n)
+	}
+	for _, i := range idxs {
+		(*errs)[i] = err
+	}
+}
+
+// batchDelivery is one pending per-rating delivery of a fault-tolerant
+// batch: a (rating, target shard, replica?) triple plus its latest outcome.
+type batchDelivery struct {
+	idx     int // index into the SubmitBatch input
+	shard   int
+	replica bool
+	err     error
+}
+
+// submitBatchFT is the fault-tolerant batched path. Every rating is
+// validated up front and expands to a primary delivery plus (on multi-shard
+// overlays) a replica mirror, exactly as submitFT; the deliveries then run
+// in retry rounds — one batched message per shard per round, each delivery
+// drawing its own fault verdict — until they land, fail hard, or exhaust
+// the attempt budget. Outcomes combine per rating with submitFT's rules: a
+// dead primary with a live mirror is a failover, not an error.
+func (o *Overlay) submitBatchFT(rs []rating.Rating) []error {
+	errs := make([]error, len(rs))
+	dels := make([]batchDelivery, 0, 2*len(rs))
+	hasReplica := make([]bool, len(rs))
+	for i, r := range rs {
+		switch {
+		case r.Ratee < 0 || r.Ratee >= o.numNodes:
+			errs[i] = fmt.Errorf("manager: ratee %d out of range", r.Ratee)
+			continue
+		case r.Rater < 0 || r.Rater >= o.numNodes:
+			errs[i] = fmt.Errorf("manager: rater %d out of range", r.Rater)
+			continue
+		case r.Rater == r.Ratee:
+			errs[i] = fmt.Errorf("rating: self-rating by node %d rejected", r.Rater)
+			continue
+		}
+		p := o.ManagerOf(r.Ratee)
+		dels = append(dels, batchDelivery{idx: i, shard: p})
+		if rep := o.replicaOf(p); rep != p {
+			dels = append(dels, batchDelivery{idx: i, shard: rep, replica: true})
+			hasReplica[i] = true
+		}
+	}
+	pending := make([]int, len(dels))
+	for d := range dels {
+		pending[d] = d
+	}
+	backoff := o.opts.RetryBackoff
+	for attempt := 0; attempt < o.opts.RetryAttempts && len(pending) > 0; attempt++ {
+		if attempt > 0 {
+			mRetries.Add(int64(len(pending)))
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		pending = o.deliverBatchRound(rs, dels, pending)
+	}
+	primary := make([]error, len(rs))
+	replica := make([]error, len(rs))
+	for _, d := range dels {
+		if d.replica {
+			replica[d.idx] = d.err
+		} else {
+			primary[d.idx] = d.err
+		}
+	}
+	for i := range rs {
+		if errs[i] != nil {
+			continue // failed validation; never delivered
+		}
+		pErr := primary[i]
+		rErr := pErr // single-shard overlay has no distinct replica
+		if hasReplica[i] {
+			rErr = replica[i]
+		}
+		switch {
+		case pErr == nil:
+		case errors.Is(pErr, ErrClosed):
+			errs[i] = pErr
+		case rErr == nil:
+			// Primary unreachable but the replica holds the rating; the
+			// next drain recovers it from the mirror.
+			mFailovers.Inc()
+		default:
+			errs[i] = pErr
+		}
+	}
+	return errs
+}
+
+// deliverBatchRound runs one delivery attempt for every pending delivery,
+// one batched message per shard, and returns the deliveries still worth
+// retrying (lost in transit or timed out at the ack deadline). Hard
+// failures — shard down, overlay closed, ledger rejection — are final and
+// stay out of the next round, mirroring deliverRetry's abort conditions.
+func (o *Overlay) deliverBatchRound(rs []rating.Rating, dels []batchDelivery, pending []int) []int {
+	byShard := make([][]int, len(o.shards))
+	for _, di := range pending {
+		byShard[dels[di].shard] = append(byShard[dels[di].shard], di)
+	}
+	var still []int
+	for s := range o.shards {
+		group := byShard[s]
+		if len(group) == 0 {
+			continue
+		}
+		st := o.shards[s].cur.Load()
+		select {
+		case <-st.down:
+			err := o.downOrClosed()
+			for _, di := range group {
+				dels[di].err = err
+			}
+			continue
+		default:
+		}
+		// Draw each delivery's fate from the plan — per rating, exactly as
+		// the unbatched path — and assemble the surviving entries. slots
+		// maps batch entries back to deliveries; a duplicate-injected copy
+		// gets slot -1 (its ledger ack is deliberately ignored, matching
+		// deliverOnce's fire-and-forget duplicate).
+		batch := make([]batchEntry, 0, len(group))
+		slots := make([]int, 0, len(group))
+		for _, di := range group {
+			d := &dels[di]
+			v := o.plan.DeliveryVerdict(s)
+			if v.Drop {
+				// Lost in transit: the ack deadline lapses in simulated
+				// time, and the delivery stays retryable.
+				d.err = ErrTimeout
+				still = append(still, di)
+				continue
+			}
+			batch = append(batch, batchEntry{r: rs[d.idx], replica: d.replica, deferred: v.Delay})
+			slots = append(slots, di)
+			if v.Duplicate {
+				batch = append(batch, batchEntry{r: rs[d.idx], replica: d.replica, deferred: v.Delay})
+				slots = append(slots, -1)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		mBatchSize.Observe(float64(len(batch)))
+		ctx, cancel := context.WithTimeout(context.Background(), o.opts.SubmitTimeout)
+		msg := message{kind: msgSubmitBatch, batch: batch, errsC: make(chan []error, 1)}
+		if err := o.send(ctx, st, msg); err != nil {
+			for _, di := range slots {
+				if di < 0 {
+					continue
+				}
+				dels[di].err = err
+				if errors.Is(err, ErrTimeout) {
+					still = append(still, di)
+				}
+			}
+			cancel()
+			continue
+		}
+		select {
+		case res := <-msg.errsC:
+			// nil res = the whole sub-batch landed; clear any error left
+			// over from an earlier dropped or timed-out attempt.
+			for x, di := range slots {
+				if di < 0 {
+					continue
+				}
+				if res == nil {
+					dels[di].err = nil
+				} else {
+					dels[di].err = res[x]
+				}
+			}
+		case <-st.down:
+			err := o.downOrClosed()
+			for _, di := range slots {
+				if di >= 0 {
+					dels[di].err = err
+				}
+			}
+		case <-o.closed:
+			for _, di := range slots {
+				if di >= 0 {
+					dels[di].err = ErrClosed
+				}
+			}
+		case <-ctx.Done():
+			for _, di := range slots {
+				if di < 0 {
+					continue
+				}
+				dels[di].err = ErrTimeout
+				still = append(still, di)
+			}
+		}
+		cancel()
+	}
+	return still
 }
 
 // submitFT is the fault-tolerant submission path: the rating is validated

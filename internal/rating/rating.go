@@ -95,6 +95,79 @@ func (l *Ledger) Add(r Rating) error {
 	return nil
 }
 
+// AddBatch appends a batch of ratings to the current interval, visiting each
+// internal shard once: per-shard growth is pre-sized and each shard lock is
+// taken once per call instead of once per rating. Semantics match a sequence
+// of Add calls — out-of-range node IDs panic, self-ratings are rejected per
+// entry. The returned slice is index-aligned with rs; a nil return means
+// every rating landed.
+func (l *Ledger) AddBatch(rs []Rating) []error {
+	var errs []error
+	var need [numShards]int
+	for i := range rs {
+		r := &rs[i]
+		if r.Rater < 0 || r.Rater >= l.numNodes || r.Ratee < 0 || r.Ratee >= l.numNodes {
+			panic(fmt.Sprintf("rating: node out of range in %+v (numNodes=%d)", *r, l.numNodes))
+		}
+		if r.Rater == r.Ratee {
+			if errs == nil {
+				errs = make([]error, len(rs))
+			}
+			errs[i] = fmt.Errorf("rating: self-rating by node %d rejected", r.Rater)
+			continue
+		}
+		need[r.Ratee%numShards]++
+	}
+	// Counting sort: perm groups the indices of valid ratings by destination
+	// shard, preserving input order within each shard (the same per-shard
+	// insertion order sequential Adds would produce).
+	var starts [numShards + 1]int
+	for s := 0; s < numShards; s++ {
+		starts[s+1] = starts[s] + need[s]
+	}
+	perm := make([]int, starts[numShards])
+	fill := starts
+	for i := range rs {
+		if errs != nil && errs[i] != nil {
+			continue
+		}
+		s := rs[i].Ratee % numShards
+		perm[fill[s]] = i
+		fill[s]++
+	}
+	for s := 0; s < numShards; s++ {
+		lo, hi := starts[s], starts[s+1]
+		if lo == hi {
+			continue
+		}
+		sh := &l.shards[s]
+		sh.mu.Lock()
+		if free := cap(sh.ratings) - len(sh.ratings); free < hi-lo {
+			newCap := len(sh.ratings) + (hi - lo)
+			if newCap < 2*cap(sh.ratings) {
+				newCap = 2 * cap(sh.ratings) // keep append-style amortization
+			}
+			grown := make([]Rating, len(sh.ratings), newCap)
+			copy(grown, sh.ratings)
+			sh.ratings = grown
+		}
+		for _, i := range perm[lo:hi] {
+			r := rs[i]
+			sh.ratings = append(sh.ratings, r)
+			key := PairKey{r.Rater, r.Ratee}
+			c := sh.counts[key]
+			if r.Value > 0 {
+				c.Positive++
+			} else if r.Value < 0 {
+				c.Negative++
+			}
+			sh.counts[key] = c
+		}
+		sh.mu.Unlock()
+	}
+	return errs
+}
+
 // Counts returns the current-interval t+/t− counters for the directed pair.
 func (l *Ledger) Counts(rater, ratee int) PairCounts {
 	s := l.shard(ratee)

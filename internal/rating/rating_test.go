@@ -276,3 +276,79 @@ func TestHistoryResetNode(t *testing.T) {
 		t.Fatal("node 1 still listed as a rater of 2")
 	}
 }
+
+func TestAddBatchMatchesSequentialAdds(t *testing.T) {
+	const n = 200
+	trace := make([]Rating, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		r := Rating{Rater: (i * 13) % n, Ratee: (i * 7) % n, Value: 1, Cycle: i / 100}
+		if i%3 == 0 {
+			r.Value = -1
+		}
+		if r.Rater == r.Ratee {
+			r.Ratee = (r.Ratee + 1) % n
+		}
+		trace = append(trace, r)
+	}
+	seq := NewLedger(n)
+	for _, r := range trace {
+		if err := seq.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched := NewLedger(n)
+	// Uneven chunks cross internal-shard boundaries and exercise regrowth.
+	for lo := 0; lo < len(trace); lo += 137 {
+		hi := lo + 137
+		if hi > len(trace) {
+			hi = len(trace)
+		}
+		if errs := batched.AddBatch(trace[lo:hi]); errs != nil {
+			t.Fatalf("AddBatch: %v", errs)
+		}
+	}
+	want, got := seq.EndInterval(), batched.EndInterval()
+	if len(got.Ratings) != len(want.Ratings) {
+		t.Fatalf("ratings: got %d, want %d", len(got.Ratings), len(want.Ratings))
+	}
+	for i := range want.Ratings {
+		if got.Ratings[i] != want.Ratings[i] {
+			t.Fatalf("ratings[%d]: got %+v, want %+v", i, got.Ratings[i], want.Ratings[i])
+		}
+	}
+	if len(got.Counts) != len(want.Counts) {
+		t.Fatalf("counts: got %d pairs, want %d", len(got.Counts), len(want.Counts))
+	}
+	for k, v := range want.Counts {
+		if got.Counts[k] != v {
+			t.Fatalf("counts[%v]: got %+v, want %+v", k, got.Counts[k], v)
+		}
+	}
+}
+
+func TestAddBatchSelfRatingIndexed(t *testing.T) {
+	l := NewLedger(10)
+	errs := l.AddBatch([]Rating{
+		{Rater: 0, Ratee: 1, Value: 1},
+		{Rater: 3, Ratee: 3, Value: 1}, // self-rating
+		{Rater: 2, Ratee: 4, Value: -1},
+	})
+	if errs == nil || errs[0] != nil || errs[1] == nil || errs[2] != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if l.IntervalSize() != 2 {
+		t.Fatalf("IntervalSize = %d, want 2", l.IntervalSize())
+	}
+	if l.AddBatch([]Rating{{Rater: 0, Ratee: 2, Value: 1}}) != nil {
+		t.Fatal("clean batch should return nil")
+	}
+}
+
+func TestAddBatchPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on out-of-range ratee")
+		}
+	}()
+	NewLedger(5).AddBatch([]Rating{{Rater: 0, Ratee: 99, Value: 1}})
+}

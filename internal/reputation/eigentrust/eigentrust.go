@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"socialtrust/internal/obs"
 	"socialtrust/internal/rating"
@@ -35,6 +36,7 @@ var (
 	mMaxIterHits     = obs.C("eigentrust_maxiter_hits_total")
 	mUpdateLat       = obs.H("eigentrust_update_seconds")
 	mCSRRebuilds     = obs.C("eigentrust_csr_rebuilds_total")
+	mMatvecWorkers   = obs.G("eigentrust_matvec_workers")
 )
 
 // Config parameterizes an EigenTrust engine.
@@ -85,6 +87,7 @@ type Engine struct {
 	t    []float64
 	// scratch buffers reused across updates
 	next []float64
+	part []float64 // fixed-block partial sums for the tree reductions
 
 	csr csrState
 
@@ -365,24 +368,27 @@ func (e *Engine) powerIterate() {
 	a := e.cfg.PretrustWeight
 	t := e.t
 	next := e.next
+	nb := (n + etBlock - 1) / etBlock
+	workers := e.cfg.Workers
+	if workers > nb {
+		workers = nb
+	}
+	mMatvecWorkers.Set(float64(workers))
 	iters, residual, converged := 0, 0.0, false
 	for iter := 0; iter < e.cfg.MaxIter; iter++ {
-		// Mass held by dangling rows redistributes along p.
-		dangling := 0.0
-		for i := 0; i < n; i++ {
-			if rowTotal[i] <= 0 {
-				dangling += t[i]
+		// Mass held by dangling rows redistributes along p. The sum runs
+		// over fixed row blocks with a tree reduction, so its float result
+		// is pinned by n alone, never by the worker count.
+		dangling := e.blockedSum(nb, workers, func(lo, hi int) float64 {
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				if rowTotal[i] <= 0 {
+					sum += t[i]
+				}
 			}
-		}
-		e.applyStep(t, next, a, dangling)
-		diff := 0.0
-		for i := range t {
-			d := next[i] - t[i]
-			if d < 0 {
-				d = -d
-			}
-			diff += d
-		}
+			return sum
+		})
+		diff := e.applyStep(t, next, a, dangling, nb, workers)
 		t, next = next, t
 		iters, residual = iter+1, diff
 		if diff < e.cfg.Epsilon {
@@ -402,44 +408,101 @@ func (e *Engine) powerIterate() {
 	}
 }
 
+// etBlock is the fixed row-block granularity of the parallel mat-vec and
+// its reductions. Blocks are a pure function of n — workers only decide who
+// computes a block — so every float accumulation order, and therefore the
+// trust vector, is bit-identical from Workers=1 to Workers=N. Networks at
+// or below one block degenerate to the plain serial sums of the pre-CSR
+// reference algorithm (pinned bitwise by csr_test.go).
+const etBlock = 256
+
 // applyStep computes next = (1−a)·(Cᵀt + dangling·p) + a·p over the
-// transposed CSR, parallelized across destination-node blocks when
-// cfg.Workers > 1. The flat colIdx/val arrays keep the inner loop free of
-// per-entry pointer chasing and allocation.
-func (e *Engine) applyStep(t, next []float64, a, dangling float64) {
+// transposed CSR, block-partitioned across workers, and returns the L1
+// distance |next − t|. The convergence sum is fused into the same parallel
+// pass: each block accumulates its own partial, and the fixed-order tree
+// reduction makes the residual — and so the iteration count — independent
+// of the worker count. The flat colIdx/val arrays keep the inner loop free
+// of per-entry pointer chasing and allocation.
+func (e *Engine) applyStep(t, next []float64, a, dangling float64, nb, workers int) float64 {
 	c := &e.csr
-	n := len(t)
-	workers := e.cfg.Workers
-	if workers > n {
-		workers = n
-	}
-	compute := func(lo, hi int) {
+	return e.blockedSum(nb, workers, func(lo, hi int) float64 {
+		diff := 0.0
 		for j := lo; j < hi; j++ {
 			sum := 0.0
 			for s := c.tRowPtr[j]; s < c.tRowPtr[j+1]; s++ {
 				sum += c.tVal[s] * t[c.tCol[s]]
 			}
-			next[j] = (1-a)*(sum+dangling*e.p[j]) + a*e.p[j]
+			v := (1-a)*(sum+dangling*e.p[j]) + a*e.p[j]
+			next[j] = v
+			d := v - t[j]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
 		}
-	}
-	if workers <= 1 {
-		compute(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	block := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += block {
-		hi := lo + block
+		return diff
+	})
+}
+
+// blockedSum evaluates fn over every fixed etBlock-sized row range, fanning
+// the blocks across at most workers goroutines pulling indices from a
+// shared counter, and tree-reduces the per-block partials. Both the block
+// boundaries and the reduction order depend only on the row count, so the
+// result is bitwise identical for any worker count; a single block reduces
+// to fn's own serial sum.
+func (e *Engine) blockedSum(nb, workers int, fn func(lo, hi int) float64) float64 {
+	n := e.cfg.NumNodes
+	e.part = grown(e.part, nb)
+	parts := e.part
+	run := func(b int) {
+		lo := b * etBlock
+		hi := lo + etBlock
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			compute(lo, hi)
-		}(lo, hi)
+		parts[b] = fn(lo, hi)
 	}
-	wg.Wait()
+	if workers <= 1 || nb <= 1 {
+		for b := 0; b < nb; b++ {
+			run(b)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					b := int(next.Add(1)) - 1
+					if b >= nb {
+						return
+					}
+					run(b)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return treeReduce(parts)
+}
+
+// treeReduce folds the partials pairwise in place — the upper half onto the
+// lower — halving the width until one value remains. The pairing is a pure
+// function of the partial count, pinning the float result regardless of
+// which goroutine filled which slot.
+func treeReduce(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	for width := len(xs); width > 1; {
+		half := (width + 1) / 2
+		for i := 0; i < width-half; i++ {
+			xs[i] += xs[half+i]
+		}
+		width = half
+	}
+	return xs[0]
 }
 
 // Reputations implements reputation.Engine: a copy of the trust vector,

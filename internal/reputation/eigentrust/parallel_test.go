@@ -1,0 +1,36 @@
+package eigentrust
+
+import (
+	"testing"
+
+	"socialtrust/internal/xrand"
+)
+
+// TestWorkerCountBitIdentity pins the scale-out contract of the parallel
+// mat-vec: at a network size spanning several etBlock row blocks, the same
+// update sequence must yield bitwise-equal trust vectors and identical
+// convergence stats for every worker count. Block boundaries and the tree
+// reduction depend only on n, so the partition decides who computes a
+// block, never what it sums to.
+func TestWorkerCountBitIdentity(t *testing.T) {
+	const n = 3 * etBlock // multiple blocks plus a ragged tail
+	build := func(workers int) *Engine {
+		e := New(Config{NumNodes: n, Pretrusted: []int{0, 1, 2}, Workers: workers})
+		rng := xrand.New(42)
+		for round := 0; round < 4; round++ {
+			e.Update(randomSnapshot(rng, n, 3000))
+		}
+		e.ResetNode(5)
+		return e
+	}
+
+	ref := build(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := build(workers)
+		assertVectorsEqual(t, got.Reputations(), ref.Reputations(),
+			"Workers=1 vs parallel")
+		if got.Stats() != ref.Stats() {
+			t.Fatalf("Workers=%d stats diverged: %+v vs %+v", workers, got.Stats(), ref.Stats())
+		}
+	}
+}

@@ -91,6 +91,12 @@ type Network struct {
 	churnRNG    *xrand.Stream
 	ratingsLost int
 
+	// pending buffers ratings bound for the manager overlay within one query
+	// cycle; flushRatings ships the whole buffer via SubmitBatch — one
+	// mailbox message per shard instead of one round trip per rating. Unused
+	// (nil) when the run has no overlay.
+	pending []rating.Rating
+
 	root *xrand.Stream
 }
 

@@ -4,8 +4,10 @@ import (
 	"reflect"
 	"testing"
 
+	"socialtrust/internal/audit"
 	"socialtrust/internal/core"
 	"socialtrust/internal/interest"
+	"socialtrust/internal/obs/event"
 	"socialtrust/internal/reputation/eigentrust"
 	"socialtrust/internal/xrand"
 )
@@ -85,6 +87,64 @@ func TestAdjustWarmCacheBitIdentical(t *testing.T) {
 			afterOut, afterRep := after.Adjust(snap)
 			if !reflect.DeepEqual(invOut, afterOut) || !reflect.DeepEqual(invRep, afterRep) {
 				t.Fatal("post-invalidation pass diverges from a fresh instance on the mutated graph")
+			}
+		})
+	}
+}
+
+// TestFullSimWorkerCountBitIdentity is the scale-out acceptance for the whole
+// pipeline: for each collusion model, a complete managed run (overlay batch
+// ingest, SocialTrust adjust, EigenTrust iteration, flight recorder on) with
+// Workers=1 must be byte-identical to Workers=8 — reputations, per-cycle
+// history, the ground-truth detection report, and the full audit event
+// stream (wall-clock fields excluded: they are the only nondeterministic
+// outputs by design).
+func TestFullSimWorkerCountBitIdentity(t *testing.T) {
+	type outcome struct {
+		res    *Result
+		report audit.Report
+		events []event.Event
+	}
+	run := func(t *testing.T, model CollusionModel, workers int) outcome {
+		cfg := smallConfig(model, EngineEigenTrust, 0.4, true)
+		cfg.Workers = workers
+		cfg.Managers = 4
+		net, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := event.Enable(auditCapacity(cfg))
+		defer event.Disable()
+		res := net.Run()
+		events := rec.Drain()
+		if len(events) == 0 {
+			t.Fatal("run recorded no audit events")
+		}
+		for i := range events {
+			if c := events[i].Cycle; c != nil {
+				c.QPS, c.WallSeconds = 0, 0
+			}
+			if m := events[i].Manager; m != nil {
+				m.Seconds = 0
+			}
+		}
+		return outcome{res: res, report: audit.Score(net.GroundTruth(), events), events: events}
+	}
+	for _, model := range []CollusionModel{PCM, MCM, MMM} {
+		t.Run(model.String(), func(t *testing.T) {
+			ref := run(t, model, 1)
+			got := run(t, model, 8)
+			if !reflect.DeepEqual(got.res.FinalReputations, ref.res.FinalReputations) {
+				t.Fatal("final reputations diverge between Workers=1 and Workers=8")
+			}
+			if !reflect.DeepEqual(got.res.History, ref.res.History) {
+				t.Fatal("reputation history diverges between Workers=1 and Workers=8")
+			}
+			if !reflect.DeepEqual(got.report, ref.report) {
+				t.Fatalf("detection report diverges:\nworkers=8: %+v\nworkers=1: %+v", got.report, ref.report)
+			}
+			if !reflect.DeepEqual(got.events, ref.events) {
+				t.Fatal("audit event streams diverge between Workers=1 and Workers=8")
 			}
 		})
 	}

@@ -215,6 +215,7 @@ func (n *Network) Run() *Result {
 			n.computeIntents(intents, reps)
 			n.assign(intents, capacities, reps, cycle, res)
 			n.collude(cycle)
+			n.flushRatings()
 		}
 		res.PerCycleColluderShare = append(res.PerCycleColluderShare,
 			cycleShare(res, &lastTotal, &lastColl))
@@ -482,22 +483,37 @@ func (n *Network) chooseServer(it *intent, capacities []int, reps []float64) int
 	return best
 }
 
-// record stores one rating event in every substrate: the ledger (or the
-// manager overlay in Managers mode), the social interaction table, and the
-// request tracker.
+// record stores one rating event in every substrate: the ledger (or, in
+// Managers mode, the overlay batch buffer drained by flushRatings), the
+// social interaction table, and the request tracker. The client-side
+// substrates always record the interaction immediately — only delivery to
+// the reputation system is batched.
 func (n *Network) record(rater, ratee int, value float64, cycle int, cat interest.Category) {
 	r := rating.Rating{Rater: rater, Ratee: ratee, Value: value, Cycle: cycle, Category: int(cat)}
-	var err error
 	if n.Overlay != nil {
-		err = n.Overlay.Submit(r)
-	} else {
-		err = n.Ledger.Add(r)
+		n.pending = append(n.pending, r)
+	} else if err := n.Ledger.Add(r); err != nil {
+		panic(err) // construction guarantees rater != ratee
 	}
-	if err != nil {
-		// Under fault injection a submission can be lost in transit (both
-		// the primary and the replica copy failed): the reputation system
-		// never sees the rating, but the client-side substrates below still
-		// record the interaction it experienced.
+	n.Graph.RecordInteraction(socialgraph.NodeID(rater), socialgraph.NodeID(ratee), 1)
+	n.Tracker.Record(rater, cat)
+}
+
+// flushRatings ships the query cycle's buffered ratings to the overlay in
+// one SubmitBatch call. Fault accounting is per rating, exactly as the
+// unbatched path: a submission can be lost in transit (both the primary and
+// the replica copy failed), in which case the reputation system never sees
+// the rating while the client-side substrates keep the interaction.
+func (n *Network) flushRatings() {
+	if n.Overlay == nil || len(n.pending) == 0 {
+		return
+	}
+	errs := n.Overlay.SubmitBatch(n.pending)
+	n.pending = n.pending[:0]
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
 		if n.FaultPlan != nil && (errors.Is(err, manager.ErrTimeout) || errors.Is(err, manager.ErrShardDown)) {
 			n.ratingsLost++
 			mRatingsLost.Inc()
@@ -505,8 +521,6 @@ func (n *Network) record(rater, ratee int, value float64, cycle int, cat interes
 			panic(err) // construction guarantees rater != ratee
 		}
 	}
-	n.Graph.RecordInteraction(socialgraph.NodeID(rater), socialgraph.NodeID(ratee), 1)
-	n.Tracker.Record(rater, cat)
 }
 
 // collude injects the per-query-cycle collusion ratings. Each boosting

@@ -1,0 +1,173 @@
+package socialtrust
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"socialtrust/internal/core"
+	"socialtrust/internal/interest"
+	"socialtrust/internal/manager"
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation/eigentrust"
+	"socialtrust/internal/socialgraph"
+	"socialtrust/internal/xrand"
+)
+
+// End-to-end pipeline benchmarks at large N: one op is one full reputation-
+// update interval — batched overlay ingest of a whole trace interval,
+// interval drain, SocialTrust adjust, and the EigenTrust power iteration.
+// scripts/bench.sh scale collects them into BENCH_scale.json; the 2k size
+// doubles as the CI scale smoke (1 iteration, -race).
+const (
+	pipelineShards    = 16 // manager goroutines fronting the engine
+	pipelineDegree    = 6  // random social edges grown per node
+	pipelineRPN       = 4  // ratings per node per interval
+	pipelineCats      = 16 // interest category universe
+	pipelinePretrust  = 20
+	pipelineBatchSize = 8192 // ratings per SubmitBatch call
+)
+
+// pipelineBench is one constructed large-N deployment plus its pre-drawn
+// interval trace.
+type pipelineBench struct {
+	overlay *manager.Overlay
+	trace   []rating.Rating
+}
+
+// buildPipeline wires the full stack the way a deployment would: a social
+// graph with pipelineDegree random edges per node, interest profiles over a
+// small category universe, a SocialTrust-wrapped EigenTrust engine, and a
+// manager overlay sharded pipelineShards ways. Closeness paths are capped at
+// 3 hops — the paper's observed transaction radius — which keeps the Ωc BFS
+// bounded at 50k nodes.
+func buildPipeline(tb testing.TB, n int) *pipelineBench {
+	tb.Helper()
+	rng := xrand.New(uint64(n))
+	g := socialgraph.New(n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < pipelineDegree; d++ {
+			j := rng.Intn(n)
+			if j != i {
+				g.AddRelationship(socialgraph.NodeID(i), socialgraph.NodeID(j),
+					socialgraph.Relationship{Kind: socialgraph.Friendship})
+			}
+		}
+	}
+	sets := make([]interest.Set, n)
+	for i := range sets {
+		cats := make([]interest.Category, 0, 4)
+		for len(cats) < 4 {
+			c := interest.Category(rng.Intn(pipelineCats))
+			dup := false
+			for _, have := range cats {
+				if have == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cats = append(cats, c)
+			}
+		}
+		sets[i] = interest.NewSet(cats...)
+	}
+	tracker := interest.NewTracker(n)
+	pretrusted := make([]int, pipelinePretrust)
+	for i := range pretrusted {
+		pretrusted[i] = i
+	}
+	inner := eigentrust.New(eigentrust.Config{NumNodes: n, Pretrusted: pretrusted})
+	fc := core.Config{NumNodes: n}
+	fc.Closeness.MaxPathHops = 3
+	filter := core.New(fc, g, sets, tracker, inner)
+	o, err := manager.New(n, pipelineShards, filter)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	trace := make([]rating.Rating, 0, n*pipelineRPN)
+	for i := 0; i < n*pipelineRPN; i++ {
+		rater := rng.Intn(n)
+		ratee := rng.Intn(n)
+		if ratee == rater {
+			ratee = (ratee + 1) % n
+		}
+		v := 1.0
+		if rng.Float64() < 0.2 {
+			v = -1
+		}
+		trace = append(trace, rating.Rating{
+			Rater: rater, Ratee: ratee, Value: v,
+			Cycle: i / n, Category: rng.Intn(pipelineCats),
+		})
+	}
+	return &pipelineBench{overlay: o, trace: trace}
+}
+
+// runInterval executes one full update interval: batched ingest of the whole
+// trace followed by the drain/adjust/iterate pass.
+func (p *pipelineBench) runInterval(tb testing.TB) {
+	tb.Helper()
+	for lo := 0; lo < len(p.trace); lo += pipelineBatchSize {
+		hi := lo + pipelineBatchSize
+		if hi > len(p.trace) {
+			hi = len(p.trace)
+		}
+		if errs := p.overlay.SubmitBatch(p.trace[lo:hi]); errs != nil {
+			for _, err := range errs {
+				if err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+	p.overlay.EndInterval()
+}
+
+func benchmarkPipeline(b *testing.B, n int) {
+	p := buildPipeline(b, n)
+	defer p.overlay.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.runInterval(b)
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(len(p.trace))*float64(b.N)/secs, "ratings/s")
+	}
+	b.ReportMetric(secs/float64(b.N), "s/interval")
+	if mb := peakRSSMB(); mb > 0 {
+		b.ReportMetric(mb, "MB-peakRSS")
+	}
+}
+
+func BenchmarkPipeline2k(b *testing.B)  { benchmarkPipeline(b, 2_000) }
+func BenchmarkPipeline10k(b *testing.B) { benchmarkPipeline(b, 10_000) }
+func BenchmarkPipeline50k(b *testing.B) { benchmarkPipeline(b, 50_000) }
+
+// peakRSSMB reads the process's peak resident set (VmHWM) in MB; 0 when the
+// platform does not expose /proc/self/status.
+func peakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}

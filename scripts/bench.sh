@@ -10,14 +10,68 @@
 #                      submit (the fault-tolerance overhead) next to warm
 #                      Adjust, guarding the disabled fault path's latency.
 #
+#   BENCH_scale.json — the scale-out set (scripts/bench.sh scale): the
+#                      end-to-end BenchmarkPipeline{2k,10k,50k} intervals
+#                      (ns/op, allocs, peak RSS, ratings/s) plus the batched
+#                      vs per-rating ingest comparison at 10k nodes and its
+#                      speedup ratio (acceptance: >= 3x).
+#
 # Usage:
 #
 #   scripts/bench.sh [obs-output.json] [perf-output.json] [fault-output.json]
+#   scripts/bench.sh scale [scale-output.json]
 #
-# BENCHTIME (default 1s) tunes go test -benchtime; use e.g. BENCHTIME=100x
-# for a quick smoke pass.
+# BENCHTIME (default 1s; scale mode 1x for the pipeline set) tunes
+# go test -benchtime; use e.g. BENCHTIME=100x for a quick smoke pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ ${1:-} == "scale" ]]; then
+  OUT=${2:-BENCH_scale.json}
+  raw=$(
+    go test -run '^$' -bench '^BenchmarkPipeline(2k|10k|50k)$' \
+      -benchmem -benchtime "${BENCHTIME:-1x}" -timeout 30m .
+    go test -run '^$' -bench '^(BenchmarkOverlaySubmit10k|BenchmarkOverlaySubmitBatch)$' \
+      -benchmem -benchtime "${SUBMIT_BENCHTIME:-1s}" ./internal/manager
+  )
+  echo "$raw"
+  echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      sub(/^Benchmark/, "", name)
+      order[n++] = name
+      for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/-/, "_", unit)
+        vals[name, unit] = $i
+        units[name] = units[name] (units[name] == "" ? "" : ",") unit
+      }
+    }
+    END {
+      printf "{\n"
+      printf "  \"generated\": \"%s\",\n", date
+      printf "  \"benchmarks\": {\n"
+      for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {", name
+        cnt = split(units[name], us, ",")
+        for (u = 1; u <= cnt; u++)
+          printf "\"%s\": %s%s", us[u], vals[name, us[u]], (u < cnt ? ", " : "")
+        printf "}%s\n", (i < n - 1 ? "," : "")
+      }
+      printf "  },\n"
+      base = vals["OverlaySubmit10k", "ns_per_rating"]
+      batch = vals["OverlaySubmitBatch", "ns_per_rating"]
+      speedup = (batch > 0 ? base / batch : 0)
+      printf "  \"submit_batch_speedup\": %.2f\n", speedup
+      printf "}\n"
+    }
+  ' > "$OUT"
+  echo "wrote $OUT"
+  exit 0
+fi
 
 OUT_OBS=${1:-BENCH_obs.json}
 OUT_PERF=${2:-BENCH_perf.json}
