@@ -36,6 +36,13 @@
 // (message drops, shard crashes), reproducible by fault seed:
 //
 //	socialtrust-sim -audit out/ -churn -fault-drop 0.1 -fault-crash -fault-seed 7
+//
+// Interval tracing — the audited run can additionally record hierarchical
+// wall-time spans over its update intervals for cmd/socialtrust-trace
+// (pointing -trace-dir at the audit directory keeps one trail):
+//
+//	socialtrust-sim -audit out/ -trace-dir out/
+//	socialtrust-trace out/
 package main
 
 import (
@@ -71,6 +78,7 @@ func main() {
 		auditModel = flag.String("audit-model", "MCM", "collusion model of the audited run: none|PCM|MCM|MMM")
 		auditNodes = flag.Int("audit-nodes", 200, "network size of the audited run")
 		auditB     = flag.Float64("audit-b", 0.2, "colluder QoS probability of the audited run")
+		traceDir   = flag.String("trace-dir", "", "trace the audited run's intervals and write the span stream to this directory (point at the -audit dir to keep one trail)")
 
 		churn      = flag.Bool("churn", false, "churn the peer population of the audited run (moderate default regime)")
 		faultDrop  = flag.Float64("fault-drop", 0, "per-delivery message drop probability injected at the manager mailbox boundary")
@@ -119,13 +127,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "socialtrust-sim: fault injection applies to the audited run; add -audit <dir>")
 		os.Exit(2)
 	}
+	if *traceDir != "" && *auditDir == "" {
+		fmt.Fprintln(os.Stderr, "socialtrust-sim: tracing applies to the audited run; add -audit <dir>")
+		os.Exit(2)
+	}
 
 	if *auditDir != "" {
 		var churnCfg sim.ChurnConfig
 		if *churn {
 			churnCfg = sim.DefaultChurn()
 		}
-		if err := runAudited(*auditDir, *auditModel, *auditNodes, *auditB, *seed, *quick, *mgrs, churnCfg, faults); err != nil {
+		if err := runAudited(*auditDir, *traceDir, *auditModel, *auditNodes, *auditB, *seed, *quick, *mgrs, churnCfg, faults); err != nil {
 			fmt.Fprintf(os.Stderr, "socialtrust-sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -167,8 +179,9 @@ func main() {
 
 // runAudited executes one simulation with the flight recorder on, writes
 // the audit trail to dir, and prints the run's detection-quality table —
-// optionally under churn and a deterministic fault-injection regime.
-func runAudited(dir, model string, nodes int, b float64, seed uint64, quick bool, managers int,
+// optionally under churn, a deterministic fault-injection regime, and
+// interval tracing (traceDir non-empty).
+func runAudited(dir, traceDir, model string, nodes int, b float64, seed uint64, quick bool, managers int,
 	churn sim.ChurnConfig, faults fault.Config) error {
 	var m sim.CollusionModel
 	switch strings.ToUpper(model) {
@@ -198,6 +211,7 @@ func runAudited(dir, model string, nodes int, b float64, seed uint64, quick bool
 	cfg.Seed = seed
 	cfg.Managers = managers
 	cfg.AuditDir = dir
+	cfg.TraceDir = traceDir
 	cfg.Churn = churn
 	cfg.Faults = faults
 	if faults.Enabled() && cfg.Managers <= 0 {
@@ -220,6 +234,9 @@ func runAudited(dir, model string, nodes int, b float64, seed uint64, quick bool
 	if faults.Enabled() {
 		fmt.Printf("faults: %d ratings lost, %d partial drains, %d replica-recovered shard intervals\n",
 			res.RatingsLost, res.PartialDrains, res.ReplicaDrains)
+	}
+	if traceDir != "" {
+		fmt.Printf("interval trace in %s (inspect with socialtrust-trace)\n", traceDir)
 	}
 	gt, events, err := audit.LoadDir(dir)
 	if err != nil {

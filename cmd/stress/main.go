@@ -13,6 +13,8 @@
 //	stress -churn -managers 8 -fault-drop 0.1 -fault-crash   # chaos sweep
 //	stress -nodes scale          # pipeline sweep at the 2k/10k/50k presets
 //	stress -nodes 2k,10k -intervals 5   # custom pipeline sweep
+//	stress -nodes 50k -trace     # pipeline sweep with per-interval phase attribution
+//	stress -nodes 50k -trace-dir out/   # also export the span stream for socialtrust-trace
 //
 // The -nodes mode bypasses the simulator and measures the raw interval
 // pipeline — batched overlay ingest, drain, SocialTrust adjust, EigenTrust
@@ -56,6 +58,8 @@ func main() {
 
 		nodes     = flag.String("nodes", "", "pipeline-sweep sizes (k suffix ok, e.g. 2k,10k,50k; \"scale\" = that preset); bypasses the simulator")
 		intervals = flag.Int("intervals", 3, "update intervals per pipeline-sweep size (-nodes mode)")
+		trace     = flag.Bool("trace", false, "trace the pipeline sweep's intervals and print per-interval phase attribution (-nodes mode)")
+		traceDir  = flag.String("trace-dir", "", "write the pipeline sweep's span stream to this directory (implies -trace)")
 
 		churn      = flag.Bool("churn", false, "churn the peer population of every run (moderate default regime)")
 		faultDrop  = flag.Float64("fault-drop", 0, "per-delivery message drop probability at the manager mailbox boundary")
@@ -117,6 +121,10 @@ func main() {
 		}
 	}()
 
+	if (*trace || *traceDir != "") && *nodes == "" {
+		fmt.Fprintln(os.Stderr, "stress: tracing applies to the pipeline sweep; add -nodes")
+		os.Exit(2)
+	}
 	if *nodes != "" {
 		sweep := *nodes
 		if sweep == "scale" {
@@ -131,7 +139,7 @@ func main() {
 			}
 			ns = append(ns, n)
 		}
-		runPipelineSweep(ns, *intervals, *seed)
+		runPipelineSweep(ns, *intervals, *seed, *traceDir, *trace || *traceDir != "")
 		return
 	}
 

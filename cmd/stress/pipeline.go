@@ -2,11 +2,14 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
+	"socialtrust/internal/audit"
 	"socialtrust/internal/core"
 	"socialtrust/internal/interest"
 	"socialtrust/internal/manager"
+	"socialtrust/internal/obs/span"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation/eigentrust"
 	"socialtrust/internal/socialgraph"
@@ -90,8 +93,15 @@ func sweepTrace(n int, rng *xrand.Stream) []rating.Rating {
 
 // runPipelineSweep measures the raw interval pipeline at each size: batched
 // ingest throughput (ratings/sec through SubmitBatch) and the adjust+iterate
-// wall time of the EndInterval drain, per interval.
-func runPipelineSweep(sizes []int, intervals int, seed uint64) {
+// wall time of the EndInterval drain, per interval. With traced set, each
+// interval runs under a root span (mirroring the simulator's interval
+// instrumentation) and its phase attribution is printed beneath the row;
+// traceDir additionally exports the span stream for socialtrust-trace.
+func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, traced bool) {
+	if traced {
+		span.Enable(0)
+		defer span.Disable()
+	}
 	fmt.Printf("%-8s %-9s %-12s %-14s %-16s\n",
 		"nodes", "interval", "ingest", "ratings/s", "adjust+iterate")
 	for _, n := range sizes {
@@ -102,6 +112,11 @@ func runPipelineSweep(sizes []int, intervals int, seed uint64) {
 		}
 		for iv := 0; iv < intervals; iv++ {
 			trace := sweepTrace(n, rng)
+			root := span.Root("sweep.interval")
+			root.SetInt("interval", int64(iv+1)).SetInt("nodes", int64(n))
+			prev := span.SetAmbient(root.Context())
+			isp := span.Ambient("sweep.ingest", span.PhaseIngest).SetInt("ratings", int64(len(trace)))
+			prevIngest := span.SetAmbient(isp.Context())
 			start := time.Now()
 			for lo := 0; lo < len(trace); lo += sweepBatchSize {
 				hi := lo + sweepBatchSize
@@ -118,13 +133,33 @@ func runPipelineSweep(sizes []int, intervals int, seed uint64) {
 				}
 			}
 			ingest := time.Since(start)
+			span.SetAmbient(prevIngest)
+			isp.End()
 			start = time.Now()
 			o.EndInterval()
 			drain := time.Since(start)
+			span.SetAmbient(prev)
+			root.End()
 			fmt.Printf("%-8d %-9d %-12v %-14.0f %-16v\n",
 				n, iv+1, ingest.Round(time.Microsecond),
 				float64(len(trace))/ingest.Seconds(), drain.Round(time.Millisecond))
+			if att, ok := span.Current().TakeAttribution(root.TraceID()); ok {
+				fmt.Printf("         phases: ingest=%.4fs drain=%.4fs adjust=%.4fs iterate=%.4fs other=%.4fs coverage=%.1f%%\n",
+					att.Ingest, att.Drain, att.Adjust, att.Iterate, att.Other(), 100*att.Coverage())
+			}
 		}
 		o.Close()
+	}
+	if traced && traceDir != "" {
+		rec := span.Current()
+		spans := rec.Drain()
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "stress: span ring overflowed; %d spans dropped from the export\n", d)
+		}
+		if err := audit.WriteTrace(traceDir, spans); err != nil {
+			fmt.Fprintf(os.Stderr, "stress: %v\n", err)
+			return
+		}
+		fmt.Printf("interval trace in %s (inspect with socialtrust-trace)\n", traceDir)
 	}
 }

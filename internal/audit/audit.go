@@ -26,6 +26,7 @@ import (
 
 	"socialtrust/internal/fault"
 	"socialtrust/internal/obs/event"
+	"socialtrust/internal/obs/span"
 )
 
 // TruthEdge is one directed collusion rating edge: From floods To with
@@ -66,7 +67,64 @@ const (
 	// fault injection (absent otherwise). Same seed ⇒ byte-identical file —
 	// the golden determinism artifact.
 	FaultsFile = "fault_events.jsonl"
+	// TraceFile holds the interval span stream of a traced run (absent when
+	// tracing was off), one span per line; ChromeTraceFile is the same trace
+	// in Chrome trace-event JSON, loadable in Perfetto. Both sit next to the
+	// event streams when sim.Config.TraceDir points at the audit dir.
+	TraceFile       = "trace_spans.jsonl"
+	ChromeTraceFile = "trace_chrome.json"
 )
+
+// WriteTrace writes a traced run's span stream (TraceFile) and its Chrome
+// trace-event export (ChromeTraceFile) into dir, creating it if needed.
+func WriteTrace(dir string, spans []span.Span) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, TraceFile))
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	werr := span.WriteJSONL(f, spans)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("audit: write %s: %w", TraceFile, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("audit: close %s: %w", TraceFile, cerr)
+	}
+	cf, err := os.Create(filepath.Join(dir, ChromeTraceFile))
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	werr = span.WriteChromeTrace(cf, spans)
+	cerr = cf.Close()
+	if werr != nil {
+		return fmt.Errorf("audit: write %s: %w", ChromeTraceFile, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("audit: close %s: %w", ChromeTraceFile, cerr)
+	}
+	return nil
+}
+
+// LoadTrace reads the span stream of an audit (or trace) directory. A
+// missing file loads as an empty stream (the run was not traced).
+func LoadTrace(dir string) ([]span.Span, error) {
+	f, err := os.Open(filepath.Join(dir, TraceFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	defer f.Close()
+	spans, err := span.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("audit: read %s: %w", TraceFile, err)
+	}
+	return spans, nil
+}
 
 // WriteFaultEvents writes a fault plan's injected-event log alongside the
 // audit streams, one JSON object per line in injection order.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"socialtrust/internal/interest"
+	"socialtrust/internal/obs/span"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation/ebay"
 	"socialtrust/internal/socialgraph"
@@ -65,5 +66,31 @@ func TestWarmAdjustAllocations(t *testing.T) {
 	t.Logf("allocs/op: warm=%.0f cold=%.0f", warm, cold)
 	if warm*5 > cold {
 		t.Fatalf("warm Adjust allocates too much: warm=%.0f cold=%.0f (want warm <= cold/5)", warm, cold)
+	}
+}
+
+// TestWarmAdjustTracingOffAllocations pins the tracing layer's disabled-path
+// contract: the span emission sites inside Adjust (internal/obs/span) are
+// nil-gated, so with tracing off the warm pass must allocate exactly what it
+// did before instrumentation — warmAllocBudget was measured on the
+// uninstrumented Adjust and the instrumented path may not exceed it.
+// (BenchmarkSpanSiteDisabled in internal/obs/span pins the per-site cost at
+// a few ns.)
+func TestWarmAdjustTracingOffAllocations(t *testing.T) {
+	if span.Enabled() {
+		t.Fatal("span recorder unexpectedly enabled")
+	}
+	// Measured at 16 allocs/op on go1.24 with and without the span sites;
+	// any regression past it means a span site allocates while disabled.
+	const warmAllocBudget = 16
+	st, snap := perfScenario(200, 1)
+	st.Adjust(snap) // prime the cache and size the scratch buffers
+	warm := testing.AllocsPerRun(10, func() {
+		st.Adjust(snap)
+	})
+	t.Logf("allocs/op: warm=%.0f (budget %d)", warm, warmAllocBudget)
+	if warm > warmAllocBudget {
+		t.Fatalf("warm Adjust with tracing off allocates %.0f/op, want <= %d (span sites must be free)",
+			warm, warmAllocBudget)
 	}
 }

@@ -16,6 +16,11 @@ var (
 	mSigCacheMisses = obs.C("signal_cache_misses_total")
 )
 
+func init() {
+	obs.Help("signal_cache_hits_total", "Pairs whose cacheable social signals were all served from the cache.")
+	obs.Help("signal_cache_misses_total", "Pairs that recomputed at least one cacheable social signal.")
+}
+
 const sigCacheShards = 32
 
 // sigCacheEntry holds one directed pair's memoized social signals, valid

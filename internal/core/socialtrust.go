@@ -32,6 +32,7 @@ import (
 	"socialtrust/internal/interest"
 	"socialtrust/internal/obs"
 	"socialtrust/internal/obs/event"
+	"socialtrust/internal/obs/span"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 	"socialtrust/internal/socialgraph"
@@ -54,6 +55,14 @@ var (
 	mAdjustLat       = obs.H("socialtrust_adjust_seconds")
 	mAdjustBlocks    = obs.C("socialtrust_adjust_parallel_blocks_total")
 )
+
+func init() {
+	obs.Help("socialtrust_filtered_total", "Ratings shrunk per suspicious behavior (a pair matching several behaviors counts toward each).")
+	obs.Help("socialtrust_pairs_adjusted_total", "Distinct rater-ratee pairs re-weighted by the filter.")
+	obs.Help("socialtrust_ratings_adjusted_total", "Distinct ratings re-weighted by the filter.")
+	obs.Help("socialtrust_adjust_seconds", "Wall time of one full Adjust pass.")
+	obs.Help("socialtrust_adjust_parallel_blocks_total", "Pair blocks classified by the parallel Adjust path.")
+}
 
 // Behavior identifies which suspicious pattern a pair matched.
 type Behavior int
@@ -387,7 +396,9 @@ func (s *SocialTrust) Update(snap rating.Snapshot) {
 	s.lastMu.Unlock()
 	// Profile history uses the original (unadjusted) ratings: the rater's
 	// observed behavior, not the filtered view, defines its profile.
+	asp := span.Ambient("core.absorb", span.PhaseAdjust).SetInt("ratings", int64(len(snap.Ratings)))
 	s.hist.Absorb(snap.Ratings)
+	asp.End()
 	if len(snap.Ratings) > 0 {
 		s.histVer++
 	}
@@ -411,6 +422,13 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 	s.adjustMu.Lock()
 	defer s.adjustMu.Unlock()
 	s.intervals++
+
+	// Interval tracing: the adjust span hangs off the interval driver's
+	// ambient context; sub-phase children share its phase, so only the
+	// top-level span feeds the attribution ledger. Every site is nil-gated —
+	// with tracing off each costs one atomic load (see BenchmarkSpanSiteDisabled)
+	// and zero allocations (TestWarmAdjustAllocations pins the warm path).
+	tsp := span.Ambient("core.adjust", span.PhaseAdjust)
 
 	// Flight recorder: when enabled, every shrunk pair emits one
 	// FilterDecision with its full evidence chain. rec is latched once so
@@ -437,7 +455,9 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 		s.sigScratch = make([]pairSignals, len(pairs))
 	}
 	signals := s.sigScratch[:len(pairs)]
+	ssp := tsp.Child("adjust.signals", span.PhaseAdjust).SetInt("pairs", int64(len(pairs)))
 	s.computeSignals(pairs, signals)
+	ssp.End()
 
 	// Hoist the per-pair count lookups out of every later phase: one pass
 	// over fixed-size index blocks (concurrent map reads are safe) leaves a
@@ -460,9 +480,11 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 	for _, c := range counts {
 		totalRatings += c.Total()
 	}
+	bsp := tsp.Child("adjust.baseline", span.PhaseAdjust)
 	posT, negT := s.thresholdsFrom(totalRatings, len(pairs))
 	meanF := meanFrom(totalRatings, len(pairs))
 	base := s.systemBaseline(signals, counts, posT, negT)
+	bsp.End()
 
 	// Closeness thresholds Tcl/Tch are percentiles of the baseline
 	// population; the similarity gates sit at the baseline mean
@@ -502,6 +524,7 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 	}
 	blocks := raterBlocks(pairs, target, s.blockScratch)
 	mAdjustBlocks.Add(int64(len(blocks) - 1))
+	csp := tsp.Child("adjust.classify", span.PhaseAdjust).SetInt("blocks", int64(len(blocks)-1))
 	forBlocks(blocks, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			c := counts[i]
@@ -540,12 +563,14 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 			fss[i] = freqScale(c, behaviors, meanF)
 		}
 	})
+	csp.End()
 	s.blockScratch = blocks[:0]
 
 	// Ordered merge: one serial pass in sorted-pair order builds the weight
 	// map, report and flight-recorder decisions, so metric totals, report
 	// ordering and event streams are identical no matter how the classify
 	// phase was partitioned.
+	msp := tsp.Child("adjust.merge", span.PhaseAdjust)
 	var weights map[rating.PairKey]float64
 	for i, k := range pairs {
 		behaviors := behav[i]
@@ -612,10 +637,13 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 		})
 	}
 
+	msp.End()
+
 	out := rating.Snapshot{
 		Ratings: make([]rating.Rating, len(snap.Ratings)),
 		Counts:  snap.Counts,
 	}
+	rsp := tsp.Child("adjust.rewrite", span.PhaseAdjust).SetInt("ratings", int64(len(snap.Ratings)))
 	switch {
 	case weights == nil:
 		copy(out.Ratings, snap.Ratings)
@@ -647,10 +675,12 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 			out.Ratings[i] = r
 		}
 	}
+	rsp.End()
 	for i := range decisions {
 		rec.RecordFilter(decisions[i])
 	}
 	s.maybeShrinkScratch(len(pairs))
+	tsp.SetInt("pairs", int64(len(pairs))).SetInt("flagged", int64(len(report.Adjusted))).End()
 	return out, report
 }
 

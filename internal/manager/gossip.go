@@ -7,6 +7,7 @@ import (
 
 	"socialtrust/internal/obs"
 	"socialtrust/internal/obs/event"
+	"socialtrust/internal/obs/span"
 	"socialtrust/internal/xrand"
 )
 
@@ -17,6 +18,12 @@ var (
 	mGossipRounds = obs.C("manager_gossip_rounds_total")
 	mGossipLat    = obs.H("manager_gossip_seconds")
 )
+
+func init() {
+	obs.Help("manager_gossip_runs_total", "Push-sum gossip protocol runs.")
+	obs.Help("manager_gossip_rounds_total", "Gossip rounds executed across all runs.")
+	obs.Help("manager_gossip_seconds", "Wall time of one full push-sum gossip run.")
+}
 
 // PushSum runs the push-sum gossip protocol (Kempe et al.) among the given
 // participants, each holding a partial score vector — the aggregation style
@@ -82,6 +89,9 @@ func pushSumRun(parts [][]float64, rounds int, seed uint64, crashAt map[int]int,
 	}
 	sp := mGossipLat.Start()
 	defer sp.End()
+	tsp := span.Ambient("manager.gossip", span.PhaseDrain).
+		SetInt("participants", int64(k)).SetInt("rounds", int64(rounds))
+	defer tsp.End()
 	mGossipRuns.Inc()
 	mGossipRounds.Add(int64(rounds))
 	if rec := event.Current(); rec != nil {

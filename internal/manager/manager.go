@@ -52,6 +52,7 @@ import (
 	"socialtrust/internal/fault"
 	"socialtrust/internal/obs"
 	"socialtrust/internal/obs/event"
+	"socialtrust/internal/obs/span"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 )
@@ -77,6 +78,23 @@ var (
 	mDrainReplica = obs.C("manager_drain_replica_total")
 )
 
+func init() {
+	obs.Help("manager_submit_total", "Ratings accepted by the overlay (Submit and SubmitBatch).")
+	obs.Help("manager_submit_errors_total", "Rating submissions rejected or failed after retries.")
+	obs.Help("manager_query_total", "Reputation queries served by the overlay.")
+	obs.Help("manager_drain_total", "Update-interval drains executed (EndInterval calls).")
+	obs.Help("manager_submit_seconds", "Latency of one rating submission through the mailbox.")
+	obs.Help("manager_query_seconds", "Latency of one reputation query through the mailbox.")
+	obs.Help("manager_submit_batch_size", "Per-shard batch sizes delivered by SubmitBatch.")
+	obs.Help("manager_mailbox_depth", "Pending messages in each shard's mailbox.")
+	obs.Help("manager_submit_retries_total", "Submission delivery retries after timeouts.")
+	obs.Help("manager_submit_failover_total", "Submissions redirected to the replica holder of a crashed shard.")
+	obs.Help("manager_shard_crashes_total", "Shard crashes injected or observed.")
+	obs.Help("manager_shard_restarts_total", "Crashed shards restarted at interval boundaries.")
+	obs.Help("manager_drain_partial_total", "Interval drains that lost at least one shard's ratings.")
+	obs.Help("manager_drain_replica_total", "Shard intervals recovered from replica mirrors during a drain.")
+}
+
 // message is the manager mailbox protocol.
 type message struct {
 	kind     msgKind
@@ -91,6 +109,7 @@ type message struct {
 	batch    []batchEntry    // msgSubmitBatch payload (fault mode): one ledger op per entry
 	plain    []rating.Rating // msgSubmitBatch payload (direct mode): primary ledger adds only
 	errsC    chan []error    // msgSubmitBatch reply, index-aligned; nil = every entry landed
+	tctx     span.Context    // trace context: parent for shard-side span emission (zero when off)
 }
 
 // batchEntry is one rating of a batched submission, carrying the same
@@ -300,7 +319,22 @@ func (o *Overlay) serve(s *shard, st *shardState) {
 			case msgSubmit:
 				st.handleSubmit(msg)
 			case msgSubmitBatch:
+				tsp := span.From(msg.tctx, "shard.deliver_batch", span.PhaseIngest)
+				if tsp != nil {
+					tsp.SetInt("shard", int64(st.id))
+					tsp.SetInt("entries", int64(len(msg.plain)+len(msg.batch)))
+					replicas := 0
+					for _, e := range msg.batch {
+						if e.replica {
+							replicas++
+						}
+					}
+					if replicas > 0 {
+						tsp.SetInt("replica_entries", int64(replicas))
+					}
+				}
 				st.handleSubmitBatch(msg)
+				tsp.End()
 			case msgQuery:
 				if msg.node < 0 || msg.node >= o.numNodes {
 					msg.repC <- 0
@@ -309,10 +343,13 @@ func (o *Overlay) serve(s *shard, st *shardState) {
 				}
 				msg.repC <- st.reps[msg.node]
 			case msgDrain:
+				tsp := span.From(msg.tctx, "shard.drain", span.PhaseDrain).SetInt("shard", int64(st.id))
+				rep := st.drain()
+				tsp.End()
 				// The reply send must not wedge the loop past shutdown: a
 				// caller that gave up (drain deadline) never reads drainC.
 				select {
-				case msg.drainC <- st.drain():
+				case msg.drainC <- rep:
 				case <-o.closed:
 					return
 				case <-st.kill:
@@ -482,12 +519,14 @@ func (o *Overlay) SubmitBatch(rs []rating.Rating) []error {
 		return nil
 	}
 	sp := mSubmitLat.Start()
+	tsp := span.Ambient("manager.submit_batch", span.PhaseIngest).SetInt("ratings", int64(len(rs)))
 	var errs []error
 	if o.plan != nil {
-		errs = o.submitBatchFT(rs)
+		errs = o.submitBatchFT(rs, tsp.Context())
 	} else {
-		errs = o.submitBatchDirect(rs)
+		errs = o.submitBatchDirect(rs, tsp.Context())
 	}
+	tsp.End()
 	sp.End()
 	mSubmitTotal.Add(int64(len(rs)))
 	failed := 0
@@ -509,7 +548,7 @@ func (o *Overlay) SubmitBatch(rs []rating.Rating) []error {
 // wait, so the shards chew their batches concurrently. The error slice is
 // allocated only when something actually fails, so the all-landed common
 // case costs two arena allocations plus one channel round trip per shard.
-func (o *Overlay) submitBatchDirect(rs []rating.Rating) []error {
+func (o *Overlay) submitBatchDirect(rs []rating.Rating, tctx span.Context) []error {
 	var errs []error
 	fail := func(i int, err error) {
 		if errs == nil {
@@ -561,7 +600,7 @@ func (o *Overlay) submitBatchDirect(rs []rating.Rating) []error {
 			failGroup(&errs, len(rs), idx[lo:hi], ErrClosed)
 		case <-st.down:
 			failGroup(&errs, len(rs), idx[lo:hi], o.downOrClosed())
-		case st.inbox <- message{kind: msgSubmitBatch, plain: arena[lo:hi], errsC: errsC}:
+		case st.inbox <- message{kind: msgSubmitBatch, plain: arena[lo:hi], errsC: errsC, tctx: tctx}:
 			replies[s] = errsC
 		}
 	}
@@ -614,7 +653,7 @@ type batchDelivery struct {
 // drawing its own fault verdict — until they land, fail hard, or exhaust
 // the attempt budget. Outcomes combine per rating with submitFT's rules: a
 // dead primary with a live mirror is a failover, not an error.
-func (o *Overlay) submitBatchFT(rs []rating.Rating) []error {
+func (o *Overlay) submitBatchFT(rs []rating.Rating, tctx span.Context) []error {
 	errs := make([]error, len(rs))
 	dels := make([]batchDelivery, 0, 2*len(rs))
 	hasReplica := make([]bool, len(rs))
@@ -648,7 +687,7 @@ func (o *Overlay) submitBatchFT(rs []rating.Rating) []error {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		pending = o.deliverBatchRound(rs, dels, pending)
+		pending = o.deliverBatchRound(rs, dels, pending, tctx)
 	}
 	primary := make([]error, len(rs))
 	replica := make([]error, len(rs))
@@ -688,7 +727,7 @@ func (o *Overlay) submitBatchFT(rs []rating.Rating) []error {
 // retrying (lost in transit or timed out at the ack deadline). Hard
 // failures — shard down, overlay closed, ledger rejection — are final and
 // stay out of the next round, mirroring deliverRetry's abort conditions.
-func (o *Overlay) deliverBatchRound(rs []rating.Rating, dels []batchDelivery, pending []int) []int {
+func (o *Overlay) deliverBatchRound(rs []rating.Rating, dels []batchDelivery, pending []int, tctx span.Context) []int {
 	byShard := make([][]int, len(o.shards))
 	for _, di := range pending {
 		byShard[dels[di].shard] = append(byShard[dels[di].shard], di)
@@ -738,7 +777,7 @@ func (o *Overlay) deliverBatchRound(rs []rating.Rating, dels []batchDelivery, pe
 		}
 		mBatchSize.Observe(float64(len(batch)))
 		ctx, cancel := context.WithTimeout(context.Background(), o.opts.SubmitTimeout)
-		msg := message{kind: msgSubmitBatch, batch: batch, errsC: make(chan []error, 1)}
+		msg := message{kind: msgSubmitBatch, batch: batch, errsC: make(chan []error, 1), tctx: tctx}
 		if err := o.send(ctx, st, msg); err != nil {
 			for _, di := range slots {
 				if di < 0 {
@@ -1050,14 +1089,18 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 			}
 		}()
 	}
-	// Phase 1: drain all reachable shards concurrently.
+	// Phase 1: drain all reachable shards concurrently. The drain span covers
+	// phases 1–2 (collection plus snapshot assembly and merge); the engine
+	// update in phase 3 emits its own adjust/iterate spans.
+	tsp := span.Ambient("manager.drain_shards", span.PhaseDrain).SetInt("shards", int64(len(o.shards)))
+	tctx := tsp.Context()
 	replies := make([]*drainReply, len(o.shards))
 	var wg sync.WaitGroup
 	for i := range o.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			replies[i] = o.drainShard(i)
+			replies[i] = o.drainShard(i, tctx)
 		}(i)
 	}
 	wg.Wait()
@@ -1083,6 +1126,7 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 		mDrainPartial.Inc()
 	}
 	merged := mergeSnapshots(snaps)
+	tsp.SetInt("ratings", int64(len(merged.Ratings))).End()
 	// Phase 3: global reputation calculation over the surviving quorum's
 	// data. Nodes whose interval ratings were lost keep their last-known
 	// engine reputation — the engine state is cumulative.
@@ -1091,6 +1135,7 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 	o.lastReps = append(o.lastReps[:0], reps...)
 	// Phase 4: broadcast to every reachable shard. Down shards are skipped;
 	// they sync on restart.
+	bsp := span.Ambient("manager.broadcast", span.PhaseDrain).SetInt("shards", int64(len(o.shards)))
 	for _, s := range o.shards {
 		st := s.cur.Load()
 		errC := make(chan error, 1)
@@ -1110,6 +1155,7 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 		}
 		cancel()
 	}
+	bsp.End()
 	if rec != nil {
 		rec.RecordManager(event.ManagerEvent{
 			Kind:     "drain",
@@ -1127,10 +1173,10 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 
 // drainShard sends one drain request and collects the reply, bounded by the
 // drain deadline in fault mode. Returns nil when the shard is unreachable.
-func (o *Overlay) drainShard(i int) *drainReply {
+func (o *Overlay) drainShard(i int, tctx span.Context) *drainReply {
 	st := o.shards[i].cur.Load()
 	drainC := make(chan drainReply, 1)
-	msg := message{kind: msgDrain, drainC: drainC}
+	msg := message{kind: msgDrain, drainC: drainC, tctx: tctx}
 	ctx := context.Background()
 	if o.plan != nil {
 		var cancel context.CancelFunc

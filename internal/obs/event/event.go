@@ -104,6 +104,24 @@ type CycleSeries struct {
 	Online     int `json:"online,omitempty"`
 	Departures int `json:"departures,omitempty"`
 	Rejoins    int `json:"rejoins,omitempty"`
+	// Phases is the cycle's wall-time attribution by pipeline phase,
+	// present only when interval tracing (internal/obs/span) was enabled.
+	// Like WallSeconds/QPS it is a wall-clock observation, not part of the
+	// deterministic event payload.
+	Phases *PhaseSeconds `json:"phases,omitempty"`
+}
+
+// PhaseSeconds is one cycle's wall-time attribution across the pipeline
+// phases of the span ledger (ingest/drain/adjust/iterate), plus the
+// unattributed remainder and the attributed fraction of Total.
+type PhaseSeconds struct {
+	Total    float64 `json:"total"`
+	Ingest   float64 `json:"ingest"`
+	Drain    float64 `json:"drain"`
+	Adjust   float64 `json:"adjust"`
+	Iterate  float64 `json:"iterate"`
+	Other    float64 `json:"other"`
+	Coverage float64 `json:"coverage"`
 }
 
 // ManagerEvent records one resource-manager overlay operation or fault

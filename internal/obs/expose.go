@@ -86,62 +86,104 @@ func joinSeries(base, labels string) string {
 	return base + "{" + labels + "}"
 }
 
-// WriteText writes the registry in the Prometheus text exposition format,
-// series sorted by name so output is deterministic.
+// splitLabelPairs splits an inner label list on the commas outside quoted
+// values: `a="1",b="x,y"` → [`a="1"`, `b="x,y"`].
+func splitLabelPairs(labels string) []string {
+	var out []string
+	quoted := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '"':
+			quoted = !quoted
+		case ',':
+			if !quoted {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, labels[start:])
+}
+
+// sortLabels orders a series' label pairs lexically so the exposition is
+// deterministic regardless of the order Label composed them in.
+func sortLabels(labels string) string {
+	if !strings.Contains(labels, ",") {
+		return labels
+	}
+	pairs := splitLabelPairs(labels)
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+// WriteText writes the registry in the Prometheus text exposition format:
+// families sorted by name and preceded by their # HELP (when registered with
+// Help) and # TYPE lines, series within a family sorted by their — also
+// sorted — label sets, so output is byte-deterministic.
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
-	typed := map[string]string{}
-	keys := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	help := r.helpSnapshot()
+	type series struct{ key, labels string }
+	kind := map[string]string{}
+	families := map[string][]series{}
+	collect := func(k, typ string) {
+		base, labels := splitSeries(k)
+		kind[base] = typ
+		families[base] = append(families[base], series{key: k, labels: sortLabels(labels)})
+	}
 	for k := range s.Counters {
-		keys = append(keys, k)
-		base, _ := splitSeries(k)
-		typed[base] = "counter"
+		collect(k, "counter")
 	}
 	for k := range s.Gauges {
-		keys = append(keys, k)
-		base, _ := splitSeries(k)
-		typed[base] = "gauge"
+		collect(k, "gauge")
 	}
 	for k := range s.Histograms {
-		keys = append(keys, k)
-		base, _ := splitSeries(k)
-		typed[base] = "histogram"
+		collect(k, "histogram")
 	}
-	sort.Strings(keys)
-	seen := map[string]bool{}
-	for _, k := range keys {
-		base, labels := splitSeries(k)
-		if !seen[base] {
-			seen[base] = true
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typed[base]); err != nil {
+	bases := make([]string, 0, len(families))
+	for base := range families {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		if h := help[base]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, h); err != nil {
 				return err
 			}
 		}
-		switch typed[base] {
-		case "counter":
-			if _, err := fmt.Fprintf(w, "%s %d\n", k, s.Counters[k]); err != nil {
-				return err
-			}
-		case "gauge":
-			if _, err := fmt.Fprintf(w, "%s %g\n", k, s.Gauges[k]); err != nil {
-				return err
-			}
-		case "histogram":
-			h := s.Histograms[k]
-			for _, b := range h.Buckets {
-				le := `le="` + b.LE + `"`
-				if labels != "" {
-					le = labels + "," + le
-				}
-				if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, le, b.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind[base]); err != nil {
+			return err
+		}
+		ss := families[base]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, sr := range ss {
+			switch kind[base] {
+			case "counter":
+				if _, err := fmt.Fprintf(w, "%s %d\n", joinSeries(base, sr.labels), s.Counters[sr.key]); err != nil {
 					return err
 				}
-			}
-			if _, err := fmt.Fprintf(w, "%s %g\n", joinSeries(base+"_sum", labels), h.Sum); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintf(w, "%s %d\n", joinSeries(base+"_count", labels), h.Count); err != nil {
-				return err
+			case "gauge":
+				if _, err := fmt.Fprintf(w, "%s %g\n", joinSeries(base, sr.labels), s.Gauges[sr.key]); err != nil {
+					return err
+				}
+			case "histogram":
+				h := s.Histograms[sr.key]
+				for _, b := range h.Buckets {
+					le := `le="` + b.LE + `"`
+					if sr.labels != "" {
+						le = sr.labels + "," + le
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, le, b.Count); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s %g\n", joinSeries(base+"_sum", sr.labels), h.Sum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s %d\n", joinSeries(base+"_count", sr.labels), h.Count); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -172,6 +214,15 @@ var (
 	gTotalAlloc     = G("runtime_total_alloc_bytes")
 	gNumGC          = G("runtime_gc_total")
 )
+
+func init() {
+	Help("runtime_goroutines", "Goroutines at the last CaptureRuntime sample.")
+	Help("runtime_goroutines_peak", "Goroutine high-water mark across captures (ResetRuntimePeaks re-arms).")
+	Help("runtime_heap_alloc_bytes", "Live heap bytes at the last sample.")
+	Help("runtime_heap_alloc_bytes_peak", "Live-heap high-water mark across captures.")
+	Help("runtime_total_alloc_bytes", "Cumulative bytes allocated by the process.")
+	Help("runtime_gc_total", "Garbage collections completed.")
+}
 
 // RuntimeStats is one sample of process-level runtime state.
 type RuntimeStats struct {

@@ -229,6 +229,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -237,6 +238,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 	}
 }
 
@@ -307,6 +309,30 @@ func (r *Registry) Start(name string) Span {
 	return r.Histogram(Sanitize(name) + "_seconds").Start()
 }
 
+// Help registers a one-line description for a metric family, emitted as the
+// family's # HELP line by WriteText. name is the base metric name (labels, if
+// present, are stripped); for histograms it is the family name without the
+// _bucket/_sum/_count suffixes. Newlines are flattened to spaces — the text
+// exposition format is line-oriented. Registering again overwrites.
+func (r *Registry) Help(name, text string) {
+	base, _ := splitSeries(name)
+	text = strings.Join(strings.Fields(text), " ")
+	r.mu.Lock()
+	r.help[base] = text
+	r.mu.Unlock()
+}
+
+// helpSnapshot copies the registered help texts.
+func (r *Registry) helpSnapshot() map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		out[k] = v
+	}
+	return out
+}
+
 // C returns a counter from the Default registry.
 func C(name string) *Counter { return Default.Counter(name) }
 
@@ -319,6 +345,9 @@ func H(name string, bounds ...float64) *Histogram { return Default.Histogram(nam
 // Start begins a span on the Default registry: obs.Start("manager.drain")
 // times into the histogram manager_drain_seconds.
 func Start(name string) Span { return Default.Start(name) }
+
+// Help registers a metric family's # HELP text on the Default registry.
+func Help(name, text string) { Default.Help(name, text) }
 
 // Label appends one label to a metric name, producing the full series
 // string: Label("x_total", "behavior", "B1") == `x_total{behavior="B1"}`.

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/span"
 	"socialtrust/internal/rating"
 )
 
@@ -38,6 +39,17 @@ var (
 	mCSRRebuilds     = obs.C("eigentrust_csr_rebuilds_total")
 	mMatvecWorkers   = obs.G("eigentrust_matvec_workers")
 )
+
+func init() {
+	obs.Help("eigentrust_iterations", "Iterations of the most recent power iteration.")
+	obs.Help("eigentrust_residual", "Final L1 residual of the most recent power iteration.")
+	obs.Help("eigentrust_iterations_total", "Power-iteration steps accumulated across the run.")
+	obs.Help("eigentrust_updates_total", "Engine updates (one per reputation interval).")
+	obs.Help("eigentrust_maxiter_hits_total", "Power iterations stopped by the MaxIter cap before converging.")
+	obs.Help("eigentrust_update_seconds", "Wall time of one engine update (fold plus power iteration).")
+	obs.Help("eigentrust_csr_rebuilds_total", "Full CSR trust-matrix rebuilds (vs in-place refreshes).")
+	obs.Help("eigentrust_matvec_workers", "Worker goroutines used by the parallel mat-vec.")
+}
 
 // Config parameterizes an EigenTrust engine.
 type Config struct {
@@ -217,12 +229,14 @@ func (e *Engine) ResetNode(node int) {
 // Update folds the interval's ratings into local trust and re-runs the
 // power iteration.
 func (e *Engine) Update(snap rating.Snapshot) {
+	fsp := span.Ambient("eigentrust.fold", span.PhaseIterate).SetInt("ratings", int64(len(snap.Ratings)))
 	for _, r := range snap.Ratings {
 		k := rating.PairKey{Rater: r.Rater, Ratee: r.Ratee}
 		old := e.sums[k]
 		e.sums[k] = old + r.Value
 		e.applyLocal(k, old, e.sums[k])
 	}
+	fsp.End()
 	e.powerIterate()
 }
 
@@ -356,12 +370,20 @@ func (e *Engine) refreshCSRValues() {
 // only magnitudes moved, and neither on a no-op recompute.
 func (e *Engine) powerIterate() {
 	sp := mUpdateLat.Start()
+	// The update span parents to the interval driver's ambient context; the
+	// CSR and per-iteration children share its phase so only this span feeds
+	// the attribution ledger. All sites are nil no-ops with tracing off.
+	tsp := span.Ambient("eigentrust.update", span.PhaseIterate)
 	n := e.cfg.NumNodes
 	if e.csr.shapeDirty {
+		rsp := tsp.Child("eigentrust.csr_rebuild", span.PhaseIterate)
 		e.rebuildCSR()
+		rsp.End()
 		mCSRRebuilds.Inc()
 	} else if e.csr.valsDirty {
+		rsp := tsp.Child("eigentrust.csr_refresh", span.PhaseIterate)
 		e.refreshCSRValues()
+		rsp.End()
 	}
 	rowTotal := e.csr.rowTotal
 
@@ -376,6 +398,7 @@ func (e *Engine) powerIterate() {
 	mMatvecWorkers.Set(float64(workers))
 	iters, residual, converged := 0, 0.0, false
 	for iter := 0; iter < e.cfg.MaxIter; iter++ {
+		isp := tsp.Child("eigentrust.step", span.PhaseIterate)
 		// Mass held by dangling rows redistributes along p. The sum runs
 		// over fixed row blocks with a tree reduction, so its float result
 		// is pinned by n alone, never by the worker count.
@@ -389,6 +412,7 @@ func (e *Engine) powerIterate() {
 			return sum
 		})
 		diff := e.applyStep(t, next, a, dangling, nb, workers)
+		isp.End()
 		t, next = next, t
 		iters, residual = iter+1, diff
 		if diff < e.cfg.Epsilon {
@@ -398,6 +422,7 @@ func (e *Engine) powerIterate() {
 	}
 	e.t, e.next = t, next
 	e.stats = Stats{Iterations: iters, Residual: residual, Converged: converged, Updates: e.stats.Updates + 1}
+	tsp.SetInt("iterations", int64(iters)).SetInt("nodes", int64(n)).End()
 	sp.End()
 	mIterations.Set(float64(iters))
 	mResidual.Set(residual)

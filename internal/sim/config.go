@@ -271,6 +271,17 @@ type Config struct {
 	// is process-global, so audited runs must not execute concurrently —
 	// concurrent runs would interleave their events.
 	AuditDir string
+
+	// TraceDir, when non-empty, makes Run record the interval trace: the
+	// package-level span recorder (internal/obs/span) is enabled for the run
+	// and on completion the span stream (trace_spans.jsonl) plus a Chrome
+	// trace-event export (trace_chrome.json, loadable in Perfetto) are
+	// written to this directory, ready for cmd/socialtrust-trace. Pointing
+	// it at AuditDir puts the spans next to events.jsonl. Like the flight
+	// recorder, the span recorder is process-global: traced runs must not
+	// execute concurrently. Tracing never changes results — reputations,
+	// detection tables and audit streams are bit-identical with it on or off.
+	TraceDir string
 }
 
 // DefaultConfig returns the paper's Section 5.1 setup with the given

@@ -12,6 +12,7 @@ import (
 	"socialtrust/internal/manager"
 	"socialtrust/internal/obs"
 	"socialtrust/internal/obs/event"
+	"socialtrust/internal/obs/span"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/socialgraph"
 )
@@ -35,6 +36,21 @@ var (
 	mChurnWash   = obs.C("sim_churn_whitewash_total")
 	mRatingsLost = obs.C("sim_ratings_lost_total")
 )
+
+func init() {
+	obs.Help("sim_cycles_total", "Simulation cycles (reputation update intervals) completed.")
+	obs.Help("sim_requests_total", "Service requests issued by simulated peers.")
+	obs.Help("sim_authentic_total", "Requests served authentically.")
+	obs.Help("sim_inauthentic_total", "Requests served inauthentically.")
+	obs.Help("sim_colluder_requests_total", "Requests routed to colluding providers.")
+	obs.Help("sim_cycle_seconds", "Wall time of one simulation cycle including the reputation update.")
+	obs.Help("sim_queries_per_second", "Query throughput of the most recent cycle.")
+	obs.Help("sim_authentic_ratio", "Authentic-service ratio of the most recent cycle.")
+	obs.Help("sim_churn_departures_total", "Peers departed under the churn regime.")
+	obs.Help("sim_churn_rejoins_total", "Peers rejoined under the churn regime.")
+	obs.Help("sim_churn_whitewash_total", "Rejoins under a fresh (whitewashed) identity.")
+	obs.Help("sim_ratings_lost_total", "Ratings lost to injected faults across all drains.")
+}
 
 // progressEvery throttles the simulator's periodic progress line (enabled by
 // raising the obs log level to Info, e.g. via the CLIs' -v flag). The
@@ -118,28 +134,48 @@ type intent struct {
 // Run executes the configured experiment and returns its Result. When
 // Config.AuditDir is set, the run executes with the flight recorder enabled
 // and its audit trail (ground truth + decision/cycle/manager events) is
-// written there on completion.
+// written there on completion. When Config.TraceDir is set, the run
+// additionally executes with the interval span recorder enabled and the
+// trace artifacts (trace_spans.jsonl + trace_chrome.json) are written
+// there — pointing it at the audit dir puts the spans next to events.jsonl.
 func Run(cfg Config) (*Result, error) {
 	net, err := NewNetwork(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if net.Cfg.AuditDir == "" {
-		return net.Run(), nil
+	var srec *span.Recorder
+	if net.Cfg.TraceDir != "" {
+		srec = span.Enable(traceCapacity(net.Cfg))
+		defer span.Disable()
 	}
-	rec := event.Enable(auditCapacity(net.Cfg))
-	defer event.Disable()
+	var rec *event.Recorder
+	if net.Cfg.AuditDir != "" {
+		rec = event.Enable(auditCapacity(net.Cfg))
+		defer event.Disable()
+	}
 	res := net.Run()
-	events := rec.Drain()
-	if dropped := rec.Dropped(); dropped > 0 {
-		obs.Logger().Warn("audit ring overflowed; oldest events lost",
-			"dropped", dropped, "kept", len(events), "capacity", rec.Capacity())
+	if rec != nil {
+		events := rec.Drain()
+		if dropped := rec.Dropped(); dropped > 0 {
+			obs.Logger().Warn("audit ring overflowed; oldest events lost",
+				"dropped", dropped, "kept", len(events), "capacity", rec.Capacity())
+		}
+		if err := audit.WriteDir(net.Cfg.AuditDir, net.GroundTruth(), events); err != nil {
+			return nil, err
+		}
+		if net.FaultPlan != nil {
+			if err := audit.WriteFaultEvents(net.Cfg.AuditDir, net.FaultPlan.Events()); err != nil {
+				return nil, err
+			}
+		}
 	}
-	if err := audit.WriteDir(net.Cfg.AuditDir, net.GroundTruth(), events); err != nil {
-		return nil, err
-	}
-	if net.FaultPlan != nil {
-		if err := audit.WriteFaultEvents(net.Cfg.AuditDir, net.FaultPlan.Events()); err != nil {
+	if srec != nil {
+		spans := srec.Drain()
+		if dropped := srec.Dropped(); dropped > 0 {
+			obs.Logger().Warn("trace ring overflowed; oldest spans lost",
+				"dropped", dropped, "kept", len(spans), "capacity", srec.Capacity())
+		}
+		if err := audit.WriteTrace(net.Cfg.TraceDir, spans); err != nil {
 			return nil, err
 		}
 	}
@@ -157,6 +193,22 @@ func auditCapacity(cfg Config) int {
 	}
 	if c > 1<<18 {
 		return 1 << 18
+	}
+	return c
+}
+
+// traceCapacity sizes the span ring for one traced run: per simulation
+// cycle, each query cycle emits one overlay submit plus a per-shard deliver,
+// the drain a handful, and the engine one span per sub-phase and power
+// iteration (bounded by MaxIter, 200 by default), with the same style of
+// hard cap as auditCapacity.
+func traceCapacity(cfg Config) int {
+	c := cfg.SimulationCycles * (cfg.QueryCycles*(cfg.Managers+2) + 512)
+	if c < span.DefaultCapacity {
+		return span.DefaultCapacity
+	}
+	if c > 1<<19 {
+		return 1 << 19
 	}
 	return c
 }
@@ -186,6 +238,15 @@ func (n *Network) Run() *Result {
 
 	for sc := 0; sc < cfg.SimulationCycles; sc++ {
 		cycleStart := time.Now()
+		// Interval tracing: one trace per simulation cycle. The root span is
+		// installed as the ambient context so components reached through the
+		// engine interface (overlay drain, core.Adjust, the power iteration)
+		// parent under it; the ingest span takes over as ambient for the
+		// query-cycle loop so overlay submits nest (and are excluded from the
+		// ledger by the parent-phase rule). All of this is nil no-ops when
+		// tracing is off.
+		root := span.Root("sim.interval").SetInt("interval", int64(sc+1))
+		prevAmb := span.SetAmbient(root.Context())
 		reqBefore, authBefore, inauthBefore, collBefore :=
 			res.TotalRequests, res.AuthenticServed, res.InauthenticServed, res.RequestsToColluders
 		if cfg.OscillationCycle > 0 {
@@ -203,6 +264,8 @@ func (n *Network) Run() *Result {
 		if cfg.Churn.Enabled() {
 			departed, rejoined = n.churnStep(res)
 		}
+		isp := root.Child("sim.ingest", span.PhaseIngest).SetInt("query_cycles", int64(cfg.QueryCycles))
+		span.SetAmbient(isp.Context())
 		for qc := 0; qc < cfg.QueryCycles; qc++ {
 			cycle := sc*cfg.QueryCycles + qc
 			for i := range capacities {
@@ -217,6 +280,8 @@ func (n *Network) Run() *Result {
 			n.collude(cycle)
 			n.flushRatings()
 		}
+		isp.End()
+		span.SetAmbient(root.Context())
 		res.PerCycleColluderShare = append(res.PerCycleColluderShare,
 			cycleShare(res, &lastTotal, &lastColl))
 		if n.Overlay != nil {
@@ -227,7 +292,9 @@ func (n *Network) Run() *Result {
 			}
 			res.ReplicaDrains += len(st.ReplicaUsed)
 		} else {
+			dsp := root.Child("sim.drain", span.PhaseDrain)
 			snap := n.Ledger.EndInterval()
+			dsp.SetInt("ratings", int64(len(snap.Ratings))).End()
 			n.Engine.Update(snap)
 			reps = n.Engine.Reputations()
 		}
@@ -254,7 +321,9 @@ func (n *Network) Run() *Result {
 				everAbove[ci] = true
 			}
 		}
-		n.observeCycle(res, sc, cycleStart, reqBefore, authBefore, inauthBefore, collBefore, departed, rejoined)
+		span.SetAmbient(prevAmb)
+		root.End()
+		n.observeCycle(res, sc, cycleStart, reqBefore, authBefore, inauthBefore, collBefore, departed, rejoined, root.TraceID())
 	}
 	if n.Overlay != nil {
 		n.Overlay.Close() // stop the manager goroutines; state is harvested
@@ -276,8 +345,24 @@ func (n *Network) Run() *Result {
 
 // observeCycle records one simulation cycle's metrics and, when Info-level
 // logging is on, an at-most-every-2s progress line for long runs.
-func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, authBefore, inauthBefore, collBefore, departed, rejoined int) {
+func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, authBefore, inauthBefore, collBefore, departed, rejoined int, trace uint64) {
 	wall := time.Since(start)
+	// Collect the interval's phase attribution unconditionally so the span
+	// ledger never accumulates traces, even when the flight recorder is off.
+	var phases *event.PhaseSeconds
+	if srec := span.Current(); srec != nil && trace != 0 {
+		if att, ok := srec.TakeAttribution(trace); ok {
+			phases = &event.PhaseSeconds{
+				Total:    att.Total,
+				Ingest:   att.Ingest,
+				Drain:    att.Drain,
+				Adjust:   att.Adjust,
+				Iterate:  att.Iterate,
+				Other:    att.Other(),
+				Coverage: att.Coverage(),
+			}
+		}
+	}
 	requests := res.TotalRequests - reqBefore
 	mSimCycles.Inc()
 	mCycleLat.Observe(wall.Seconds())
@@ -315,6 +400,7 @@ func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, 
 			cs.Departures = departed
 			cs.Rejoins = rejoined
 		}
+		cs.Phases = phases
 		rec.RecordCycle(cs)
 	}
 	if obs.Logger().Enabled(context.Background(), slog.LevelInfo) && progressEvery.Allow() {

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"socialtrust/internal/audit"
+	"socialtrust/internal/obs/event"
+	"socialtrust/internal/obs/span"
+)
+
+// TestFullSimTraceBitIdentity is the determinism acceptance for the tracing
+// layer: for each collusion model, a complete managed run with the span
+// recorder enabled must be byte-identical to the same run with tracing off —
+// reputations, per-cycle history, the ground-truth detection report, and the
+// full audit event stream. Wall-clock fields (QPS, WallSeconds, manager
+// Seconds) and the cycle phase attribution are the only outputs allowed to
+// differ: they measure time, and the attribution only exists when traced.
+func TestFullSimTraceBitIdentity(t *testing.T) {
+	type outcome struct {
+		res    *Result
+		report audit.Report
+		events []event.Event
+	}
+	run := func(t *testing.T, model CollusionModel, traced bool) outcome {
+		cfg := smallConfig(model, EngineEigenTrust, 0.4, true)
+		cfg.Managers = 4
+		net, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := event.Enable(auditCapacity(cfg))
+		defer event.Disable()
+		if traced {
+			srec := span.Enable(0)
+			defer span.Disable()
+			defer func() {
+				if srec.Recorded() == 0 {
+					t.Error("traced run recorded no spans")
+				}
+			}()
+		}
+		res := net.Run()
+		events := rec.Drain()
+		if len(events) == 0 {
+			t.Fatal("run recorded no audit events")
+		}
+		for i := range events {
+			if c := events[i].Cycle; c != nil {
+				c.QPS, c.WallSeconds = 0, 0
+				c.Phases = nil
+			}
+			if m := events[i].Manager; m != nil {
+				m.Seconds = 0
+			}
+		}
+		return outcome{res: res, report: audit.Score(net.GroundTruth(), events), events: events}
+	}
+	for _, model := range []CollusionModel{PCM, MCM, MMM} {
+		t.Run(model.String(), func(t *testing.T) {
+			ref := run(t, model, false)
+			got := run(t, model, true)
+			if !reflect.DeepEqual(got.res.FinalReputations, ref.res.FinalReputations) {
+				t.Fatal("final reputations diverge between tracing on and off")
+			}
+			if !reflect.DeepEqual(got.res.History, ref.res.History) {
+				t.Fatal("reputation history diverges between tracing on and off")
+			}
+			if !reflect.DeepEqual(got.report, ref.report) {
+				t.Fatalf("detection report diverges:\ntraced:   %+v\nuntraced: %+v", got.report, ref.report)
+			}
+			if !reflect.DeepEqual(got.events, ref.events) {
+				t.Fatal("audit event streams diverge between tracing on and off")
+			}
+		})
+	}
+}

@@ -16,15 +16,42 @@
 #                      vs per-rating ingest comparison at 10k nodes and its
 #                      speedup ratio (acceptance: >= 3x).
 #
+#   BENCH_trace.json — the phase-attribution set (scripts/bench.sh trace):
+#                      a traced pipeline sweep (stress -nodes ... -trace-dir)
+#                      rolled up by socialtrust-trace -json into per-interval
+#                      ingest/drain/adjust/iterate wall seconds and the mean
+#                      attribution coverage (acceptance: >= 0.95 at 50k).
+#
 # Usage:
 #
 #   scripts/bench.sh [obs-output.json] [perf-output.json] [fault-output.json]
 #   scripts/bench.sh scale [scale-output.json]
+#   scripts/bench.sh trace [trace-output.json]
 #
 # BENCHTIME (default 1s; scale mode 1x for the pipeline set) tunes
 # go test -benchtime; use e.g. BENCHTIME=100x for a quick smoke pass.
+# Trace mode is tuned by TRACE_NODES (default 50k, k suffix ok) and
+# TRACE_INTERVALS (default 2).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ ${1:-} == "trace" ]]; then
+  OUT=${2:-BENCH_trace.json}
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  go build -o "$tmp/stress" ./cmd/stress
+  go build -o "$tmp/socialtrust-trace" ./cmd/socialtrust-trace
+  "$tmp/stress" -nodes "${TRACE_NODES:-50k}" -intervals "${TRACE_INTERVALS:-2}" \
+    -trace-dir "$tmp/trace"
+  "$tmp/socialtrust-trace" -json "$tmp/trace" > "$tmp/summary.json"
+  {
+    echo "{"
+    echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    tail -n +2 "$tmp/summary.json"
+  } > "$OUT"
+  echo "wrote $OUT"
+  exit 0
+fi
 
 if [[ ${1:-} == "scale" ]]; then
   OUT=${2:-BENCH_scale.json}

@@ -49,6 +49,7 @@ import (
 	"socialtrust/internal/manager"
 	"socialtrust/internal/obs"
 	"socialtrust/internal/obs/event"
+	"socialtrust/internal/obs/span"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 	"socialtrust/internal/reputation/ebay"
@@ -435,3 +436,59 @@ func ScoreDetection(gt AuditGroundTruth, events []AuditEvent) DetectionReport {
 // leaves next to its audit trail. It returns (nil, nil) when the run injected
 // no faults (no log file).
 func LoadFaultEvents(dir string) ([]FaultEvent, error) { return audit.LoadFaultEvents(dir) }
+
+// Interval tracing layer (internal/obs/span + internal/audit).
+//
+// The third observability tier: hierarchical wall-time spans over the
+// update-interval pipeline (overlay ingest → drain → SocialTrust adjust →
+// engine iteration), rolled up into a per-interval phase attribution. Like
+// the metrics and the flight recorder, tracing is off by default and costs a
+// nil check per call site while disabled, and it never changes results —
+// tracing on vs off is bit-identical in reputations, detection tables, and
+// audit event streams. SimConfig.TraceDir automates the loop for simulation
+// runs; cmd/socialtrust-trace analyzes the exported trace.
+type (
+	// TraceSpan is one finished span of a traced run.
+	TraceSpan = span.Span
+	// TraceSpanAttr is one typed key/value attribute on a span.
+	TraceSpanAttr = span.Attr
+	// TraceAttribution is one trace's per-phase wall-time rollup.
+	TraceAttribution = span.Attribution
+	// SpanRecorder is the bounded ring buffer behind the tracing layer.
+	SpanRecorder = span.Recorder
+	// TraceContext addresses a live span so children can be attached across
+	// goroutine (overlay mailbox) boundaries.
+	TraceContext = span.Context
+	// PhaseSeconds is the per-interval phase attribution embedded in a
+	// traced run's CycleSeriesEvent.
+	PhaseSeconds = event.PhaseSeconds
+)
+
+// EnableTracing installs a fresh process-wide span recorder holding at most
+// capacity spans (the package default for capacity <= 0) and returns it.
+func EnableTracing(capacity int) *SpanRecorder { return span.Enable(capacity) }
+
+// DisableTracing uninstalls the process-wide span recorder.
+func DisableTracing() { span.Disable() }
+
+// TracingEnabled reports whether a span recorder is installed.
+func TracingEnabled() bool { return span.Enabled() }
+
+// WriteTraceDir writes a traced run's span stream (JSONL plus the Chrome
+// trace-event export) into dir, next to any audit streams already there.
+func WriteTraceDir(dir string, spans []TraceSpan) error { return audit.WriteTrace(dir, spans) }
+
+// LoadTraceDir reads the span stream of a trace (or audit) directory. It
+// returns (nil, nil) when the run was not traced (no trace file).
+func LoadTraceDir(dir string) ([]TraceSpan, error) { return audit.LoadTrace(dir) }
+
+// ReadTraceSpans parses a JSONL span stream (one span per line) as written
+// by WriteTraceDir.
+func ReadTraceSpans(r interface{ Read([]byte) (int, error) }) ([]TraceSpan, error) {
+	return span.ReadJSONL(r)
+}
+
+// AttributeTrace recomputes per-trace phase attributions offline from an
+// exported span stream, ordered by trace ID (one trace per update interval
+// for simulation runs).
+func AttributeTrace(spans []TraceSpan) []TraceAttribution { return span.Attribute(spans) }

@@ -1,0 +1,72 @@
+package socialtrust
+
+import (
+	"testing"
+
+	"socialtrust/internal/obs/span"
+)
+
+// TestPipelineTraceCoverage is the attribution-completeness acceptance on
+// the deployment-shaped pipeline: with an interval traced the way the
+// simulator (and stress -trace) traces it, the named phases — ingest, drain,
+// adjust, iterate — must account for nearly all of the interval's wall time.
+// The 90% floor here is deliberately looser than the ≥95% the 50k sweep
+// shows (EXPERIMENTS.md): at the test's small n, fixed per-interval costs
+// (channel handshakes, span bookkeeping) are a visibly larger slice.
+func TestPipelineTraceCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 2k-node pipeline")
+	}
+	const n, intervals = 2_000, 2
+	rec := span.Enable(0)
+	defer span.Disable()
+	p := buildPipeline(t, n)
+	defer p.overlay.Close()
+	for iv := 0; iv < intervals; iv++ {
+		root := span.Root("pipeline.interval")
+		root.SetInt("interval", int64(iv+1))
+		prev := span.SetAmbient(root.Context())
+		isp := span.Ambient("pipeline.ingest", span.PhaseIngest)
+		prevIngest := span.SetAmbient(isp.Context())
+		for lo := 0; lo < len(p.trace); lo += pipelineBatchSize {
+			hi := lo + pipelineBatchSize
+			if hi > len(p.trace) {
+				hi = len(p.trace)
+			}
+			if errs := p.overlay.SubmitBatch(p.trace[lo:hi]); errs != nil {
+				for _, err := range errs {
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		span.SetAmbient(prevIngest)
+		isp.End()
+		p.overlay.EndInterval()
+		span.SetAmbient(prev)
+		root.End()
+
+		att, ok := rec.TakeAttribution(root.TraceID())
+		if !ok {
+			t.Fatalf("interval %d: no attribution for trace %d", iv+1, root.TraceID())
+		}
+		if att.Total <= 0 {
+			t.Fatalf("interval %d: non-positive total %v", iv+1, att.Total)
+		}
+		if cov := att.Coverage(); cov < 0.9 {
+			t.Errorf("interval %d: phase coverage %.1f%% < 90%% (attribution %+v)",
+				iv+1, 100*cov, att)
+		}
+		for phase, secs := range map[string]float64{
+			"ingest": att.Ingest, "drain": att.Drain, "adjust": att.Adjust,
+		} {
+			if secs <= 0 {
+				t.Errorf("interval %d: phase %s attributed no time", iv+1, phase)
+			}
+		}
+	}
+	if rec.Recorded() == 0 {
+		t.Fatal("traced pipeline recorded no spans")
+	}
+}
