@@ -15,6 +15,7 @@
 //	stress -nodes 2k,10k -intervals 5   # custom pipeline sweep
 //	stress -nodes 50k -trace     # pipeline sweep with per-interval phase attribution
 //	stress -nodes 50k -trace-dir out/   # also export the span stream for socialtrust-trace
+//	stress -nodes 50k -sparse 0.01      # sparse-activity sweep: 1% of nodes rate per interval
 //
 // The -nodes mode bypasses the simulator and measures the raw interval
 // pipeline — batched overlay ingest, drain, SocialTrust adjust, EigenTrust
@@ -60,6 +61,7 @@ func main() {
 		intervals = flag.Int("intervals", 3, "update intervals per pipeline-sweep size (-nodes mode)")
 		trace     = flag.Bool("trace", false, "trace the pipeline sweep's intervals and print per-interval phase attribution (-nodes mode)")
 		traceDir  = flag.String("trace-dir", "", "write the pipeline sweep's span stream to this directory (implies -trace)")
+		sparse    = flag.Float64("sparse", 0, "fraction of nodes active as raters per pipeline-sweep interval (0 or 1 = all; -nodes mode)")
 
 		churn      = flag.Bool("churn", false, "churn the peer population of every run (moderate default regime)")
 		faultDrop  = flag.Float64("fault-drop", 0, "per-delivery message drop probability at the manager mailbox boundary")
@@ -139,7 +141,7 @@ func main() {
 			}
 			ns = append(ns, n)
 		}
-		runPipelineSweep(ns, *intervals, *seed, *traceDir, *trace || *traceDir != "")
+		runPipelineSweep(ns, *intervals, *seed, *traceDir, *trace || *traceDir != "", *sparse)
 		return
 	}
 

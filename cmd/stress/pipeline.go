@@ -69,12 +69,21 @@ func buildSweepPipeline(n int, seed uint64) (*manager.Overlay, *xrand.Stream, er
 	return o, rng, err
 }
 
-// sweepTrace draws one interval's worth of ratings: sweepRPN per node,
-// random endpoints, 20% negative.
-func sweepTrace(n int, rng *xrand.Stream) []rating.Rating {
-	trace := make([]rating.Rating, 0, n*sweepRPN)
-	for i := 0; i < n*sweepRPN; i++ {
-		rater := rng.Intn(n)
+// sweepTrace draws one interval's worth of ratings: sweepRPN per active
+// rater, random ratees, 20% negative. sparse < 1 confines the raters to the
+// first n·sparse nodes — the sparse-activity regime the incremental engine
+// is built for, where interval cost should track the active set, not n.
+func sweepTrace(n int, rng *xrand.Stream, sparse float64) []rating.Rating {
+	raters := n
+	if sparse > 0 && sparse < 1 {
+		raters = int(float64(n) * sparse)
+		if raters < 1 {
+			raters = 1
+		}
+	}
+	trace := make([]rating.Rating, 0, raters*sweepRPN)
+	for i := 0; i < raters*sweepRPN; i++ {
+		rater := rng.Intn(raters)
 		ratee := rng.Intn(n)
 		if ratee == rater {
 			ratee = (ratee + 1) % n
@@ -97,7 +106,7 @@ func sweepTrace(n int, rng *xrand.Stream) []rating.Rating {
 // interval runs under a root span (mirroring the simulator's interval
 // instrumentation) and its phase attribution is printed beneath the row;
 // traceDir additionally exports the span stream for socialtrust-trace.
-func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, traced bool) {
+func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, traced bool, sparse float64) {
 	if traced {
 		span.Enable(0)
 		defer span.Disable()
@@ -111,7 +120,7 @@ func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, 
 			return
 		}
 		for iv := 0; iv < intervals; iv++ {
-			trace := sweepTrace(n, rng)
+			trace := sweepTrace(n, rng, sparse)
 			root := span.Root("sweep.interval")
 			root.SetInt("interval", int64(iv+1)).SetInt("nodes", int64(n))
 			prev := span.SetAmbient(root.Context())

@@ -10,34 +10,45 @@ import (
 // Cache effectiveness metrics. A pair counts as a hit when every cacheable
 // signal it needs was served from the cache (weighted similarity is never
 // cacheable — the request tracker mutates without an epoch signal — and is
-// excluded from the accounting).
+// excluded from the accounting). socialtrust_pairs_skipped_total is the
+// incremental-engine view of the same event: a clean pair whose previous
+// signals were reused instead of recomputed; socialtrust_dirty_pairs is the
+// per-interval distribution of the dirty-set size (pairs that recomputed).
 var (
 	mSigCacheHits   = obs.C("signal_cache_hits_total")
 	mSigCacheMisses = obs.C("signal_cache_misses_total")
+	mPairsSkipped   = obs.C("socialtrust_pairs_skipped_total")
+	mDirtyPairs     = obs.H("socialtrust_dirty_pairs",
+		1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144)
 )
 
 func init() {
 	obs.Help("signal_cache_hits_total", "Pairs whose cacheable social signals were all served from the cache.")
 	obs.Help("signal_cache_misses_total", "Pairs that recomputed at least one cacheable social signal.")
+	obs.Help("socialtrust_pairs_skipped_total", "Clean pairs per Adjust whose previous interval's signals were reused unchanged.")
+	obs.Help("socialtrust_dirty_pairs", "Per-Adjust dirty-set size: pairs whose signals were recomputed.")
 }
 
 const sigCacheShards = 32
 
 // sigCacheEntry holds one directed pair's memoized social signals, valid
-// only while the social graph's epoch matches: every graph mutator
-// (AddRelationship, RecordInteraction, RemoveNodeEdges, ResetInteractions)
-// bumps the epoch, so a matching epoch proves the closeness inputs are
-// unchanged. Unweighted similarity is a pure function of the (immutable
-// after construction) interest sets, so revalidating it by epoch is only
-// conservative.
+// only while the rater's closeness version matches. The filter maintains
+// one version per rater (SocialTrust.closeVer), bumped exactly when a graph
+// mutation lands within the rater's closeness dependency radius
+// (Graph.WithinHops over the touch log), so a matching version proves the
+// closeness inputs are unchanged — without globally invalidating on every
+// epoch movement the way the previous (PairKey, epoch) keying did.
+// Unweighted similarity is a pure function of the (immutable after
+// construction) interest sets, so revalidating it by closeness version is
+// only conservative.
 type sigCacheEntry struct {
-	epoch uint64
-	sig   pairSignals
+	ver uint64
+	sig pairSignals
 }
 
-// sigCache is a sharded (PairKey, graph-epoch)-keyed memo of pair signals.
-// Sharding keeps the computeSignals worker fan-out from serializing on a
-// single lock while workers store freshly computed misses.
+// sigCache is a sharded (PairKey, rater-closeness-version)-keyed memo of
+// pair signals. Sharding keeps the computeSignals worker fan-out from
+// serializing on a single lock while workers store freshly computed misses.
 type sigCache struct {
 	shards [sigCacheShards]sigCacheShard
 }
@@ -61,23 +72,24 @@ func (c *sigCache) shard(k rating.PairKey) *sigCacheShard {
 }
 
 // get returns the cached signals for k if they were computed at the given
-// graph epoch.
-func (c *sigCache) get(k rating.PairKey, epoch uint64) (pairSignals, bool) {
+// rater closeness version.
+func (c *sigCache) get(k rating.PairKey, ver uint64) (pairSignals, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
 	e, ok := s.m[k]
 	s.mu.Unlock()
-	if !ok || e.epoch != epoch {
+	if !ok || e.ver != ver {
 		return pairSignals{}, false
 	}
 	return e.sig, true
 }
 
-// put stores the signals for k computed at the given graph epoch.
-func (c *sigCache) put(k rating.PairKey, epoch uint64, sig pairSignals) {
+// put stores the signals for k computed at the given rater closeness
+// version.
+func (c *sigCache) put(k rating.PairKey, ver uint64, sig pairSignals) {
 	s := c.shard(k)
 	s.mu.Lock()
-	s.m[k] = sigCacheEntry{epoch: epoch, sig: sig}
+	s.m[k] = sigCacheEntry{ver: ver, sig: sig}
 	s.mu.Unlock()
 }
 

@@ -158,6 +158,14 @@ type Config struct {
 	// Workers bounds the parallelism of per-pair signal computation
 	// (0 = GOMAXPROCS).
 	Workers int
+
+	// FullRecompute disables every incremental shortcut: the signal and
+	// profile caches are bypassed and all pair signals recompute from the
+	// live graph each Adjust. It is the reference mode the incremental
+	// engine is pinned bit-identical against
+	// (TestIncrementalMatchesFullRecompute, TestFullSimIncrementalBitIdentity);
+	// production deployments leave it false.
+	FullRecompute bool
 }
 
 func (c Config) withDefaults() Config {
@@ -251,18 +259,31 @@ type SocialTrust struct {
 	// cycle number, aligning decision events with CycleSeries records.
 	intervals uint64
 
-	// sigCache memoizes per-pair signals keyed by the graph epoch: an
-	// interval in which the graph did not change costs O(new pairs) instead
-	// of O(all pairs). Any epoch change falls back to full recompute.
+	// sigCache memoizes per-pair signals keyed by the rater's closeness
+	// version (closeVer below): a pair recomputes only when the graph
+	// actually changed within its rater's closeness dependency radius, so
+	// interval cost tracks activity, not N.
 	sigCache *sigCache
-	// histVer versions the rating-profile history (bumped by Update,
-	// ResetNode, Reset); the per-rater profile caches below are valid only
-	// while both the graph epoch and histVer match.
-	// histVer versions the rating-profile history; profClose/profSim are
-	// indexed by rater (not keyed by map) so the parallel classify phase can
-	// fill distinct slots without locking — rater-aligned blocks guarantee a
-	// single writer per slot.
-	histVer   uint64
+	// closeVer holds one closeness version per rater. syncGraph (run at
+	// the top of every Adjust) reads the graph's touch log since graphSeen,
+	// walks the affected set — every node within depHops of a touched node —
+	// and bumps exactly those raters' versions. When the touch log cannot
+	// answer (overflow or a global mutation) every version bumps, which is
+	// the old any-epoch-change-invalidates-everything behavior.
+	closeVer  []uint64
+	graphSeen uint64 // graph epoch the versions are synced to
+	depHops   int    // closeness dependency radius: max(MaxHops, 2)
+	// Reusable scratch for syncGraph's touch-log drain and affected-set BFS.
+	touchScratch []socialgraph.NodeID
+	affScratch   []socialgraph.NodeID
+	seenScratch  []bool
+
+	// profClose/profSim memoize per-rater baseline profiles, keyed by the
+	// rater's closeness version and the rater's history version (bumped by
+	// rating.History exactly when the rater's rated-peer set changes). They
+	// are indexed by rater (not keyed by map) so the parallel classify
+	// phase can fill distinct slots without locking — rater-aligned blocks
+	// guarantee a single writer per slot.
 	profClose []profCacheEntry
 	profSim   []profCacheEntry
 
@@ -288,10 +309,10 @@ type SocialTrust struct {
 
 // profCacheEntry is one memoized per-rater baseline profile.
 type profCacheEntry struct {
-	valid      bool
-	graphEpoch uint64
-	histVer    uint64
-	stats      BaselineStats
+	valid    bool
+	closeVer uint64 // rater closeness version (profClose only)
+	histVer  uint64 // rater history version (rated-peer set)
+	stats    BaselineStats
 }
 
 // sigMiss marks one pair of the current interval whose signals (or part of
@@ -327,6 +348,12 @@ func New(cfg Config, graph *socialgraph.Graph, sets []interest.Set, tracker *int
 	if !cfg.UseCloseness && !cfg.UseSimilarity {
 		cfg.UseCloseness, cfg.UseSimilarity = true, true
 	}
+	dep := cfg.Closeness.MaxHops()
+	if dep < 2 {
+		// Margin: the common-friend branch of Ωc reads distance-2 state
+		// regardless of the path cutoff.
+		dep = 2
+	}
 	return &SocialTrust{
 		cfg:       cfg,
 		graph:     graph,
@@ -335,6 +362,9 @@ func New(cfg Config, graph *socialgraph.Graph, sets []interest.Set, tracker *int
 		inner:     inner,
 		hist:      rating.NewHistory(cfg.NumNodes),
 		sigCache:  newSigCache(),
+		closeVer:  make([]uint64, cfg.NumNodes),
+		graphSeen: graph.Epoch(), // cache is empty; nothing older to invalidate
+		depHops:   dep,
 		profClose: make([]profCacheEntry, cfg.NumNodes),
 		profSim:   make([]profCacheEntry, cfg.NumNodes),
 	}
@@ -353,7 +383,6 @@ func (s *SocialTrust) Reset() {
 	s.adjustMu.Lock()
 	s.intervals = 0
 	s.adjustMu.Unlock()
-	s.histVer++
 	s.sigCache.reset()
 	s.profClose = make([]profCacheEntry, s.cfg.NumNodes)
 	s.profSim = make([]profCacheEntry, s.cfg.NumNodes)
@@ -366,8 +395,9 @@ func (s *SocialTrust) Reset() {
 // (Graph.RemoveNodeEdges) and the request tracker, which this filter only
 // reads.
 func (s *SocialTrust) ResetNode(node int) {
+	// History bumps the per-rater versions of exactly the raters whose
+	// rated-peer set lost this node, invalidating just their profiles.
 	s.hist.ResetNode(node)
-	s.histVer++ // every rater's profile may have lost this ratee
 	s.inner.ResetNode(node)
 }
 
@@ -399,9 +429,6 @@ func (s *SocialTrust) Update(snap rating.Snapshot) {
 	asp := span.Ambient("core.absorb", span.PhaseAdjust).SetInt("ratings", int64(len(snap.Ratings)))
 	s.hist.Absorb(snap.Ratings)
 	asp.End()
-	if len(snap.Ratings) > 0 {
-		s.histVer++
-	}
 	s.inner.Update(adjusted)
 }
 
@@ -422,6 +449,9 @@ func (s *SocialTrust) Adjust(snap rating.Snapshot) (rating.Snapshot, Report) {
 	s.adjustMu.Lock()
 	defer s.adjustMu.Unlock()
 	s.intervals++
+	if !s.cfg.FullRecompute {
+		s.syncGraph()
+	}
 
 	// Interval tracing: the adjust span hangs off the interval driver's
 	// ambient context; sub-phase children share its phase, so only the
@@ -812,21 +842,59 @@ func (s *SocialTrust) maybeShrinkScratch(nPairs int) {
 	s.simVals = make([]float64, 0, c)
 }
 
-// computeSignals fills out[i] with Ωc and Ωs for pairs[i]. Pairs whose
-// signals are cached at the current graph epoch are served without touching
-// the graph; the misses are grouped by rater (pairs arrive rater-sorted)
-// and each rater group runs one batched ClosenessFrom — one shared BFS and
-// common-friend index per rater instead of one per pair — with the groups
-// fanned out across Workers. Results are bit-identical to the direct
-// per-pair path on a quiescent graph.
-func (s *SocialTrust) computeSignals(pairs []rating.PairKey, out []pairSignals) {
+// syncGraph brings the per-rater closeness versions up to date with the
+// graph: it drains the touch log accumulated since the last sync, walks the
+// affected set — every node within depHops friendship hops of a touched
+// node, the dependency radius of one closeness computation — and bumps
+// exactly those raters' versions, so their cached signals and profiles stop
+// matching. When the touch log cannot answer (overflow, or a global
+// mutation such as ResetInteractions) every version bumps: full
+// invalidation, the pre-incremental behavior. Runs under adjustMu; on a
+// quiescent graph it is a single atomic load.
+func (s *SocialTrust) syncGraph() {
 	epoch := s.graph.Epoch()
+	if epoch == s.graphSeen {
+		return
+	}
+	touched, ok := s.graph.TouchedSince(s.graphSeen, s.touchScratch[:0])
+	s.touchScratch = touched[:0]
+	switch {
+	case !ok:
+		for i := range s.closeVer {
+			s.closeVer[i]++
+		}
+	case len(touched) > 0:
+		if s.seenScratch == nil {
+			s.seenScratch = make([]bool, s.cfg.NumNodes)
+		}
+		aff := s.graph.WithinHops(touched, s.depHops, s.seenScratch, s.affScratch[:0])
+		s.affScratch = aff[:0]
+		for _, r := range aff {
+			s.closeVer[r]++
+		}
+	}
+	s.graphSeen = epoch
+}
+
+// computeSignals fills out[i] with Ωc and Ωs for pairs[i]. Pairs whose
+// signals are cached at their rater's current closeness version are served
+// without touching the graph; the misses are grouped by rater (pairs arrive
+// rater-sorted) and each rater group runs one batched ClosenessFrom — one
+// shared BFS and common-friend index per rater instead of one per pair —
+// with the groups fanned out across Workers. Results are bit-identical to
+// the direct per-pair path on a quiescent graph. Under Config.FullRecompute
+// the cache is bypassed entirely and every pair recomputes.
+func (s *SocialTrust) computeSignals(pairs []rating.PairKey, out []pairSignals) {
 	simStatic := s.cfg.UseSimilarity && !s.cfg.WeightedSimilarity
 
 	miss := s.missScratch[:0]
 	var hits, misses int64
 	for i, k := range pairs {
-		sig, ok := s.sigCache.get(k, epoch)
+		var sig pairSignals
+		ok := false
+		if !s.cfg.FullRecompute {
+			sig, ok = s.sigCache.get(k, s.closeVer[k.Rater])
+		}
 		var need uint8
 		if !ok {
 			if s.cfg.UseCloseness {
@@ -854,6 +922,8 @@ func (s *SocialTrust) computeSignals(pairs []rating.PairKey, out []pairSignals) 
 	s.missScratch = miss[:0]
 	mSigCacheHits.Add(hits)
 	mSigCacheMisses.Add(misses)
+	mPairsSkipped.Add(hits)
+	mDirtyPairs.Observe(float64(misses))
 	if len(miss) == 0 {
 		return
 	}
@@ -876,7 +946,7 @@ func (s *SocialTrust) computeSignals(pairs []rating.PairKey, out []pairSignals) 
 	}
 	if workers <= 1 {
 		for gi := 0; gi < nGroups; gi++ {
-			s.computeMissGroup(pairs, out, miss[groups[gi]:groups[gi+1]], epoch)
+			s.computeMissGroup(pairs, out, miss[groups[gi]:groups[gi+1]])
 		}
 		return
 	}
@@ -891,7 +961,7 @@ func (s *SocialTrust) computeSignals(pairs []rating.PairKey, out []pairSignals) 
 				if gi >= nGroups {
 					return
 				}
-				s.computeMissGroup(pairs, out, miss[groups[gi]:groups[gi+1]], epoch)
+				s.computeMissGroup(pairs, out, miss[groups[gi]:groups[gi+1]])
 			}
 		}()
 	}
@@ -899,9 +969,10 @@ func (s *SocialTrust) computeSignals(pairs []rating.PairKey, out []pairSignals) 
 }
 
 // computeMissGroup recomputes the missing signals of one rater's pairs and
-// stores them in the cache. All miss entries share the same rater; closeness
-// goes through the batched single-source path.
-func (s *SocialTrust) computeMissGroup(pairs []rating.PairKey, out []pairSignals, miss []sigMiss, epoch uint64) {
+// stores them in the cache at the rater's current closeness version. All
+// miss entries share the same rater; closeness goes through the batched
+// single-source path.
+func (s *SocialTrust) computeMissGroup(pairs []rating.PairKey, out []pairSignals, miss []sigMiss) {
 	rater := pairs[miss[0].idx].Rater
 	var ratees []socialgraph.NodeID
 	var slots []int
@@ -928,10 +999,14 @@ func (s *SocialTrust) computeMissGroup(pairs []rating.PairKey, out []pairSignals
 			out[m.idx].similar = interest.Similarity(s.sets[k.Rater], s.sets[k.Ratee])
 		}
 	}
+	if s.cfg.FullRecompute {
+		return // reference mode: never populate the cache
+	}
+	ver := s.closeVer[rater]
 	for _, m := range miss {
 		// Storing a weighted-similarity value is harmless: get() never
 		// serves it (the !simStatic branch above recomputes similarity).
-		s.sigCache.put(pairs[m.idx], epoch, out[m.idx])
+		s.sigCache.put(pairs[m.idx], ver, out[m.idx])
 	}
 }
 
@@ -1086,9 +1161,11 @@ func (s *SocialTrust) chooseBaseline(rater int, system BaselineStats, profile fu
 }
 
 func (s *SocialTrust) profileCloseness(rater int) BaselineStats {
-	epoch := s.graph.Epoch()
-	if e := &s.profClose[rater]; e.valid && e.graphEpoch == epoch && e.histVer == s.histVer {
-		return e.stats
+	cv, hv := s.closeVer[rater], s.hist.Version(rater)
+	if !s.cfg.FullRecompute {
+		if e := &s.profClose[rater]; e.valid && e.closeVer == cv && e.histVer == hv {
+			return e.stats
+		}
 	}
 	peers := s.hist.RateesOf(rater)
 	ids := make([]socialgraph.NodeID, len(peers))
@@ -1097,24 +1174,29 @@ func (s *SocialTrust) profileCloseness(rater int) BaselineStats {
 	}
 	prof := s.graph.ProfileCloseness(socialgraph.NodeID(rater), ids, s.cfg.Closeness)
 	st := BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
-	s.profClose[rater] = profCacheEntry{valid: true, graphEpoch: epoch, histVer: s.histVer, stats: st}
+	if !s.cfg.FullRecompute {
+		s.profClose[rater] = profCacheEntry{valid: true, closeVer: cv, histVer: hv, stats: st}
+	}
 	return st
 }
 
 func (s *SocialTrust) profileSimilarity(rater int) BaselineStats {
 	// Unweighted similarity profiles depend only on the (static) interest
-	// sets and the rating history, so histVer alone keys the cache; the
-	// weighted form reads the live request tracker and is never cached.
-	if !s.cfg.WeightedSimilarity {
-		if e := &s.profSim[rater]; e.valid && e.histVer == s.histVer {
+	// sets and the rating history, so the rater's history version alone keys
+	// the cache; the weighted form reads the live request tracker and is
+	// never cached.
+	static := !s.cfg.WeightedSimilarity && !s.cfg.FullRecompute
+	hv := s.hist.Version(rater)
+	if static {
+		if e := &s.profSim[rater]; e.valid && e.histVer == hv {
 			return e.stats
 		}
 	}
 	peers := s.hist.RateesOf(rater)
 	prof := interest.ProfileSimilarity(s.sets[rater], rater, peers, s.sets, s.cfg.WeightedSimilarity, s.tracker)
 	st := BaselineStats{Mean: prof.Mean, Min: prof.Min, Max: prof.Max, N: prof.N}
-	if !s.cfg.WeightedSimilarity {
-		s.profSim[rater] = profCacheEntry{valid: true, histVer: s.histVer, stats: st}
+	if static {
+		s.profSim[rater] = profCacheEntry{valid: true, histVer: hv, stats: st}
 	}
 	return st
 }

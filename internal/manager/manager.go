@@ -76,6 +76,12 @@ var (
 	mRestarts     = obs.C("manager_shard_restarts_total")
 	mDrainPartial = obs.C("manager_drain_partial_total")
 	mDrainReplica = obs.C("manager_drain_replica_total")
+
+	// mActivePairs is the per-drain distribution of distinct active
+	// (rater, ratee) pairs — the interval's activity footprint, the quantity
+	// the incremental engine's cost is proportional to.
+	mActivePairs = obs.H("manager_interval_active_pairs",
+		1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144)
 )
 
 func init() {
@@ -93,6 +99,7 @@ func init() {
 	obs.Help("manager_shard_restarts_total", "Crashed shards restarted at interval boundaries.")
 	obs.Help("manager_drain_partial_total", "Interval drains that lost at least one shard's ratings.")
 	obs.Help("manager_drain_replica_total", "Shard intervals recovered from replica mirrors during a drain.")
+	obs.Help("manager_interval_active_pairs", "Distinct active rater-ratee pairs per interval drain.")
 }
 
 // message is the manager mailbox protocol.
@@ -1126,6 +1133,7 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 		mDrainPartial.Inc()
 	}
 	merged := mergeSnapshots(snaps)
+	mActivePairs.Observe(float64(len(merged.Counts)))
 	tsp.SetInt("ratings", int64(len(merged.Ratings))).End()
 	// Phase 3: global reputation calculation over the surviving quorum's
 	// data. Nodes whose interval ratings were lost keep their last-known

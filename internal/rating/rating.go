@@ -300,6 +300,10 @@ type History struct {
 	counts   map[PairKey]int
 	raters   map[int]map[int]bool // ratee -> set of raters (and vice versa below)
 	ratees   map[int]map[int]bool // rater -> set of ratees
+	// vers holds one version per rater, bumped exactly when that rater's
+	// rated-peer (ratee) set changes — the invalidation signal for per-rater
+	// profile caches, which depend only on the set, not the aggregates.
+	vers []uint64
 }
 
 // NewHistory creates an empty all-time aggregate table.
@@ -310,8 +314,13 @@ func NewHistory(numNodes int) *History {
 		counts:   make(map[PairKey]int),
 		raters:   make(map[int]map[int]bool),
 		ratees:   make(map[int]map[int]bool),
+		vers:     make([]uint64, numNodes),
 	}
 }
+
+// Version returns the rater's rated-peer-set version: it changes if and only
+// if RateesOf(rater) would return a different set than at the last call.
+func (h *History) Version(rater int) uint64 { return h.vers[rater] }
 
 // Absorb folds a drained interval into the all-time aggregates. Ratings may
 // carry adjusted (re-weighted) values; History stores whatever it is given.
@@ -327,7 +336,10 @@ func (h *History) Absorb(ratings []Rating) {
 		if h.ratees[r.Rater] == nil {
 			h.ratees[r.Rater] = make(map[int]bool)
 		}
-		h.ratees[r.Rater][r.Ratee] = true
+		if !h.ratees[r.Rater][r.Ratee] {
+			h.ratees[r.Rater][r.Ratee] = true
+			h.vers[r.Rater]++
+		}
 	}
 }
 
@@ -341,7 +353,9 @@ func (h *History) Count(rater, ratee int) int {
 	return h.counts[PairKey{rater, ratee}]
 }
 
-// ResetNode forgets all aggregates involving the node, in either role.
+// ResetNode forgets all aggregates involving the node, in either role. The
+// node's own version bumps when it had rated anyone, and so does every rater
+// whose rated-peer set contained the node.
 func (h *History) ResetNode(node int) {
 	for k := range h.sums {
 		if k.Rater == node || k.Ratee == node {
@@ -350,12 +364,18 @@ func (h *History) ResetNode(node int) {
 		}
 	}
 	delete(h.raters, node)
+	if len(h.ratees[node]) > 0 {
+		h.vers[node]++
+	}
 	delete(h.ratees, node)
 	for _, m := range h.raters {
 		delete(m, node)
 	}
-	for _, m := range h.ratees {
-		delete(m, node)
+	for rater, m := range h.ratees {
+		if m[node] {
+			delete(m, node)
+			h.vers[rater]++
+		}
 	}
 }
 

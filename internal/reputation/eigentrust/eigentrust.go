@@ -38,6 +38,7 @@ var (
 	mUpdateLat       = obs.H("eigentrust_update_seconds")
 	mCSRRebuilds     = obs.C("eigentrust_csr_rebuilds_total")
 	mMatvecWorkers   = obs.G("eigentrust_matvec_workers")
+	mWarmSkips       = obs.C("eigentrust_warm_start_skips_total")
 )
 
 func init() {
@@ -49,6 +50,7 @@ func init() {
 	obs.Help("eigentrust_update_seconds", "Wall time of one engine update (fold plus power iteration).")
 	obs.Help("eigentrust_csr_rebuilds_total", "Full CSR trust-matrix rebuilds (vs in-place refreshes).")
 	obs.Help("eigentrust_matvec_workers", "Worker goroutines used by the parallel mat-vec.")
+	obs.Help("eigentrust_warm_start_skips_total", "Updates that skipped the power iteration entirely: unchanged matrix, previously converged vector.")
 }
 
 // Config parameterizes an EigenTrust engine.
@@ -72,6 +74,13 @@ type Config struct {
 	// Workers sets the parallelism of the matrix–vector product; 0 means
 	// GOMAXPROCS, 1 forces the serial path.
 	Workers int
+	// FullRecompute forces a from-scratch CSR rebuild on every
+	// matrix-changing update instead of the incremental shape/value
+	// refreshes. It is the reference mode the incremental maintenance is
+	// pinned bit-identical against; production deployments leave it false.
+	// The quiet-interval skip (unchanged matrix + converged vector) is a
+	// pipeline semantic and applies in both modes.
+	FullRecompute bool
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +126,13 @@ type csrState struct {
 	shapeDirty bool // an outlink appeared or vanished: rebuild structure
 	valsDirty  bool // only trust values changed: refresh values in place
 
+	// rowDirty / dirtyRows track which forward rows hold changed values, so
+	// a value-only refresh touches just those rows instead of all n. Rows
+	// are normalized independently, so a dirty-row refresh is bit-identical
+	// to the full pass. Cleared by every rebuild/refresh.
+	rowDirty  []bool
+	dirtyRows []int
+
 	// Forward (rater-major) structure: fCol[fRowPtr[i]:fRowPtr[i+1]] lists
 	// rater i's ratees ascending; fVal holds the raw positive sums.
 	fRowPtr []int32
@@ -158,6 +174,10 @@ type Stats struct {
 	Converged bool
 	// Updates counts the recomputations (Update/ResetNode calls) so far.
 	Updates int
+	// Skipped reports that the most recent update ran zero iterations
+	// because the trust matrix was unchanged and the previous vector had
+	// converged — the fixpoint of an identical system stands.
+	Skipped bool
 }
 
 // Stats returns convergence statistics for the most recent recomputation.
@@ -242,8 +262,13 @@ func (e *Engine) Update(snap rating.Snapshot) {
 
 // applyLocal maintains the positive-part outlink map incrementally and
 // marks the CSR dirty: structurally when an outlink appears or vanishes,
-// value-only when an existing entry just changes magnitude.
+// value-only (with the rater's row recorded in the dirty set) when an
+// existing entry just changes magnitude. An unchanged sum is a no-op and
+// leaves the matrix clean — the signal the quiet-interval skip relies on.
 func (e *Engine) applyLocal(k rating.PairKey, old, now float64) {
+	if old == now {
+		return
+	}
 	oldPos, nowPos := old > 0, now > 0
 	switch {
 	case nowPos && !oldPos:
@@ -257,6 +282,7 @@ func (e *Engine) applyLocal(k rating.PairKey, old, now float64) {
 	case nowPos:
 		e.out[k.Rater][k.Ratee] = now
 		e.csr.valsDirty = true
+		e.markRowDirty(k.Rater)
 	case oldPos && !nowPos:
 		delete(e.out[k.Rater], k.Ratee)
 		if len(e.out[k.Rater]) == 0 {
@@ -264,6 +290,27 @@ func (e *Engine) applyLocal(k rating.PairKey, old, now float64) {
 		}
 		e.csr.shapeDirty = true
 	}
+}
+
+// markRowDirty records rater row i for the next value-only refresh.
+func (e *Engine) markRowDirty(i int) {
+	c := &e.csr
+	if c.rowDirty == nil {
+		c.rowDirty = make([]bool, e.cfg.NumNodes)
+	}
+	if !c.rowDirty[i] {
+		c.rowDirty[i] = true
+		c.dirtyRows = append(c.dirtyRows, i)
+	}
+}
+
+// clearDirtyRows empties the dirty-row set after a rebuild or refresh.
+func (e *Engine) clearDirtyRows() {
+	c := &e.csr
+	for _, i := range c.dirtyRows {
+		c.rowDirty[i] = false
+	}
+	c.dirtyRows = c.dirtyRows[:0]
 }
 
 // rebuildCSR reconstructs the sparse structure from the outlink map into
@@ -340,49 +387,84 @@ func (e *Engine) rebuildCSR() {
 // current sums without touching the structure. Totals accumulate in
 // ascending-ratee order, matching the reference rebuild bit for bit.
 func (e *Engine) refreshCSRValues() {
-	c := &e.csr
 	n := e.cfg.NumNodes
 	for i := 0; i < n; i++ {
-		lo, hi := c.fRowPtr[i], c.fRowPtr[i+1]
-		if lo == hi {
-			c.rowTotal[i] = 0
-			continue
-		}
-		row := e.out[i]
-		total := 0.0
-		for s := lo; s < hi; s++ {
-			v := row[int(c.fCol[s])]
-			c.fVal[s] = v
-			total += v
-		}
-		c.rowTotal[i] = total
-		for s := lo; s < hi; s++ {
-			c.tVal[c.perm[s]] = c.fVal[s] / total
-		}
+		e.refreshCSRRow(i)
 	}
-	c.valsDirty = false
+	e.csr.valsDirty = false
+	e.clearDirtyRows()
+}
+
+// refreshDirtyRows refreshes only the rows whose values changed since the
+// last rebuild/refresh. Each row normalizes independently of every other, so
+// the refreshed rows are bit-identical to a full refresh and the untouched
+// rows are already correct.
+func (e *Engine) refreshDirtyRows() {
+	for _, i := range e.csr.dirtyRows {
+		e.refreshCSRRow(i)
+	}
+	e.csr.valsDirty = false
+	e.clearDirtyRows()
+}
+
+// refreshCSRRow recomputes one forward row's total and normalized
+// transposed values.
+func (e *Engine) refreshCSRRow(i int) {
+	c := &e.csr
+	lo, hi := c.fRowPtr[i], c.fRowPtr[i+1]
+	if lo == hi {
+		c.rowTotal[i] = 0
+		return
+	}
+	row := e.out[i]
+	total := 0.0
+	for s := lo; s < hi; s++ {
+		v := row[int(c.fCol[s])]
+		c.fVal[s] = v
+		total += v
+	}
+	c.rowTotal[i] = total
+	for s := lo; s < hi; s++ {
+		c.tVal[c.perm[s]] = c.fVal[s] / total
+	}
 }
 
 // powerIterate recomputes the global trust vector t, recording iteration
 // count and final L1 residual in Stats (and the eigentrust_* metrics). The
 // sparse matrix is reused from the previous update: a from-scratch rebuild
-// happens only when the outlink set changed shape, a value refresh when
-// only magnitudes moved, and neither on a no-op recompute.
+// happens only when the outlink set changed shape, a dirty-row value
+// refresh when only magnitudes moved, and neither on a no-op recompute.
+// A no-op recompute whose previous vector converged skips the iteration
+// entirely — the fixpoint of an identical system stands. The skip is a
+// pipeline semantic, applied under Config.FullRecompute too, so both modes
+// stay bit-identical.
 func (e *Engine) powerIterate() {
 	sp := mUpdateLat.Start()
+	matrixChanged := e.csr.shapeDirty || e.csr.valsDirty
+	if !matrixChanged && e.stats.Updates > 0 && e.stats.Converged {
+		e.stats.Updates++
+		e.stats.Skipped = true
+		e.stats.Iterations = 0
+		sp.End()
+		mWarmSkips.Inc()
+		mUpdatesTotal.Inc()
+		mIterations.Set(0)
+		return
+	}
 	// The update span parents to the interval driver's ambient context; the
 	// CSR and per-iteration children share its phase so only this span feeds
 	// the attribution ledger. All sites are nil no-ops with tracing off.
 	tsp := span.Ambient("eigentrust.update", span.PhaseIterate)
 	n := e.cfg.NumNodes
-	if e.csr.shapeDirty {
+	switch {
+	case e.csr.shapeDirty || (e.cfg.FullRecompute && matrixChanged):
 		rsp := tsp.Child("eigentrust.csr_rebuild", span.PhaseIterate)
 		e.rebuildCSR()
 		rsp.End()
 		mCSRRebuilds.Inc()
-	} else if e.csr.valsDirty {
+	case e.csr.valsDirty:
 		rsp := tsp.Child("eigentrust.csr_refresh", span.PhaseIterate)
-		e.refreshCSRValues()
+		e.refreshDirtyRows()
 		rsp.End()
 	}
 	rowTotal := e.csr.rowTotal

@@ -263,6 +263,13 @@ type Config struct {
 	Seed    uint64
 	Workers int // parallelism of the query-intent phase; 0 = GOMAXPROCS
 
+	// FullRecompute disables the incremental interval engine end to end:
+	// the SocialTrust signal/profile caches are bypassed and EigenTrust
+	// rebuilds its trust matrix from scratch every interval. It is the
+	// reference mode TestFullSimIncrementalBitIdentity pins the incremental
+	// path against; production runs leave it false.
+	FullRecompute bool
+
 	// AuditDir, when non-empty, makes Run record the decision-audit trail:
 	// the package-level flight recorder (internal/obs/event) is enabled for
 	// the run and on completion the ground truth plus every FilterDecision,

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"socialtrust/internal/audit"
+	"socialtrust/internal/fault"
+	"socialtrust/internal/obs/event"
+)
+
+// TestFullSimIncrementalBitIdentity is the correctness acceptance for the
+// incremental interval engine: for every collusion model, with and without
+// churn+faults, at Workers 1 and 8, a complete managed run on the
+// incremental path (per-rater signal caches, dirty-row CSR refresh,
+// quiet-interval skips) must be byte-identical to the same run in
+// FullRecompute mode — final reputations, per-cycle history, the
+// ground-truth detection report, and the full audit event stream.
+// Wall-clock fields are the only outputs allowed to differ.
+func TestFullSimIncrementalBitIdentity(t *testing.T) {
+	type outcome struct {
+		res    *Result
+		report audit.Report
+		events []event.Event
+	}
+	run := func(t *testing.T, model CollusionModel, chaos bool, workers int, full bool) outcome {
+		cfg := smallConfig(model, EngineEigenTrust, 0.4, true)
+		cfg.Managers = 4
+		cfg.Workers = workers
+		cfg.FullRecompute = full
+		if chaos {
+			cfg.Faults = fault.Config{Seed: 9, Drop: 0.05, CrashRate: 0.05}
+			cfg.Churn = ChurnConfig{DepartPerCycle: 0.05, RejoinPerCycle: 0.5, WhitewashFraction: 0.2}
+		}
+		net, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := event.Enable(auditCapacity(cfg))
+		defer event.Disable()
+		res := net.Run()
+		events := rec.Drain()
+		if len(events) == 0 {
+			t.Fatal("run recorded no audit events")
+		}
+		for i := range events {
+			if c := events[i].Cycle; c != nil {
+				c.QPS, c.WallSeconds = 0, 0
+				c.Phases = nil
+			}
+			if m := events[i].Manager; m != nil {
+				m.Seconds = 0
+			}
+		}
+		return outcome{res: res, report: audit.Score(net.GroundTruth(), events), events: events}
+	}
+	for _, model := range []CollusionModel{PCM, MCM, MMM} {
+		for _, chaos := range []bool{false, true} {
+			for _, workers := range []int{1, 8} {
+				name := fmt.Sprintf("%v/chaos=%v/workers=%d", model, chaos, workers)
+				t.Run(name, func(t *testing.T) {
+					ref := run(t, model, chaos, workers, true)
+					got := run(t, model, chaos, workers, false)
+					if !reflect.DeepEqual(got.res.FinalReputations, ref.res.FinalReputations) {
+						t.Fatal("final reputations diverge between incremental and FullRecompute")
+					}
+					if !reflect.DeepEqual(got.res.History, ref.res.History) {
+						t.Fatal("reputation history diverges between incremental and FullRecompute")
+					}
+					if !reflect.DeepEqual(got.report, ref.report) {
+						t.Fatalf("detection report diverges:\nincremental:   %+v\nfullrecompute: %+v", got.report, ref.report)
+					}
+					if !reflect.DeepEqual(got.events, ref.events) {
+						t.Fatal("audit event streams diverge between incremental and FullRecompute")
+					}
+				})
+			}
+		}
+	}
+}

@@ -416,6 +416,7 @@ func (n *Network) buildEngine() {
 			Pretrusted:     cfg.PretrustedIDs(),
 			PretrustWeight: cfg.PretrustMix,
 			Workers:        cfg.Workers,
+			FullRecompute:  cfg.FullRecompute,
 		})
 	}
 	if !cfg.SocialTrust {
@@ -424,6 +425,7 @@ func (n *Network) buildEngine() {
 	}
 	fc := cfg.Filter
 	fc.NumNodes = cfg.NumNodes
+	fc.FullRecompute = cfg.FullRecompute
 	if fc.Workers == 0 {
 		fc.Workers = cfg.Workers
 	}

@@ -28,6 +28,11 @@ func (p ClosenessParams) maxHops() int {
 	return p.MaxPathHops
 }
 
+// MaxHops returns the effective BFS hop cutoff (MaxPathHops with the zero
+// value defaulted) — the dependency radius of one closeness computation,
+// which invalidation layers combine with Graph.WithinHops.
+func (p ClosenessParams) MaxHops() int { return p.maxHops() }
+
 // Closeness computes the social closeness Ωc(i,j) per Equation 4 (or
 // Equation 10 when p.Weighted):
 //

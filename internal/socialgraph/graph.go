@@ -98,6 +98,12 @@ type edge struct {
 // (Epoch). Any value derived purely from graph state (closeness, profiles)
 // is valid for as long as the epoch is unchanged, which is the invalidation
 // contract the core package's signal cache is built on.
+//
+// Mutators additionally record which nodes they touched in a bounded touch
+// log (TouchedSince), so consumers can invalidate derived state in
+// proportion to the mutation — every node whose closeness could have
+// changed lies within the path-hop radius of a touched node (WithinHops) —
+// instead of discarding everything on any epoch movement.
 type Graph struct {
 	mu    sync.RWMutex // guards adj
 	epoch atomic.Uint64
@@ -106,7 +112,28 @@ type Graph struct {
 	adj []map[NodeID]*edge
 
 	interactions []interactionRow
+
+	// touchMu guards the touch log and serializes epoch advancement with
+	// log appends, so a reader that observes epoch e always finds every
+	// touch with epoch <= e already in the log.
+	touchMu    sync.Mutex
+	touchLog   []touchRec
+	touchFloor uint64 // TouchedSince is answerable only for since >= touchFloor
 }
+
+// touchRec is one touch-log entry: the node whose adjacency or outgoing
+// interaction row changed, and the epoch the mutation advanced to. Entries
+// are epoch-ascending.
+type touchRec struct {
+	epoch uint64
+	node  NodeID
+}
+
+// maxTouchLog bounds the touch log. On overflow the log is cleared and the
+// floor raised to the current epoch: consumers that synced before the floor
+// get a full-invalidation signal (TouchedSince ok=false), exactly the
+// pre-touch-log behavior.
+const maxTouchLog = 1 << 17
 
 type interactionRow struct {
 	mu     sync.Mutex
@@ -134,8 +161,113 @@ func (g *Graph) NumNodes() int { return g.n }
 // window in which every derived quantity was stable.
 func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
 
-// bump advances the epoch after any mutation.
-func (g *Graph) bump() { g.epoch.Add(1) }
+// bumpTouched advances the epoch after a mutation and records the nodes it
+// touched: every node whose adjacency set or outgoing interaction row
+// changed. The touch is appended before the new epoch becomes visible, so
+// TouchedSince(e) run against any observed epoch e is complete.
+func (g *Graph) bumpTouched(nodes ...NodeID) {
+	g.touchMu.Lock()
+	e := g.epoch.Load() + 1
+	for _, nd := range nodes {
+		// Collapse consecutive touches of the same node (the per-rating
+		// interaction pattern) by raising the entry's epoch: any consumer
+		// that missed the earlier touch still sees the raised one.
+		if last := len(g.touchLog) - 1; last >= 0 && g.touchLog[last].node == nd {
+			g.touchLog[last].epoch = e
+			continue
+		}
+		g.touchLog = append(g.touchLog, touchRec{epoch: e, node: nd})
+	}
+	if len(g.touchLog) > maxTouchLog {
+		g.touchLog = g.touchLog[:0]
+		g.touchFloor = e
+	}
+	g.epoch.Store(e)
+	g.touchMu.Unlock()
+}
+
+// bumpAll advances the epoch for a mutation with global reach (e.g.
+// ResetInteractions): the log is cleared and the floor raised so every
+// consumer falls back to full invalidation.
+func (g *Graph) bumpAll() {
+	g.touchMu.Lock()
+	e := g.epoch.Load() + 1
+	g.touchLog = g.touchLog[:0]
+	g.touchFloor = e
+	g.epoch.Store(e)
+	g.touchMu.Unlock()
+}
+
+// TouchedSince appends to buf the nodes touched by mutations with epoch in
+// (since, Epoch()] and reports whether the touch log reaches back that far.
+// ok == false (overflow, or a global mutation such as ResetInteractions)
+// means the caller must invalidate everything derived from the graph. The
+// returned list may contain duplicates.
+func (g *Graph) TouchedSince(since uint64, buf []NodeID) ([]NodeID, bool) {
+	g.touchMu.Lock()
+	defer g.touchMu.Unlock()
+	if since < g.touchFloor {
+		return buf, false
+	}
+	// Entries are epoch-ascending: binary-search the first one past since.
+	lo, hi := 0, len(g.touchLog)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.touchLog[mid].epoch > since {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for _, r := range g.touchLog[lo:] {
+		buf = append(buf, r.node)
+	}
+	return buf, true
+}
+
+// WithinHops appends to out every node within hops friendship hops of any
+// source (the sources themselves included) and returns the extended slice.
+// seen must be a caller-owned scratch slice of length NumNodes with every
+// element false; the marks set during the walk are cleared before
+// returning. The output order is unspecified (treat it as a set).
+//
+// This is the invalidation footprint query: closeness Ωc(i, ·) only ever
+// reads node i itself, common friends of i (distance 1), and nodes on
+// BFS paths from i (distance <= MaxHops), so any mutation's effect on
+// Ωc(i, ·) requires i to lie within the closeness hop radius of a node the
+// mutation touched.
+func (g *Graph) WithinHops(sources []NodeID, hops int, seen []bool, out []NodeID) []NodeID {
+	g.validate(sources...)
+	g.mu.RLock()
+	start := len(out)
+	for _, s := range sources {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	frontierStart := start
+	for d := 0; d < hops; d++ {
+		frontierEnd := len(out)
+		if frontierStart == frontierEnd {
+			break
+		}
+		for idx := frontierStart; idx < frontierEnd; idx++ {
+			for v := range g.adj[out[idx]] {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+		frontierStart = frontierEnd
+	}
+	g.mu.RUnlock()
+	for _, v := range out[start:] {
+		seen[v] = false
+	}
+	return out
+}
 
 // validate panics on out-of-range IDs; topology construction errors are
 // programming errors in experiment setup, not runtime conditions.
@@ -159,7 +291,7 @@ func (g *Graph) AddRelationship(i, j NodeID, r Relationship) {
 	g.addHalf(i, j, r)
 	g.addHalf(j, i, r)
 	g.mu.Unlock()
-	g.bump()
+	g.bumpTouched(i, j)
 }
 
 func (g *Graph) addHalf(i, j NodeID, r Relationship) {
@@ -373,7 +505,7 @@ func (g *Graph) RecordInteraction(i, j NodeID, w float64) {
 	}
 	row.counts[j] += w
 	row.mu.Unlock()
-	g.bump()
+	g.bumpTouched(i) // only i's outgoing row — f(i,·) — changed
 }
 
 // InteractionFrequency returns f(i,j), the accumulated directed interaction
@@ -407,8 +539,15 @@ func (g *Graph) TotalInteractionsFrom(i NodeID) float64 {
 func (g *Graph) RemoveNodeEdges(i NodeID) {
 	g.validate(i)
 	g.mu.Lock()
+	// Every former neighbor's adjacency set changes too: record them all so
+	// affected-set queries against the post-removal topology (where the
+	// removed edges no longer exist to walk) still reach every node whose
+	// closeness depended on one of them.
+	touched := make([]NodeID, 0, len(g.adj[i])+1)
+	touched = append(touched, i)
 	for j := range g.adj[i] {
 		delete(g.adj[j], i)
+		touched = append(touched, j)
 	}
 	g.adj[i] = nil
 	g.mu.Unlock()
@@ -416,7 +555,7 @@ func (g *Graph) RemoveNodeEdges(i NodeID) {
 	row.mu.Lock()
 	row.counts = nil
 	row.mu.Unlock()
-	g.bump()
+	g.bumpTouched(touched...)
 }
 
 // ResetInteractions clears the interaction table, used between trace epochs.
@@ -427,5 +566,5 @@ func (g *Graph) ResetInteractions() {
 		row.counts = nil
 		row.mu.Unlock()
 	}
-	g.bump()
+	g.bumpAll() // every outgoing row changed: global invalidation
 }

@@ -1,0 +1,161 @@
+package socialgraph
+
+import (
+	"sort"
+	"testing"
+)
+
+// touchedSet drains TouchedSince into a deduplicated sorted set.
+func touchedSet(t *testing.T, g *Graph, since uint64) ([]NodeID, bool) {
+	t.Helper()
+	nodes, ok := g.TouchedSince(since, nil)
+	if !ok {
+		return nil, false
+	}
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, true
+}
+
+func wantNodes(t *testing.T, got []NodeID, want ...NodeID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("touched = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("touched = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTouchLogPerMutator pins which nodes each mutator reports: the full set
+// of nodes whose adjacency or outgoing interaction row changed.
+func TestTouchLogPerMutator(t *testing.T) {
+	g := New(6)
+	e0 := g.Epoch()
+
+	g.AddRelationship(0, 1, Relationship{Kind: Friendship})
+	got, ok := touchedSet(t, g, e0)
+	if !ok {
+		t.Fatal("log overflowed unexpectedly")
+	}
+	wantNodes(t, got, 0, 1)
+
+	e1 := g.Epoch()
+	g.RecordInteraction(2, 3, 1)
+	got, _ = touchedSet(t, g, e1)
+	wantNodes(t, got, 2) // only the source's outgoing row changed
+
+	// RemoveNodeEdges touches the node and every former neighbor — the
+	// removed edges no longer exist to walk, so the neighbors must be
+	// recorded explicitly.
+	g.AddRelationship(0, 4, Relationship{Kind: Colleague})
+	e2 := g.Epoch()
+	g.RemoveNodeEdges(0)
+	got, _ = touchedSet(t, g, e2)
+	wantNodes(t, got, 0, 1, 4)
+
+	// Queries from an older sync point accumulate all later touches.
+	got, _ = touchedSet(t, g, e1)
+	wantNodes(t, got, 0, 1, 2, 4)
+}
+
+// TestTouchLogGlobalAndOverflow pins the full-invalidation fallbacks: a
+// global mutation (ResetInteractions) and a log overflow both answer
+// ok=false for consumers synced before them, while later sync points stay
+// answerable.
+func TestTouchLogGlobalAndOverflow(t *testing.T) {
+	g := New(4)
+	e0 := g.Epoch()
+	g.RecordInteraction(0, 1, 1)
+	g.ResetInteractions()
+	if _, ok := g.TouchedSince(e0, nil); ok {
+		t.Fatal("TouchedSince answered across a global mutation")
+	}
+	eAfter := g.Epoch()
+	g.RecordInteraction(1, 2, 1)
+	got, ok := touchedSet(t, g, eAfter)
+	if !ok {
+		t.Fatal("TouchedSince not answerable after a global mutation's epoch")
+	}
+	wantNodes(t, got, 1)
+
+	// Overflow: alternate sources so consecutive-touch collapsing cannot
+	// keep the log small.
+	e1 := g.Epoch()
+	for i := 0; i <= maxTouchLog; i++ {
+		g.RecordInteraction(NodeID(i%2), NodeID(2+i%2), 1)
+	}
+	if _, ok := g.TouchedSince(e1, nil); ok {
+		t.Fatal("TouchedSince answered across a log overflow")
+	}
+	e2 := g.Epoch()
+	g.RecordInteraction(3, 0, 1)
+	got, ok = touchedSet(t, g, e2)
+	if !ok {
+		t.Fatal("TouchedSince not answerable after overflow floor")
+	}
+	wantNodes(t, got, 3)
+}
+
+// TestTouchLogCollapsesConsecutive pins the hot-path optimization: repeated
+// interactions from one source collapse to a single entry whose epoch is
+// raised, and a consumer synced between two collapsed touches still sees
+// the node.
+func TestTouchLogCollapsesConsecutive(t *testing.T) {
+	g := New(3)
+	e0 := g.Epoch()
+	g.RecordInteraction(0, 1, 1)
+	mid := g.Epoch()
+	g.RecordInteraction(0, 2, 1) // collapses onto the first entry
+	if n := len(g.touchLog); n != 1 {
+		t.Fatalf("touch log has %d entries, want 1 (consecutive collapse)", n)
+	}
+	got, _ := touchedSet(t, g, e0)
+	wantNodes(t, got, 0)
+	// The consumer synced at mid missed neither touch: the collapsed
+	// entry's epoch was raised past mid.
+	got, _ = touchedSet(t, g, mid)
+	wantNodes(t, got, 0)
+}
+
+// TestWithinHops pins the affected-set BFS on a path graph: radius from the
+// sources, sources included, seen scratch cleared on return.
+func TestWithinHops(t *testing.T) {
+	g := New(7)
+	for i := 0; i < 6; i++ {
+		g.AddRelationship(NodeID(i), NodeID(i+1), Relationship{Kind: Friendship})
+	}
+	seen := make([]bool, g.NumNodes())
+	out := g.WithinHops([]NodeID{3}, 2, seen, nil)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	wantNodes(t, out, 1, 2, 3, 4, 5)
+	for i, s := range seen {
+		if s {
+			t.Fatalf("seen[%d] not cleared", i)
+		}
+	}
+	// Multi-source with overlap, zero hops: just the deduplicated sources.
+	out = g.WithinHops([]NodeID{0, 6, 0}, 0, seen, out[:0])
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	wantNodes(t, out, 0, 6)
+}
+
+// TestMaxHopsExported pins the exported dependency-radius accessor against
+// the internal default.
+func TestMaxHopsExported(t *testing.T) {
+	if got := (ClosenessParams{}).MaxHops(); got != 6 {
+		t.Fatalf("zero-value MaxHops() = %d, want 6", got)
+	}
+	if got := (ClosenessParams{MaxPathHops: 3}).MaxHops(); got != 3 {
+		t.Fatalf("MaxHops() = %d, want 3", got)
+	}
+}

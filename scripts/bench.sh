@@ -11,10 +11,13 @@
 #                      Adjust, guarding the disabled fault path's latency.
 #
 #   BENCH_scale.json — the scale-out set (scripts/bench.sh scale): the
-#                      end-to-end BenchmarkPipeline{2k,10k,50k} intervals
-#                      (ns/op, allocs, peak RSS, ratings/s) plus the batched
-#                      vs per-rating ingest comparison at 10k nodes and its
-#                      speedup ratio (acceptance: >= 3x).
+#                      end-to-end BenchmarkPipeline{2k,10k,50k,100k} intervals
+#                      (ns/op, allocs, peak RSS, ratings/s), the sparse-
+#                      activity PipelineSparse50k (1% active raters) with its
+#                      interval-time speedup over the dense 50k run
+#                      (acceptance: >= 5x), plus the batched vs per-rating
+#                      ingest comparison at 10k nodes and its speedup ratio
+#                      (acceptance: >= 3x).
 #
 #   BENCH_trace.json — the phase-attribution set (scripts/bench.sh trace):
 #                      a traced pipeline sweep (stress -nodes ... -trace-dir)
@@ -55,12 +58,18 @@ fi
 
 if [[ ${1:-} == "scale" ]]; then
   OUT=${2:-BENCH_scale.json}
-  raw=$(
-    go test -run '^$' -bench '^BenchmarkPipeline(2k|10k|50k)$' \
-      -benchmem -benchtime "${BENCHTIME:-1x}" -timeout 30m .
+  # Each go test invocation is checked on its own: `raw=$(cmd1; cmd2)` takes
+  # cmd2's exit status, so a build failure in the first command would
+  # otherwise produce a silently truncated snapshot.
+  raw1=$(
+    go test -run '^$' -bench '^BenchmarkPipeline(2k|10k|50k|100k|Sparse50k)$' \
+      -benchmem -benchtime "${BENCHTIME:-1x}" -timeout 60m .
+  ) || { echo "bench.sh: pipeline benchmarks failed:" >&2; echo "$raw1" >&2; exit 1; }
+  raw2=$(
     go test -run '^$' -bench '^(BenchmarkOverlaySubmit10k|BenchmarkOverlaySubmitBatch)$' \
       -benchmem -benchtime "${SUBMIT_BENCHTIME:-1s}" ./internal/manager
-  )
+  ) || { echo "bench.sh: overlay benchmarks failed:" >&2; echo "$raw2" >&2; exit 1; }
+  raw="$raw1"$'\n'"$raw2"
   echo "$raw"
   echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     /^Benchmark/ {
@@ -89,6 +98,9 @@ if [[ ${1:-} == "scale" ]]; then
         printf "}%s\n", (i < n - 1 ? "," : "")
       }
       printf "  },\n"
+      dense = vals["Pipeline50k", "s_per_interval"]
+      sparse = vals["PipelineSparse50k", "s_per_interval"]
+      printf "  \"sparse_speedup\": %.2f,\n", (sparse > 0 ? dense / sparse : 0)
       base = vals["OverlaySubmit10k", "ns_per_rating"]
       batch = vals["OverlaySubmitBatch", "ns_per_rating"]
       speedup = (batch > 0 ? base / batch : 0)
