@@ -19,6 +19,12 @@
 //	-metrics-dump text      print a metrics snapshot after each experiment
 //	                        (text or json)
 //	-v                      periodic progress lines on stderr during runs
+//	-health-addr :9091      serve the ops plane (/healthz, /readyz, /statusz
+//	                        and /metrics) with a background health sampler;
+//	                        watch it live with socialtrust-top
+//	-health-sample 500ms    sampler cadence (default 1s)
+//	-slo-interval 2s        per-interval wall-time budget for the
+//	                        interval-slo watchdog
 //
 // Decision audit — instead of (or before) experiments, run one audited
 // simulation whose per-decision forensics trail is written to a directory
@@ -57,6 +63,7 @@ import (
 	"socialtrust/internal/experiments"
 	"socialtrust/internal/fault"
 	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/health"
 	"socialtrust/internal/sim"
 )
 
@@ -73,6 +80,10 @@ func main() {
 		mPprof  = flag.Bool("pprof", false, "mount net/http/pprof on the metrics server (requires -metrics-addr)")
 		mDump   = flag.String("metrics-dump", "", "print a metrics snapshot after each experiment: text|json")
 		verbose = flag.Bool("v", false, "verbose progress logging on stderr")
+
+		healthAddr   = flag.String("health-addr", "", "serve the ops plane on this address: /healthz, /readyz, /statusz plus /metrics (watch with socialtrust-top)")
+		healthSample = flag.Duration("health-sample", time.Second, "health sampler cadence (requires -health-addr)")
+		sloInterval  = flag.Duration("slo-interval", 0, "per-update-interval wall-time budget judged by the interval-slo watchdog (0 = disabled; requires -health-addr)")
 
 		auditDir   = flag.String("audit", "", "run one audited simulation and write its decision-audit trail to this directory")
 		auditModel = flag.String("audit-model", "MCM", "collusion model of the audited run: none|PCM|MCM|MMM")
@@ -117,6 +128,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, " (pprof on /debug/pprof/)")
 		}
 		fmt.Fprintln(os.Stderr)
+	}
+	if *sloInterval < 0 || (*sloInterval > 0 && *healthAddr == "") {
+		fmt.Fprintln(os.Stderr, "socialtrust-sim: -slo-interval requires -health-addr and must be >= 0")
+		os.Exit(2)
+	}
+	if *healthAddr != "" {
+		sampler := health.Start(health.Config{Interval: *healthSample, SLOInterval: *sloInterval})
+		defer sampler.Stop()
+		srv, err := health.Serve(*healthAddr, *mPprof, sampler) // Serve enables recording
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "socialtrust-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops plane on http://%s/statusz (healthz, readyz, metrics)\n", srv.Addr)
 	}
 
 	faults := fault.Config{Seed: *faultSeed, Drop: *faultDrop}

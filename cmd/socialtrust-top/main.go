@@ -1,0 +1,232 @@
+// Command socialtrust-top is a live terminal dashboard for the ops plane:
+// it polls /statusz on a process started with -health-addr (socialtrust-sim
+// or stress) and renders per-component health verdicts, throughput, mailbox
+// depth, interval phase times, runtime footprint and sparkline trends.
+//
+//	socialtrust-sim -audit out/ -health-addr :9091 &
+//	socialtrust-top -addr localhost:9091
+//
+//	socialtrust-top -once          # one frame, no screen control (scripts/CI)
+//	socialtrust-top -interval 2s   # slower refresh
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"socialtrust/internal/obs/health"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:9091", "host:port of the ops plane (-health-addr of the watched process)")
+		interval = flag.Duration("interval", time.Second, "refresh cadence")
+		once     = flag.Bool("once", false, "render one frame without screen control and exit")
+	)
+	flag.Parse()
+
+	url := "http://" + *addr + "/statusz"
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		p, err := fetch(client, url)
+		if err != nil {
+			if *once {
+				fmt.Fprintf(os.Stderr, "socialtrust-top: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\x1b[2J\x1b[H(waiting for %s: %v)\n", url, err)
+		} else {
+			var b strings.Builder
+			render(&b, p, !*once)
+			if !*once {
+				fmt.Print("\x1b[2J\x1b[H")
+			}
+			os.Stdout.WriteString(b.String())
+			if *once {
+				if p.Overall == health.StatusFailing {
+					os.Exit(1)
+				}
+				return
+			}
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch pulls and decodes one /statusz payload.
+func fetch(client *http.Client, url string) (health.StatusPayload, error) {
+	var p health.StatusPayload
+	resp, err := client.Get(url)
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return p, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return p, fmt.Errorf("%s: decode: %w", url, err)
+	}
+	return p, nil
+}
+
+// sparkBlocks are the eight block characters a sparkline quantizes into.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the last width values as a block-character trend,
+// normalized to the series' own min..max (a flat series renders low).
+func sparkline(vals []float64, width int) string {
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkBlocks)-1))
+		}
+		b.WriteRune(sparkBlocks[i])
+	}
+	return b.String()
+}
+
+// rates derives a per-second rate series from a cumulative counter across
+// the sampled window, using each sample's wall-clock stamp.
+func rates(w []health.Sample, value func(*health.Sample) float64) []float64 {
+	var out []float64
+	for i := 1; i < len(w); i++ {
+		dt := float64(w[i].UnixNanos-w[i-1].UnixNanos) / 1e9
+		if dt <= 0 {
+			continue
+		}
+		d := value(&w[i]) - value(&w[i-1])
+		if d < 0 {
+			d = 0 // counter reset (watched process restarted)
+		}
+		out = append(out, d/dt)
+	}
+	return out
+}
+
+// last returns the final element of a series, or 0.
+func last(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[len(vals)-1]
+}
+
+// paint wraps s in an ANSI color matched to the verdict when color is on.
+func paint(s health.Status, color bool) string {
+	if !color {
+		return s.String()
+	}
+	code := "32" // green
+	switch s {
+	case health.StatusDegraded:
+		code = "33" // yellow
+	case health.StatusFailing:
+		code = "31" // red
+	}
+	return "\x1b[" + code + "m" + s.String() + "\x1b[0m"
+}
+
+// fmtBytes renders a byte count human-readably (base 1024).
+func fmtBytes(b float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.1f%s", b, units[i])
+}
+
+// render draws one dashboard frame from a /statusz payload.
+func render(w io.Writer, p health.StatusPayload, color bool) {
+	const sparkWidth = 48
+	win := p.Window
+	var cur *health.Sample
+	if len(win) > 0 {
+		cur = &win[len(win)-1]
+	}
+
+	fmt.Fprintf(w, "socialtrust-top  overall %s  worst %s  up %s  samples %d (every %.2gs)\n",
+		paint(p.Overall, color), paint(p.WorstOverall, color),
+		(time.Duration(p.UptimeSeconds * float64(time.Second))).Round(time.Second),
+		p.Samples, p.SampleIntervalSeconds)
+	if p.SLOIntervalSeconds > 0 {
+		fmt.Fprintf(w, "interval SLO budget %.3gs\n", p.SLOIntervalSeconds)
+	}
+	fmt.Fprintln(w)
+
+	// Component verdicts with the details of any non-ok rules.
+	for _, c := range p.Components {
+		fmt.Fprintf(w, "  %-12s %s\n", c.Name, paint(c.Status, color))
+		for _, r := range c.Rules {
+			if r.Status != health.StatusOK {
+				fmt.Fprintf(w, "    %-26s %-9s %s\n", r.Rule, paint(r.Status, color), r.Detail)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+
+	if cur != nil {
+		ratingsPS := rates(win, func(s *health.Sample) float64 { return s.Submits })
+		depth := make([]float64, len(win))
+		heap := make([]float64, len(win))
+		for i := range win {
+			depth[i] = win[i].MailboxDepth
+			heap[i] = float64(win[i].HeapBytes)
+		}
+		fmt.Fprintf(w, "  ratings/s  %10.0f  %s\n", last(ratingsPS), sparkline(ratingsPS, sparkWidth))
+		fmt.Fprintf(w, "  mailbox    %10.0f  %s\n", cur.MailboxDepth, sparkline(depth, sparkWidth))
+		fmt.Fprintf(w, "  heap       %10s  %s\n", fmtBytes(float64(cur.HeapBytes)), sparkline(heap, sparkWidth))
+		fmt.Fprintf(w, "  goroutines %10d   rss %s   shards %g (%g down)   qps %.0f\n",
+			cur.Goroutines, fmtBytes(float64(cur.RSSBytes)), cur.Shards, cur.ShardsDown, cur.QPS)
+
+		// Phase attribution of the work completed across the window: deltas
+		// of the drain/adjust/iterate histogram sums.
+		if len(win) > 1 {
+			first := &win[0]
+			drain := cur.DrainSeconds - first.DrainSeconds
+			adjust := cur.AdjustSeconds - first.AdjustSeconds
+			iterate := cur.IterateSeconds - first.IterateSeconds
+			if total := drain + adjust + iterate; total > 0 {
+				fmt.Fprintf(w, "  phases (window)   drain %.1f%%   adjust %.1f%%   iterate %.1f%%   last interval %.3fs\n",
+					100*drain/total, 100*adjust/total, 100*iterate/total, cur.LastIntervalSeconds)
+			}
+		}
+	}
+
+	if len(p.Events) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "  recent health events:")
+		evs := p.Events
+		if len(evs) > 8 {
+			evs = evs[len(evs)-8:]
+		}
+		for _, e := range evs {
+			fmt.Fprintf(w, "    #%-5d %-26s %-10s %s → %s  %s\n",
+				e.Sample, e.Rule, e.Component, e.Prev, e.Status, e.Detail)
+		}
+	}
+}

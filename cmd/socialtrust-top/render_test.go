@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"socialtrust/internal/obs/health"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	got := sparkline([]float64{0, 1, 2, 3}, 10)
+	if !strings.HasPrefix(got, "▁") || !strings.HasSuffix(got, "█") {
+		t.Fatalf("rising sparkline = %q, want ▁..█", got)
+	}
+	// Flat series renders low, not mid-scale noise.
+	if got := sparkline([]float64{5, 5, 5}, 10); got != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q, want ▁▁▁", got)
+	}
+	// Width truncates to the most recent values.
+	if got := sparkline([]float64{9, 0, 1}, 2); len([]rune(got)) != 2 {
+		t.Fatalf("truncated sparkline = %q, want 2 runes", got)
+	}
+}
+
+func TestRates(t *testing.T) {
+	w := []health.Sample{
+		{UnixNanos: 0, Submits: 0},
+		{UnixNanos: 1e9, Submits: 500},
+		{UnixNanos: 3e9, Submits: 700},
+		{UnixNanos: 4e9, Submits: 100}, // counter reset
+	}
+	got := rates(w, func(s *health.Sample) float64 { return s.Submits })
+	want := []float64{500, 100, 0}
+	if len(got) != len(want) {
+		t.Fatalf("rates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rates[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	p := health.StatusPayload{
+		Overall:               health.StatusDegraded,
+		WorstOverall:          health.StatusDegraded,
+		UptimeSeconds:         12,
+		SampleIntervalSeconds: 1,
+		SLOIntervalSeconds:    2,
+		Samples:               3,
+		Components: []health.ComponentStatus{
+			{Name: "manager", Status: health.StatusDegraded, Rules: []health.RuleStatus{
+				{Rule: "shard-outage", Status: health.StatusDegraded, Detail: "1 of 4 shards down"},
+			}},
+			{Name: "sim", Status: health.StatusOK, Rules: []health.RuleStatus{{Rule: "interval-slo"}}},
+		},
+		Window: []health.Sample{
+			{Seq: 1, UnixNanos: 1e9, Submits: 0, MailboxDepth: 2, HeapBytes: 1 << 20, Goroutines: 12, Shards: 4},
+			{Seq: 2, UnixNanos: 2e9, Submits: 1000, MailboxDepth: 5, HeapBytes: 2 << 20, Goroutines: 14, Shards: 4,
+				ShardsDown: 1, DrainSeconds: 0.2, AdjustSeconds: 0.5, IterateSeconds: 0.3, LastIntervalSeconds: 1.1},
+		},
+		Events: []health.HealthEvent{
+			{Sample: 2, Rule: "shard-outage", Component: "manager", Prev: "ok", Status: "degraded", Detail: "1 of 4 shards down"},
+		},
+	}
+	var b strings.Builder
+	render(&b, p, false)
+	out := b.String()
+	for _, want := range []string{
+		"overall degraded",
+		"shard-outage",
+		"1 of 4 shards down",
+		"ratings/s",
+		"1000",
+		"mailbox",
+		"phases (window)",
+		"adjust 50.0%",
+		"recent health events",
+		"ok → degraded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Fatalf("color-off frame contains ANSI escapes:\n%s", out)
+	}
+}

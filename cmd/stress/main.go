@@ -9,6 +9,7 @@
 //	stress -sizes 200,1600 -cycles 10
 //	stress -managers 8           # route ratings through the manager overlay
 //	stress -metrics-addr :9090 -pprof   # live metrics + profiling
+//	stress -health-addr :9091 -slo-interval 2s   # ops plane: probes + watchdogs
 //	stress -audit out/           # decision-audit trail per size in out/n<size>
 //	stress -churn -managers 8 -fault-drop 0.1 -fault-crash   # chaos sweep
 //	stress -nodes scale          # pipeline sweep at the 2k/10k/50k presets
@@ -41,6 +42,7 @@ import (
 
 	"socialtrust"
 	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/health"
 )
 
 func main() {
@@ -56,6 +58,10 @@ func main() {
 		mDump    = flag.String("metrics-dump", "", "print a metrics snapshot after the sweep: text|json")
 		auditDir = flag.String("audit", "", "write each size's decision-audit trail to <dir>/n<size>")
 		verbose  = flag.Bool("v", false, "verbose progress logging on stderr")
+
+		healthAddr   = flag.String("health-addr", "", "serve the ops plane on this address: /healthz, /readyz, /statusz plus /metrics (watch with socialtrust-top)")
+		healthSample = flag.Duration("health-sample", time.Second, "health sampler cadence (requires -health-addr)")
+		sloInterval  = flag.Duration("slo-interval", 0, "per-update-interval wall-time budget judged by the interval-slo watchdog (0 = disabled; requires -health-addr)")
 
 		nodes     = flag.String("nodes", "", "pipeline-sweep sizes (k suffix ok, e.g. 2k,10k,50k; \"scale\" = that preset); bypasses the simulator")
 		intervals = flag.Int("intervals", 3, "update intervals per pipeline-sweep size (-nodes mode)")
@@ -104,6 +110,21 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr)
+	}
+	if *sloInterval < 0 || (*sloInterval > 0 && *healthAddr == "") {
+		fmt.Fprintln(os.Stderr, "stress: -slo-interval requires -health-addr and must be >= 0")
+		os.Exit(2)
+	}
+	if *healthAddr != "" {
+		sampler := health.Start(health.Config{Interval: *healthSample, SLOInterval: *sloInterval})
+		defer sampler.Stop()
+		srv, err := health.Serve(*healthAddr, *mPprof, sampler)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stress: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops plane on http://%s/statusz (healthz, readyz, metrics)\n", srv.Addr)
 	}
 
 	// Background sampler feeding the runtime_* gauges (peaks included)

@@ -63,6 +63,11 @@ const (
 	DecisionsFile   = "filter_decisions.jsonl"
 	CyclesFile      = "cycle_series.jsonl"
 	ManagerFile     = "manager_events.jsonl"
+	// HealthFile holds watchdog status transitions from the health sampler
+	// (internal/obs/health). Health events come from an asynchronous sampler
+	// goroutine, so they live in their own file: the deterministic streams
+	// above stay byte-comparable between health-on and health-off runs.
+	HealthFile = "health_events.jsonl"
 	// FaultsFile holds the fault plan's injected-event log for runs under
 	// fault injection (absent otherwise). Same seed ⇒ byte-identical file —
 	// the golden determinism artifact.
@@ -171,7 +176,7 @@ func LoadFaultEvents(dir string) ([]fault.Event, error) {
 
 // WriteDir writes one run's audit output: the ground truth and the event
 // stream split into one JSONL file per event kind. The directory is
-// created if needed; existing files are truncated. All four files are
+// created if needed; existing files are truncated. Every per-kind file is
 // always written (possibly empty) so consumers can rely on the layout.
 func WriteDir(dir string, gt GroundTruth, events []event.Event) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -184,7 +189,7 @@ func WriteDir(dir string, gt GroundTruth, events []event.Event) error {
 	if err := os.WriteFile(filepath.Join(dir, GroundTruthFile), append(gtJSON, '\n'), 0o644); err != nil {
 		return fmt.Errorf("audit: %w", err)
 	}
-	var decisions, cycles, managers []event.Event
+	var decisions, cycles, managers, health []event.Event
 	for _, e := range events {
 		switch {
 		case e.Filter != nil:
@@ -193,6 +198,8 @@ func WriteDir(dir string, gt GroundTruth, events []event.Event) error {
 			cycles = append(cycles, e)
 		case e.Manager != nil:
 			managers = append(managers, e)
+		case e.Health != nil:
+			health = append(health, e)
 		}
 	}
 	for _, part := range []struct {
@@ -202,6 +209,7 @@ func WriteDir(dir string, gt GroundTruth, events []event.Event) error {
 		{DecisionsFile, decisions},
 		{CyclesFile, cycles},
 		{ManagerFile, managers},
+		{HealthFile, health},
 	} {
 		f, err := os.Create(filepath.Join(dir, part.name))
 		if err != nil {
@@ -232,7 +240,7 @@ func LoadDir(dir string) (GroundTruth, []event.Event, error) {
 		return gt, nil, fmt.Errorf("audit: parse %s: %w", GroundTruthFile, err)
 	}
 	var events []event.Event
-	for _, name := range []string{DecisionsFile, CyclesFile, ManagerFile} {
+	for _, name := range []string{DecisionsFile, CyclesFile, ManagerFile, HealthFile} {
 		f, err := os.Open(filepath.Join(dir, name))
 		if os.IsNotExist(err) {
 			continue

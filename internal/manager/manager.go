@@ -76,6 +76,8 @@ var (
 	mRestarts     = obs.C("manager_shard_restarts_total")
 	mDrainPartial = obs.C("manager_drain_partial_total")
 	mDrainReplica = obs.C("manager_drain_replica_total")
+	mShards       = obs.G("manager_shards")
+	mShardsDown   = obs.G("manager_shards_down")
 
 	// mActivePairs is the per-drain distribution of distinct active
 	// (rater, ratee) pairs — the interval's activity footprint, the quantity
@@ -89,6 +91,7 @@ func init() {
 	obs.Help("manager_submit_errors_total", "Rating submissions rejected or failed after retries.")
 	obs.Help("manager_query_total", "Reputation queries served by the overlay.")
 	obs.Help("manager_drain_total", "Update-interval drains executed (EndInterval calls).")
+	obs.Help("manager_drain_seconds", "Wall time of one update-interval drain (collection, merge, engine update, broadcast).")
 	obs.Help("manager_submit_seconds", "Latency of one rating submission through the mailbox.")
 	obs.Help("manager_query_seconds", "Latency of one reputation query through the mailbox.")
 	obs.Help("manager_submit_batch_size", "Per-shard batch sizes delivered by SubmitBatch.")
@@ -99,6 +102,8 @@ func init() {
 	obs.Help("manager_shard_restarts_total", "Crashed shards restarted at interval boundaries.")
 	obs.Help("manager_drain_partial_total", "Interval drains that lost at least one shard's ratings.")
 	obs.Help("manager_drain_replica_total", "Shard intervals recovered from replica mirrors during a drain.")
+	obs.Help("manager_shards", "Shards in the overlay (set once at construction).")
+	obs.Help("manager_shards_down", "Shards currently crashed and awaiting restart.")
 	obs.Help("manager_interval_active_pairs", "Distinct active rater-ratee pairs per interval drain.")
 }
 
@@ -286,6 +291,8 @@ func NewWithOptions(numNodes, numManagers int, engine reputation.Engine, opts Op
 		o.wg.Add(1)
 		go o.serve(s, s.cur.Load())
 	}
+	mShards.Set(float64(numManagers))
+	mShardsDown.Set(0)
 	return o, nil
 }
 
@@ -1217,6 +1224,7 @@ func (o *Overlay) crashShardLocked(i int) {
 	}
 	close(st.kill)
 	<-st.down // wait for the serve loop to exit before proceeding
+	mShardsDown.Add(1)
 }
 
 // restartShardLocked installs a fresh incarnation synced to the last
@@ -1234,6 +1242,7 @@ func (o *Overlay) restartShardLocked(i int) {
 	s.cur.Store(fresh)
 	o.wg.Add(1)
 	go o.serve(s, fresh)
+	mShardsDown.Add(-1)
 }
 
 // crashShard is the test hook for killing one shard outside a fault plan.

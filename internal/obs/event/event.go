@@ -153,6 +153,38 @@ type ManagerEvent struct {
 	Partial  bool `json:"partial,omitempty"`
 }
 
+// HealthEvent records one watchdog status transition from the health
+// sampler (internal/obs/health): a rule's verdict for a component changing
+// between ok/degraded/failing, with the observed value and the threshold it
+// was judged against.
+//
+// Health events are emitted by an asynchronous sampler goroutine, so their
+// Seq interleaving with the deterministic filter/cycle/manager streams is
+// wall-clock-dependent. The audit layer therefore splits them into their own
+// file (internal/audit HealthFile), and determinism contracts compare the
+// per-kind streams — never the merged Seq order.
+type HealthEvent struct {
+	// Sample is the sampler's tick number at which the transition was seen.
+	Sample uint64 `json:"sample"`
+	// Rule names the watchdog rule (e.g. "mailbox-backlog",
+	// "eigentrust-residual-stall"); Component the subsystem it judges
+	// ("manager", "eigentrust", "sim", "runtime").
+	Rule      string `json:"rule"`
+	Component string `json:"component"`
+	// Status is the new verdict ("ok", "degraded", "failing"); Prev the one
+	// it transitioned from.
+	Status string `json:"status"`
+	Prev   string `json:"prev"`
+	// Detail is a one-line human-readable explanation; Value/Threshold the
+	// observation and bound behind the verdict (0 when not meaningful).
+	Detail    string  `json:"detail,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// UnixNanos is the sample's wall-clock time (observational, like
+	// CycleSeries.WallSeconds — not part of any deterministic payload).
+	UnixNanos int64 `json:"unix_nanos,omitempty"`
+}
+
 // Event is one recorded flight-recorder entry. Exactly one payload field is
 // non-nil; Seq is a monotonic per-recorder sequence number assigned at
 // record time (gaps after a Drain indicate ring overwrites — see Dropped).
@@ -161,6 +193,7 @@ type Event struct {
 	Filter  *FilterDecision `json:"filter,omitempty"`
 	Cycle   *CycleSeries    `json:"cycle,omitempty"`
 	Manager *ManagerEvent   `json:"manager,omitempty"`
+	Health  *HealthEvent    `json:"health,omitempty"`
 }
 
 // DefaultCapacity is the ring size Enable uses when given a non-positive
@@ -224,6 +257,9 @@ func (r *Recorder) RecordCycle(c CycleSeries) { r.record(Event{Cycle: &c}) }
 
 // RecordManager records one manager-overlay operation.
 func (r *Recorder) RecordManager(m ManagerEvent) { r.record(Event{Manager: &m}) }
+
+// RecordHealth records one watchdog status transition.
+func (r *Recorder) RecordHealth(h HealthEvent) { r.record(Event{Health: &h}) }
 
 // Drain copies the buffered events out in record order (oldest first) and
 // clears the ring. Sequence numbers keep increasing across drains.
@@ -306,6 +342,13 @@ func RecordCycle(c CycleSeries) {
 func RecordManager(m ManagerEvent) {
 	if r := active.Load(); r != nil {
 		r.RecordManager(m)
+	}
+}
+
+// RecordHealth records into the package-level recorder (no-op if disabled).
+func RecordHealth(h HealthEvent) {
+	if r := active.Load(); r != nil {
+		r.RecordHealth(h)
 	}
 }
 

@@ -7,10 +7,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // BucketSnapshot is one cumulative histogram bucket.
@@ -205,7 +207,10 @@ func WriteJSON(w io.Writer) error { return Default.WriteJSON(w) }
 
 // Runtime gauges maintained by CaptureRuntime. The *_peak gauges are
 // high-water marks across captures; ResetRuntimePeaks re-arms them for a new
-// measurement window.
+// measurement window. Freshness follows whoever drives CaptureRuntime: every
+// /metrics scrape captures first, and a running health sampler
+// (internal/obs/health) refreshes them on its tick, so gauges are at most one
+// sample interval stale while either is active.
 var (
 	gGoroutines     = G("runtime_goroutines")
 	gGoroutinesPeak = G("runtime_goroutines_peak")
@@ -213,15 +218,29 @@ var (
 	gHeapAllocPeak  = G("runtime_heap_alloc_bytes_peak")
 	gTotalAlloc     = G("runtime_total_alloc_bytes")
 	gNumGC          = G("runtime_gc_total")
+	gRSS            = G("runtime_rss_bytes")
+	gRSSPeak        = G("runtime_rss_peak_bytes")
+	hGCPause        = H("runtime_gc_pause_seconds", GCPauseBuckets...)
 )
 
+// GCPauseBuckets are the bounds of runtime_gc_pause_seconds: stop-the-world
+// pauses run from microseconds on an idle heap to tens of milliseconds under
+// allocation pressure.
+var GCPauseBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1,
+}
+
 func init() {
-	Help("runtime_goroutines", "Goroutines at the last CaptureRuntime sample.")
+	const cadence = "Refreshed by every /metrics scrape and each health-sampler tick (at most one sample interval stale while either runs)."
+	Help("runtime_goroutines", "Goroutines at the last CaptureRuntime sample. "+cadence)
 	Help("runtime_goroutines_peak", "Goroutine high-water mark across captures (ResetRuntimePeaks re-arms).")
-	Help("runtime_heap_alloc_bytes", "Live heap bytes at the last sample.")
+	Help("runtime_heap_alloc_bytes", "Live heap bytes at the last sample. "+cadence)
 	Help("runtime_heap_alloc_bytes_peak", "Live-heap high-water mark across captures.")
-	Help("runtime_total_alloc_bytes", "Cumulative bytes allocated by the process.")
-	Help("runtime_gc_total", "Garbage collections completed.")
+	Help("runtime_total_alloc_bytes", "Cumulative bytes allocated by the process. "+cadence)
+	Help("runtime_gc_total", "Garbage collections completed. "+cadence)
+	Help("runtime_rss_bytes", "Resident set size (VmRSS) at the last sample; 0 where /proc is unavailable. "+cadence)
+	Help("runtime_rss_peak_bytes", "Peak resident set size (VmHWM) reported by the kernel; 0 where /proc is unavailable. "+cadence)
+	Help("runtime_gc_pause_seconds", "Stop-the-world GC pause durations, fed from MemStats.PauseNs by CaptureRuntime. "+cadence)
 }
 
 // RuntimeStats is one sample of process-level runtime state.
@@ -230,11 +249,38 @@ type RuntimeStats struct {
 	HeapAlloc  uint64 // live heap bytes
 	TotalAlloc uint64 // cumulative allocated bytes
 	NumGC      uint32
+	RSS        uint64 // resident set size (VmRSS); 0 where /proc is unavailable
+	RSSPeak    uint64 // kernel peak resident set (VmHWM); 0 where /proc is unavailable
 }
 
-// CaptureRuntime samples goroutine count and memory statistics, updates the
-// runtime_* gauges (including peaks) and returns the sample. Sampling is
-// cheap enough (~µs) to call from a ticker during long runs.
+// gcPauseMu guards the PauseNs cursor so concurrent CaptureRuntime callers
+// (a /metrics scrape racing the health sampler) feed each pause exactly once.
+var gcPauseMu sync.Mutex
+var gcPauseSeen uint32
+
+// feedGCPauses observes every GC pause completed since the previous capture
+// into runtime_gc_pause_seconds. MemStats.PauseNs is a 256-entry circular
+// buffer indexed by GC number; pauses older than the buffer are dropped (they
+// were overwritten before any capture saw them).
+func feedGCPauses(ms *runtime.MemStats) {
+	gcPauseMu.Lock()
+	defer gcPauseMu.Unlock()
+	from := gcPauseSeen
+	if ms.NumGC > 256 && from < ms.NumGC-256 {
+		from = ms.NumGC - 256
+	}
+	for n := from; n < ms.NumGC; n++ {
+		hGCPause.Observe(float64(ms.PauseNs[n%256]) / 1e9)
+	}
+	gcPauseSeen = ms.NumGC
+}
+
+// CaptureRuntime samples goroutine count, memory statistics and (on Linux)
+// the kernel's resident-set numbers, updates the runtime_* gauges (including
+// peaks and the GC-pause histogram) and returns the sample. Sampling is cheap
+// enough (tens of µs) to call from a ticker during long runs; the health
+// sampler (internal/obs/health) drives it on its tick so the gauges stay
+// fresh without caller discipline.
 func CaptureRuntime() RuntimeStats {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -244,17 +290,54 @@ func CaptureRuntime() RuntimeStats {
 		TotalAlloc: ms.TotalAlloc,
 		NumGC:      ms.NumGC,
 	}
+	st.RSS, st.RSSPeak = readProcRSS()
 	gGoroutines.Set(float64(st.Goroutines))
 	gGoroutinesPeak.SetMax(float64(st.Goroutines))
 	gHeapAlloc.Set(float64(st.HeapAlloc))
 	gHeapAllocPeak.SetMax(float64(st.HeapAlloc))
 	gTotalAlloc.Set(float64(st.TotalAlloc))
 	gNumGC.Set(float64(st.NumGC))
+	if st.RSS > 0 {
+		gRSS.Set(float64(st.RSS))
+	}
+	if st.RSSPeak > 0 {
+		gRSSPeak.SetMax(float64(st.RSSPeak))
+	}
+	feedGCPauses(&ms)
 	return st
 }
 
+// readProcRSS reads VmRSS and VmHWM from /proc/self/status, in bytes.
+// Returns zeros on platforms without procfs.
+func readProcRSS() (rss, peak uint64) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		var dst *uint64
+		switch {
+		case strings.HasPrefix(line, "VmRSS:"):
+			dst = &rss
+		case strings.HasPrefix(line, "VmHWM:"):
+			dst = &peak
+		default:
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) >= 2 {
+			if kb, err := strconv.ParseUint(f[1], 10, 64); err == nil {
+				*dst = kb * 1024
+			}
+		}
+	}
+	return rss, peak
+}
+
 // ResetRuntimePeaks zeroes the runtime high-water-mark gauges so the next
-// CaptureRuntime starts a fresh measurement window.
+// CaptureRuntime starts a fresh measurement window. The kernel's VmHWM
+// cannot be re-armed from user space, so runtime_rss_peak_bytes keeps its
+// process-lifetime high-water mark.
 func ResetRuntimePeaks() {
 	gGoroutinesPeak.Reset()
 	gHeapAllocPeak.Reset()

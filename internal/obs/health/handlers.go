@@ -1,0 +1,109 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/event"
+)
+
+// StatusPayload is the /statusz response: the overall verdict, per-component
+// breakdown, the sampled time-series window (oldest first) and the recent
+// watchdog transitions. cmd/socialtrust-top renders this.
+type StatusPayload struct {
+	Overall               Status              `json:"overall"`
+	WorstOverall          Status              `json:"worst_overall"`
+	UptimeSeconds         float64             `json:"uptime_seconds"`
+	SampleIntervalSeconds float64             `json:"sample_interval_seconds"`
+	SLOIntervalSeconds    float64             `json:"slo_interval_seconds,omitempty"`
+	Samples               uint64              `json:"samples"`
+	Components            []ComponentStatus   `json:"components"`
+	Window                []Sample            `json:"window"`
+	Events                []event.HealthEvent `json:"events,omitempty"`
+}
+
+// Payload assembles the full /statusz view.
+func (s *Sampler) Payload() StatusPayload {
+	p := StatusPayload{
+		Overall:               s.Status(),
+		WorstOverall:          s.Worst(),
+		UptimeSeconds:         time.Since(s.started).Seconds(),
+		SampleIntervalSeconds: s.cfg.Interval.Seconds(),
+		SLOIntervalSeconds:    s.cfg.SLOInterval.Seconds(),
+		Samples:               s.Samples(),
+		Components:            s.Components(),
+		Window:                s.Window(),
+		Events:                s.Events(),
+	}
+	return p
+}
+
+// Handler mounts the health probes over base (typically obs.Handler, so one
+// mux serves /metrics, pprof and the probes together):
+//
+//	/healthz — liveness: 200 unless any component is failing (503)
+//	/readyz  — readiness: 200 only when every component is ok (503 otherwise)
+//	/statusz — the full StatusPayload as JSON
+//
+// A nil sampler answers every probe 503 ("health sampler off"), so the
+// endpoints are mountable before Start.
+func Handler(s *Sampler, base http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	if base != nil {
+		mux.Handle("/", base)
+	}
+	probe := func(ready bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if s == nil {
+				http.Error(w, "health sampler off", http.StatusServiceUnavailable)
+				return
+			}
+			st := s.Status()
+			bad := st == StatusFailing
+			if ready {
+				bad = st != StatusOK
+			}
+			if bad {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			fmt.Fprintf(w, "%s\n", st)
+		}
+	}
+	mux.HandleFunc("/healthz", probe(false))
+	mux.HandleFunc("/readyz", probe(true))
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		if s == nil {
+			http.Error(w, `{"error":"health sampler off"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(s.Payload())
+	})
+	return mux
+}
+
+// Serve starts the sampler's combined ops server on addr: metrics, optional
+// pprof, and the health probes, with metrics recording enabled (the sampler
+// is useless without it). Returns the listening server; Close it and Stop
+// the sampler to shut down.
+func Serve(addr string, pprofToo bool, s *Sampler) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("health: listen %s: %w", addr, err)
+	}
+	obs.Enable()
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(s, obs.Handler(pprofToo))}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			obs.Logger().Error("health: ops server failed", "addr", addr, "err", err)
+		}
+	}()
+	return srv, nil
+}

@@ -1,0 +1,90 @@
+package health_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"socialtrust/internal/fault"
+	"socialtrust/internal/manager"
+	"socialtrust/internal/obs"
+	"socialtrust/internal/obs/event"
+	"socialtrust/internal/obs/health"
+	"socialtrust/internal/rating"
+	"socialtrust/internal/reputation/ebay"
+)
+
+// TestStalledShardFlipsReadyz is the ISSUE 8 acceptance scenario: a shard
+// deliberately crashed by a fault plan (and kept down) must flip /readyz to
+// degraded within two sample ticks and emit a matching HealthEvent.
+func TestStalledShardFlipsReadyz(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	rec := event.Enable(1 << 10)
+	defer event.Disable()
+
+	const n, k = 16, 4
+	plan, err := fault.NewPlan(fault.Config{Crashes: []fault.Crash{
+		{Shard: 0, AtInterval: 1, Down: 1000}, // down for the whole run
+	}}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := manager.NewWithOptions(n, k, ebay.New(n), manager.Options{Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	s := health.New(health.Config{})
+	h := health.Handler(s, nil)
+	readyz := func() int {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rr.Code
+	}
+
+	// Healthy baseline: one sample before the stall.
+	s.SampleOnce()
+	if code := readyz(); code != http.StatusOK {
+		t.Fatalf("readyz before stall = %d, want 200", code)
+	}
+
+	// Interval 1: the plan kills shard 0; it stays down (no restart due).
+	for i := 0; i < n; i++ {
+		if err := o.Submit(rating.Rating{Rater: i, Ratee: (i + 1) % n, Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.EndIntervalStatus()
+
+	// Within two ticks the shard-outage watchdog must flip readiness.
+	s.SampleOnce()
+	s.SampleOnce()
+	if got := s.Status(); got != health.StatusDegraded {
+		t.Fatalf("status two ticks after stall = %v, want degraded", got)
+	}
+	if code := readyz(); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz two ticks after stall = %d, want 503", code)
+	}
+
+	// The transition surfaced both locally and in the flight recorder.
+	found := false
+	for _, e := range s.Events() {
+		if e.Rule == "shard-outage" && e.Status == "degraded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no shard-outage HealthEvent in sampler log: %+v", s.Events())
+	}
+	found = false
+	for _, e := range rec.Drain() {
+		if e.Health != nil && e.Health.Rule == "shard-outage" && e.Health.Status == "degraded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no shard-outage HealthEvent in the flight recorder")
+	}
+}

@@ -1,0 +1,244 @@
+package health
+
+import (
+	"fmt"
+	"sort"
+)
+
+// verdict is one rule's judgement of the newest sample. status == StatusOK
+// means the rule's condition did not fire this tick (the hold/decay machine
+// in evalRule decides whether an earlier verdict lingers).
+type verdict struct {
+	status    Status
+	detail    string
+	value     float64
+	threshold float64
+}
+
+func ok() verdict { return verdict{} }
+
+// rule is one watchdog: a named, per-component predicate over consecutive
+// samples, with streak state for rules that require sustained conditions.
+// Rules only read Samples — never registry internals — so the full watchdog
+// pass costs a handful of float compares per tick.
+type rule struct {
+	name      string
+	component string
+	eval      func(r *rule, s *Sampler, prev, cur *Sample) verdict
+
+	streak    int // consecutive firing samples, maintained by each eval
+	status    Status
+	holdLeft  int
+	detail    string
+	value     float64
+	threshold float64
+}
+
+// newRules builds the watchdog set. Thresholds come from cfg (already
+// defaulted). Rules that need deltas return ok on the first sample.
+func newRules(cfg Config) []*rule {
+	return []*rule{
+		// Mailbox backlog growing with no drain progress: the overlay is
+		// accepting work faster than shards retire it, or a drain stalled.
+		{name: "mailbox-backlog", component: "manager", eval: func(r *rule, _ *Sampler, prev, cur *Sample) verdict {
+			if prev == nil || !(cur.MailboxDepth > prev.MailboxDepth && cur.Drains == prev.Drains) {
+				r.streak = 0
+				return ok()
+			}
+			r.streak++
+			switch {
+			case r.streak >= cfg.BacklogFailingStreak:
+				return verdict{StatusFailing,
+					fmt.Sprintf("mailbox depth rose %d consecutive samples without a drain", r.streak),
+					cur.MailboxDepth, float64(cfg.BacklogFailingStreak)}
+			case r.streak >= cfg.BacklogDegradedStreak:
+				return verdict{StatusDegraded,
+					fmt.Sprintf("mailbox depth rose %d consecutive samples without a drain", r.streak),
+					cur.MailboxDepth, float64(cfg.BacklogDegradedStreak)}
+			}
+			return ok()
+		}},
+		// Partial drains: an interval lost at least one shard's ratings
+		// outright — degraded immediately, failing when sustained.
+		{name: "partial-drain-streak", component: "manager", eval: func(r *rule, _ *Sampler, prev, cur *Sample) verdict {
+			if prev == nil || cur.PartialDrains <= prev.PartialDrains {
+				r.streak = 0
+				return ok()
+			}
+			r.streak++
+			st := StatusDegraded
+			if r.streak >= cfg.StreakFailing {
+				st = StatusFailing
+			}
+			return verdict{st,
+				fmt.Sprintf("%g partial drains this sample (streak %d)", cur.PartialDrains-prev.PartialDrains, r.streak),
+				cur.PartialDrains - prev.PartialDrains, float64(cfg.StreakFailing)}
+		}},
+		// Replica-recovered drains: no data lost, but the overlay is running
+		// on mirrors — degraded while it persists.
+		{name: "drain-degraded", component: "manager", eval: func(_ *rule, _ *Sampler, prev, cur *Sample) verdict {
+			if prev == nil || cur.ReplicaDrains <= prev.ReplicaDrains {
+				return ok()
+			}
+			return verdict{StatusDegraded,
+				fmt.Sprintf("%g shard intervals recovered from replica mirrors this sample", cur.ReplicaDrains-prev.ReplicaDrains),
+				cur.ReplicaDrains - prev.ReplicaDrains, 0}
+		}},
+		// Failovers: submissions rerouted around crashed shards. Capped at
+		// degraded no matter how long it persists — a failover is the
+		// fault-tolerance path succeeding (every rating still lands), so
+		// sustained rerouting means reduced capacity, not lost data. The
+		// failing escalations are reserved for loss (partial drains) and
+		// liveness (backlog growth, all shards down).
+		{name: "failover-streak", component: "manager", eval: func(r *rule, _ *Sampler, prev, cur *Sample) verdict {
+			if prev == nil || cur.Failovers <= prev.Failovers {
+				r.streak = 0
+				return ok()
+			}
+			r.streak++
+			return verdict{StatusDegraded,
+				fmt.Sprintf("%g submissions failed over this sample (streak %d)", cur.Failovers-prev.Failovers, r.streak),
+				cur.Failovers - prev.Failovers, 0}
+		}},
+		// Shard outage: crashed shards awaiting restart. Degraded while any
+		// are down; failing when every shard is gone.
+		{name: "shard-outage", component: "manager", eval: func(_ *rule, _ *Sampler, _, cur *Sample) verdict {
+			if cur.ShardsDown <= 0 {
+				return ok()
+			}
+			if cur.Shards > 0 && cur.ShardsDown >= cur.Shards {
+				return verdict{StatusFailing,
+					fmt.Sprintf("all %g shards down", cur.Shards), cur.ShardsDown, cur.Shards}
+			}
+			return verdict{StatusDegraded,
+				fmt.Sprintf("%g of %g shards down", cur.ShardsDown, cur.Shards), cur.ShardsDown, 0}
+		}},
+		// EigenTrust hit its iteration cap without converging.
+		{name: "eigentrust-maxiter", component: "eigentrust", eval: func(_ *rule, _ *Sampler, prev, cur *Sample) verdict {
+			if prev == nil || cur.MaxIterHits <= prev.MaxIterHits {
+				return ok()
+			}
+			return verdict{StatusDegraded,
+				fmt.Sprintf("%g power iterations hit MaxIter this sample", cur.MaxIterHits-prev.MaxIterHits),
+				cur.MaxIterHits - prev.MaxIterHits, 0}
+		}},
+		// Residual stall: MaxIter hits with a residual that is not shrinking
+		// — the iteration is spinning, not converging.
+		{name: "eigentrust-residual-stall", component: "eigentrust", eval: func(r *rule, _ *Sampler, prev, cur *Sample) verdict {
+			if prev == nil || cur.MaxIterHits <= prev.MaxIterHits || cur.Residual < prev.Residual {
+				r.streak = 0
+				return ok()
+			}
+			r.streak++
+			st := StatusDegraded
+			if r.streak >= cfg.ResidualStallStreak {
+				st = StatusFailing
+			}
+			return verdict{st,
+				fmt.Sprintf("residual %.3g not decreasing across %d MaxIter-capped updates", cur.Residual, r.streak),
+				cur.Residual, prev.Residual}
+		}},
+		// Interval SLO: the mean simulation-cycle wall time of the cycles
+		// completed since the last sample overran the configured budget.
+		{name: "interval-slo", component: "sim", eval: func(_ *rule, _ *Sampler, prev, cur *Sample) verdict {
+			if cfg.SLOInterval <= 0 || prev == nil || cur.CycleCount <= prev.CycleCount {
+				return ok()
+			}
+			mean := (cur.CycleSum - prev.CycleSum) / (cur.CycleCount - prev.CycleCount)
+			budget := cfg.SLOInterval.Seconds()
+			switch {
+			case mean > 2*budget:
+				return verdict{StatusFailing,
+					fmt.Sprintf("mean interval %.3fs > 2x %.3fs budget", mean, budget), mean, 2 * budget}
+			case mean > budget:
+				return verdict{StatusDegraded,
+					fmt.Sprintf("mean interval %.3fs > %.3fs budget", mean, budget), mean, budget}
+			}
+			return ok()
+		}},
+		// Leak heuristics: strictly monotonic goroutine/heap growth across
+		// the whole leak window. Plateaus and dips reset the suspicion —
+		// workloads legitimately grow, but never without a single pause.
+		{name: "goroutine-leak", component: "runtime", eval: func(_ *rule, s *Sampler, prev, cur *Sample) verdict {
+			if n := monotonicRun(s.ring, func(x *Sample) float64 { return float64(x.Goroutines) }); n >= cfg.LeakWindow {
+				return verdict{StatusDegraded,
+					fmt.Sprintf("goroutines rose strictly for %d samples (now %d)", n, cur.Goroutines),
+					float64(cur.Goroutines), float64(cfg.LeakWindow)}
+			}
+			return ok()
+		}},
+		{name: "heap-leak", component: "runtime", eval: func(_ *rule, s *Sampler, prev, cur *Sample) verdict {
+			if n := monotonicRun(s.ring, func(x *Sample) float64 { return float64(x.HeapBytes) }); n >= cfg.LeakWindow {
+				return verdict{StatusDegraded,
+					fmt.Sprintf("heap grew strictly for %d samples (now %d bytes)", n, cur.HeapBytes),
+					float64(cur.HeapBytes), float64(cfg.LeakWindow)}
+			}
+			return ok()
+		}},
+	}
+}
+
+// monotonicRun returns the length of the strictly-increasing suffix of the
+// window under key (in samples, counting the transitions' endpoints).
+func monotonicRun(ring []Sample, key func(*Sample) float64) int {
+	n := len(ring)
+	if n < 2 {
+		return n
+	}
+	run := 1
+	for i := n - 1; i > 0; i-- {
+		if key(&ring[i]) > key(&ring[i-1]) {
+			run++
+		} else {
+			break
+		}
+	}
+	return run
+}
+
+// RuleStatus is one watchdog's externally visible state.
+type RuleStatus struct {
+	Rule      string  `json:"rule"`
+	Status    Status  `json:"status"`
+	Streak    int     `json:"streak,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// ComponentStatus aggregates the rules judging one component.
+type ComponentStatus struct {
+	Name   string       `json:"name"`
+	Status Status       `json:"status"`
+	Rules  []RuleStatus `json:"rules"`
+}
+
+// Components returns the per-component verdicts, sorted by component name,
+// each the max of its rules.
+func (s *Sampler) Components() []ComponentStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byName := map[string]*ComponentStatus{}
+	var order []string
+	for _, r := range s.rules {
+		cs := byName[r.component]
+		if cs == nil {
+			cs = &ComponentStatus{Name: r.component}
+			byName[r.component] = cs
+			order = append(order, r.component)
+		}
+		if r.status > cs.Status {
+			cs.Status = r.status
+		}
+		cs.Rules = append(cs.Rules, RuleStatus{
+			Rule: r.name, Status: r.status, Streak: r.streak,
+			Detail: r.detail, Value: r.value, Threshold: r.threshold,
+		})
+	}
+	sort.Strings(order)
+	out := make([]ComponentStatus, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out
+}

@@ -37,6 +37,7 @@ var (
 	mMaxIterHits     = obs.C("eigentrust_maxiter_hits_total")
 	mUpdateLat       = obs.H("eigentrust_update_seconds")
 	mCSRRebuilds     = obs.C("eigentrust_csr_rebuilds_total")
+	mConverged       = obs.G("eigentrust_converged")
 	mMatvecWorkers   = obs.G("eigentrust_matvec_workers")
 	mWarmSkips       = obs.C("eigentrust_warm_start_skips_total")
 )
@@ -49,6 +50,7 @@ func init() {
 	obs.Help("eigentrust_maxiter_hits_total", "Power iterations stopped by the MaxIter cap before converging.")
 	obs.Help("eigentrust_update_seconds", "Wall time of one engine update (fold plus power iteration).")
 	obs.Help("eigentrust_csr_rebuilds_total", "Full CSR trust-matrix rebuilds (vs in-place refreshes).")
+	obs.Help("eigentrust_converged", "1 when the most recent update converged (or was skipped as already converged), 0 on a MaxIter hit.")
 	obs.Help("eigentrust_matvec_workers", "Worker goroutines used by the parallel mat-vec.")
 	obs.Help("eigentrust_warm_start_skips_total", "Updates that skipped the power iteration entirely: unchanged matrix, previously converged vector.")
 }
@@ -449,6 +451,7 @@ func (e *Engine) powerIterate() {
 		mWarmSkips.Inc()
 		mUpdatesTotal.Inc()
 		mIterations.Set(0)
+		mConverged.Set(1)
 		return
 	}
 	// The update span parents to the interval driver's ambient context; the
@@ -510,7 +513,10 @@ func (e *Engine) powerIterate() {
 	mResidual.Set(residual)
 	mIterationsTotal.Add(int64(iters))
 	mUpdatesTotal.Inc()
-	if !converged {
+	if converged {
+		mConverged.Set(1)
+	} else {
+		mConverged.Set(0)
 		mMaxIterHits.Inc()
 	}
 }

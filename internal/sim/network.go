@@ -460,6 +460,19 @@ func (n *Network) buildOverlay() error {
 		// overlay's production default (200µs doubling) would dominate wall
 		// time with sleeps that model no simulated quantity.
 		opts.RetryBackoff = 20 * time.Microsecond
+		// Delivery timeouts are a liveness backstop here, not a simulated
+		// quantity: injected drops already surface as deterministic
+		// ErrTimeout verdicts, while a *spurious* wall-clock timeout (the
+		// production 5ms default firing on a loaded machine or under the
+		// race detector) adds extra delivery attempts, and every attempt
+		// draws from the per-shard fault-verdict stream — shifting it
+		// diverges reputations run-to-run. Generous bounds keep the
+		// deadlock protection while leaving the seeded plan as the only
+		// source of loss. Down shards are detected via their down channel,
+		// never by waiting out these deadlines, so chaos runs don't slow.
+		opts.SubmitTimeout = 2 * time.Second
+		opts.QueryTimeout = 2 * time.Second
+		opts.DrainTimeout = 30 * time.Second
 	}
 	o, err := manager.NewWithOptions(n.Cfg.NumNodes, n.Cfg.Managers, n.Engine, opts)
 	if err != nil {

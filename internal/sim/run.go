@@ -27,6 +27,7 @@ var (
 	mSimInauthentic = obs.C("sim_inauthentic_total")
 	mSimColluderReq = obs.C("sim_colluder_requests_total")
 	mCycleLat       = obs.H("sim_cycle_seconds")
+	mLastCycle      = obs.G("sim_interval_last_seconds")
 	mQPS            = obs.G("sim_queries_per_second")
 	mAuthRatio      = obs.G("sim_authentic_ratio")
 
@@ -44,6 +45,7 @@ func init() {
 	obs.Help("sim_inauthentic_total", "Requests served inauthentically.")
 	obs.Help("sim_colluder_requests_total", "Requests routed to colluding providers.")
 	obs.Help("sim_cycle_seconds", "Wall time of one simulation cycle including the reputation update.")
+	obs.Help("sim_interval_last_seconds", "Wall time of the most recent simulation cycle — the quantity judged against the -slo-interval budget.")
 	obs.Help("sim_queries_per_second", "Query throughput of the most recent cycle.")
 	obs.Help("sim_authentic_ratio", "Authentic-service ratio of the most recent cycle.")
 	obs.Help("sim_churn_departures_total", "Peers departed under the churn regime.")
@@ -366,6 +368,7 @@ func (n *Network) observeCycle(res *Result, sc int, start time.Time, reqBefore, 
 	requests := res.TotalRequests - reqBefore
 	mSimCycles.Inc()
 	mCycleLat.Observe(wall.Seconds())
+	mLastCycle.Set(wall.Seconds())
 	mSimRequests.Add(int64(requests))
 	mSimAuthentic.Add(int64(res.AuthenticServed - authBefore))
 	mSimInauthentic.Add(int64(res.InauthenticServed - inauthBefore))

@@ -25,11 +25,19 @@
 #                      ingest/drain/adjust/iterate wall seconds and the mean
 #                      attribution coverage (acceptance: >= 0.95 at 50k).
 #
+#   BENCH_health.json — the ops-plane set (scripts/bench.sh health): one
+#                      health-sampler tick (runtime capture + registry
+#                      snapshot + watchdog pass) priced against both the
+#                      sampler cadence (1s) and the measured 10k-node
+#                      interval wall time (acceptance: overhead < 1% of
+#                      interval wall time at 10k nodes).
+#
 # Usage:
 #
 #   scripts/bench.sh [obs-output.json] [perf-output.json] [fault-output.json]
 #   scripts/bench.sh scale [scale-output.json]
 #   scripts/bench.sh trace [trace-output.json]
+#   scripts/bench.sh health [health-output.json]
 #
 # BENCHTIME (default 1s; scale mode 1x for the pipeline set) tunes
 # go test -benchtime; use e.g. BENCHTIME=100x for a quick smoke pass.
@@ -52,6 +60,60 @@ if [[ ${1:-} == "trace" ]]; then
     echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
     tail -n +2 "$tmp/summary.json"
   } > "$OUT"
+  echo "wrote $OUT"
+  exit 0
+fi
+
+if [[ ${1:-} == "health" ]]; then
+  OUT=${2:-BENCH_health.json}
+  raw1=$(
+    go test -run '^$' -bench '^BenchmarkSampleOnce$' -benchmem \
+      -benchtime "${BENCHTIME:-1s}" ./internal/obs/health
+  ) || { echo "bench.sh: sampler benchmark failed:" >&2; echo "$raw1" >&2; exit 1; }
+  raw2=$(
+    go test -run '^$' -bench '^BenchmarkPipeline10k$' -benchmem \
+      -benchtime "${PIPELINE_BENCHTIME:-1x}" -timeout 30m .
+  ) || { echo "bench.sh: 10k pipeline benchmark failed:" >&2; echo "$raw2" >&2; exit 1; }
+  raw="$raw1"$'\n'"$raw2"
+  echo "$raw"
+  echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      sub(/^Benchmark/, "", name)
+      order[n++] = name
+      for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/-/, "_", unit)
+        vals[name, unit] = $i
+        units[name] = units[name] (units[name] == "" ? "" : ",") unit
+      }
+    }
+    END {
+      printf "{\n"
+      printf "  \"generated\": \"%s\",\n", date
+      printf "  \"benchmarks\": {\n"
+      for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {", name
+        cnt = split(units[name], us, ",")
+        for (u = 1; u <= cnt; u++)
+          printf "\"%s\": %s%s", us[u], vals[name, us[u]], (u < cnt ? ", " : "")
+        printf "}%s\n", (i < n - 1 ? "," : "")
+      }
+      printf "  },\n"
+      sample = vals["SampleOnce", "ns_per_op"] / 1e9
+      interval = vals["Pipeline10k", "s_per_interval"]
+      cadence = 1.0
+      printf "  \"sample_seconds\": %.9f,\n", sample
+      printf "  \"cadence_seconds\": %.1f,\n", cadence
+      printf "  \"interval_seconds_10k\": %.6f,\n", interval
+      printf "  \"overhead_pct_of_cadence\": %.6f,\n", sample / cadence * 100
+      printf "  \"overhead_pct_of_interval\": %.6f\n", (interval > 0 ? sample / interval * 100 : 0)
+      printf "}\n"
+    }
+  ' > "$OUT"
   echo "wrote $OUT"
   exit 0
 fi

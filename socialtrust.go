@@ -49,6 +49,7 @@ import (
 	"socialtrust/internal/manager"
 	"socialtrust/internal/obs"
 	"socialtrust/internal/obs/event"
+	"socialtrust/internal/obs/health"
 	"socialtrust/internal/obs/span"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
@@ -492,3 +493,66 @@ func ReadTraceSpans(r interface{ Read([]byte) (int, error) }) ([]TraceSpan, erro
 // exported span stream, ordered by trace ID (one trace per update interval
 // for simulation runs).
 func AttributeTrace(spans []TraceSpan) []TraceAttribution { return span.Attribute(spans) }
+
+// Ops plane (internal/obs/health).
+//
+// The fourth observability tier: a background sampler that periodically
+// snapshots the metric registry plus runtime stats into a bounded
+// time-series window, rule-driven watchdogs judging per-component health
+// (ok/degraded/failing) from the deltas, and /healthz + /readyz + /statusz
+// probe handlers. Like every other tier it is off by default, only *reads*
+// state, and never changes results — health on vs off is bit-identical in
+// reputations, detection tables, and the deterministic audit streams.
+// Watchdog transitions land in the flight recorder as HealthEvents (their
+// own audit file) and in /statusz; cmd/socialtrust-top renders it all live.
+type (
+	// HealthConfig parameterizes the sampler (cadence, window, SLO budget,
+	// watchdog thresholds); its zero value is usable.
+	HealthConfig = health.Config
+	// HealthSampler is the background sampler + watchdog evaluator.
+	HealthSampler = health.Sampler
+	// HealthStatus is the tri-state verdict (ok/degraded/failing).
+	HealthStatus = health.Status
+	// HealthSample is one tick's curated metric snapshot.
+	HealthSample = health.Sample
+	// HealthStatusPayload is the full /statusz document.
+	HealthStatusPayload = health.StatusPayload
+	// HealthComponentStatus is one component's aggregated verdict.
+	HealthComponentStatus = health.ComponentStatus
+	// HealthEvent records one watchdog status transition.
+	HealthEvent = event.HealthEvent
+	// RuntimeStats is one CaptureRuntimeStats sample of process state.
+	RuntimeStats = obs.RuntimeStats
+)
+
+// Health verdict values, ordered by severity.
+const (
+	HealthOK       = health.StatusOK
+	HealthDegraded = health.StatusDegraded
+	HealthFailing  = health.StatusFailing
+)
+
+// StartHealthSampler launches the background health sampler and installs it
+// process-wide. Stop the returned sampler when done.
+func StartHealthSampler(cfg HealthConfig) *HealthSampler { return health.Start(cfg) }
+
+// CurrentHealthSampler returns the installed sampler, or nil while off.
+func CurrentHealthSampler() *HealthSampler { return health.Current() }
+
+// HealthHandler mounts /healthz, /readyz and /statusz over base (typically
+// MetricsHandler, so one mux serves probes, metrics and pprof together).
+func HealthHandler(s *HealthSampler, base http.Handler) http.Handler {
+	return health.Handler(s, base)
+}
+
+// ServeHealth starts the combined ops server (probes + metrics + optional
+// pprof) on addr and enables metric recording. Close the returned server
+// and Stop the sampler when done.
+func ServeHealth(addr string, pprofToo bool, s *HealthSampler) (*http.Server, error) {
+	return health.Serve(addr, pprofToo, s)
+}
+
+// CaptureRuntimeStats samples goroutine count, memory statistics and (on
+// Linux) resident-set size, refreshing the runtime_* gauges, and returns the
+// sample. A running health sampler drives this automatically on its tick.
+func CaptureRuntimeStats() RuntimeStats { return obs.CaptureRuntime() }
