@@ -90,6 +90,7 @@ func main() {
 		auditNodes = flag.Int("audit-nodes", 200, "network size of the audited run")
 		auditB     = flag.Float64("audit-b", 0.2, "colluder QoS probability of the audited run")
 		traceDir   = flag.String("trace-dir", "", "trace the audited run's intervals and write the span stream to this directory (point at the -audit dir to keep one trail)")
+		stateDir   = flag.String("state-dir", "", "make the audited run durable: journal every rating to a WAL and checkpoint the full run state in this directory at each interval boundary; rerunning with the same directory after a crash resumes bit-identically")
 
 		churn      = flag.Bool("churn", false, "churn the peer population of the audited run (moderate default regime)")
 		faultDrop  = flag.Float64("fault-drop", 0, "per-delivery message drop probability injected at the manager mailbox boundary")
@@ -157,13 +158,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "socialtrust-sim: tracing applies to the audited run; add -audit <dir>")
 		os.Exit(2)
 	}
+	if *stateDir != "" && *auditDir == "" {
+		fmt.Fprintln(os.Stderr, "socialtrust-sim: durable state applies to the audited run; add -audit <dir>")
+		os.Exit(2)
+	}
 
 	if *auditDir != "" {
 		var churnCfg sim.ChurnConfig
 		if *churn {
 			churnCfg = sim.DefaultChurn()
 		}
-		if err := runAudited(*auditDir, *traceDir, *auditModel, *auditNodes, *auditB, *seed, *quick, *mgrs, churnCfg, faults); err != nil {
+		if err := runAudited(*auditDir, *traceDir, *stateDir, *auditModel, *auditNodes, *auditB, *seed, *quick, *mgrs, churnCfg, faults); err != nil {
 			fmt.Fprintf(os.Stderr, "socialtrust-sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -205,9 +210,10 @@ func main() {
 
 // runAudited executes one simulation with the flight recorder on, writes
 // the audit trail to dir, and prints the run's detection-quality table —
-// optionally under churn, a deterministic fault-injection regime, and
-// interval tracing (traceDir non-empty).
-func runAudited(dir, traceDir, model string, nodes int, b float64, seed uint64, quick bool, managers int,
+// optionally under churn, a deterministic fault-injection regime, interval
+// tracing (traceDir non-empty), and durable state with crash-restart
+// recovery (stateDir non-empty).
+func runAudited(dir, traceDir, stateDir, model string, nodes int, b float64, seed uint64, quick bool, managers int,
 	churn sim.ChurnConfig, faults fault.Config) error {
 	var m sim.CollusionModel
 	switch strings.ToUpper(model) {
@@ -238,6 +244,7 @@ func runAudited(dir, traceDir, model string, nodes int, b float64, seed uint64, 
 	cfg.Managers = managers
 	cfg.AuditDir = dir
 	cfg.TraceDir = traceDir
+	cfg.StateDir = stateDir
 	cfg.Churn = churn
 	cfg.Faults = faults
 	if faults.Enabled() && cfg.Managers <= 0 {

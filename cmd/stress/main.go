@@ -57,6 +57,7 @@ func main() {
 		mPprof   = flag.Bool("pprof", false, "mount net/http/pprof on the metrics server (requires -metrics-addr)")
 		mDump    = flag.String("metrics-dump", "", "print a metrics snapshot after the sweep: text|json")
 		auditDir = flag.String("audit", "", "write each size's decision-audit trail to <dir>/n<size>")
+		stateDir = flag.String("state-dir", "", "durable runs: journal ratings to per-shard WALs and checkpoint run state under <dir>/n<size> (sim sweep resumes bit-identically after a crash; -nodes mode prices WAL-on ingest)")
 		verbose  = flag.Bool("v", false, "verbose progress logging on stderr")
 
 		healthAddr   = flag.String("health-addr", "", "serve the ops plane on this address: /healthz, /readyz, /statusz plus /metrics (watch with socialtrust-top)")
@@ -162,7 +163,7 @@ func main() {
 			}
 			ns = append(ns, n)
 		}
-		runPipelineSweep(ns, *intervals, *seed, *traceDir, *trace || *traceDir != "", *sparse)
+		runPipelineSweep(ns, *intervals, *seed, *traceDir, *trace || *traceDir != "", *sparse, *stateDir)
 		return
 	}
 
@@ -192,6 +193,9 @@ func main() {
 		cfg.Faults = faults
 		if *auditDir != "" {
 			cfg.AuditDir = filepath.Join(*auditDir, fmt.Sprintf("n%d", n))
+		}
+		if *stateDir != "" {
+			cfg.StateDir = filepath.Join(*stateDir, fmt.Sprintf("n%d", n))
 		}
 
 		obs.ResetRuntimePeaks()

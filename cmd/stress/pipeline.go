@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"socialtrust/internal/audit"
@@ -37,7 +38,7 @@ const (
 // sharded sweepShards ways. Closeness paths are capped at 3 hops — the
 // paper's observed transaction radius — which keeps the Ωc BFS bounded at
 // 50k nodes.
-func buildSweepPipeline(n int, seed uint64) (*manager.Overlay, *xrand.Stream, error) {
+func buildSweepPipeline(n int, seed uint64, stateDir string) (*manager.Overlay, *xrand.Stream, error) {
 	rng := xrand.New(seed + uint64(n))
 	g := socialgraph.New(n)
 	for i := 0; i < n; i++ {
@@ -65,15 +66,17 @@ func buildSweepPipeline(n int, seed uint64) (*manager.Overlay, *xrand.Stream, er
 	fc := core.Config{NumNodes: n}
 	fc.Closeness.MaxPathHops = 3
 	filter := core.New(fc, g, sets, interest.NewTracker(n), inner)
-	o, err := manager.New(n, sweepShards, filter)
+	o, err := manager.NewWithOptions(n, sweepShards, filter, manager.Options{StateDir: stateDir})
 	return o, rng, err
 }
 
 // sweepTrace draws one interval's worth of ratings: sweepRPN per active
-// rater, random ratees, 20% negative. sparse < 1 confines the raters to the
-// first n·sparse nodes — the sparse-activity regime the incremental engine
-// is built for, where interval cost should track the active set, not n.
-func sweepTrace(n int, rng *xrand.Stream, sparse float64) []rating.Rating {
+// rater, random ratees, 20% negative, sequence-numbered from *seq (the WAL
+// replay dedupe key of durable overlays). sparse < 1 confines the raters to
+// the first n·sparse nodes — the sparse-activity regime the incremental
+// engine is built for, where interval cost should track the active set,
+// not n.
+func sweepTrace(n int, rng *xrand.Stream, sparse float64, seq *uint64) []rating.Rating {
 	raters := n
 	if sparse > 0 && sparse < 1 {
 		raters = int(float64(n) * sparse)
@@ -92,9 +95,10 @@ func sweepTrace(n int, rng *xrand.Stream, sparse float64) []rating.Rating {
 		if rng.Float64() < 0.2 {
 			v = -1
 		}
+		*seq++
 		trace = append(trace, rating.Rating{
 			Rater: rater, Ratee: ratee, Value: v,
-			Cycle: i / n, Category: rng.Intn(sweepCats),
+			Cycle: i / n, Category: rng.Intn(sweepCats), Seq: *seq,
 		})
 	}
 	return trace
@@ -106,7 +110,7 @@ func sweepTrace(n int, rng *xrand.Stream, sparse float64) []rating.Rating {
 // interval runs under a root span (mirroring the simulator's interval
 // instrumentation) and its phase attribution is printed beneath the row;
 // traceDir additionally exports the span stream for socialtrust-trace.
-func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, traced bool, sparse float64) {
+func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, traced bool, sparse float64, stateDir string) {
 	if traced {
 		span.Enable(0)
 		defer span.Disable()
@@ -114,13 +118,18 @@ func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, 
 	fmt.Printf("%-8s %-9s %-12s %-14s %-16s\n",
 		"nodes", "interval", "ingest", "ratings/s", "adjust+iterate")
 	for _, n := range sizes {
-		o, rng, err := buildSweepPipeline(n, seed)
+		dir := ""
+		if stateDir != "" {
+			dir = filepath.Join(stateDir, fmt.Sprintf("n%d", n))
+		}
+		o, rng, err := buildSweepPipeline(n, seed, dir)
 		if err != nil {
 			fmt.Printf("stress: n=%d: %v\n", n, err)
 			return
 		}
+		var seq uint64
 		for iv := 0; iv < intervals; iv++ {
-			trace := sweepTrace(n, rng, sparse)
+			trace := sweepTrace(n, rng, sparse, &seq)
 			root := span.Root("sweep.interval")
 			root.SetInt("interval", int64(iv+1)).SetInt("nodes", int64(n))
 			prev := span.SetAmbient(root.Context())

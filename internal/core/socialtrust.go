@@ -389,6 +389,40 @@ func (s *SocialTrust) Reset() {
 	s.inner.Reset()
 }
 
+// FilterState is the filter's complete persistent state: the rating-profile
+// history driving per-rater baselines and the interval counter stamped on
+// FilterDecision events. The signal/profile caches are derived state — they
+// rebuild from the graph and history on the first Adjust after a restore —
+// so they are deliberately not part of the snapshot.
+type FilterState struct {
+	Hist      rating.HistoryState
+	Intervals uint64
+}
+
+// ExportState deep-copies the filter state for snapshotting. The wrapped
+// engine's state is exported separately by the caller (it is engine-specific).
+func (s *SocialTrust) ExportState() FilterState {
+	s.adjustMu.Lock()
+	defer s.adjustMu.Unlock()
+	return FilterState{Hist: s.hist.ExportState(), Intervals: s.intervals}
+}
+
+// ImportState restores a previously exported filter state bit-exactly. The
+// caches are cleared so the next Adjust recomputes from restored history.
+func (s *SocialTrust) ImportState(st FilterState) {
+	s.adjustMu.Lock()
+	defer s.adjustMu.Unlock()
+	s.hist.ImportState(st.Hist)
+	s.intervals = st.Intervals
+	s.sigCache.reset()
+	for i := range s.closeVer {
+		s.closeVer[i] = 0
+	}
+	s.graphSeen = s.graph.Epoch()
+	s.profClose = make([]profCacheEntry, s.cfg.NumNodes)
+	s.profSim = make([]profCacheEntry, s.cfg.NumNodes)
+}
+
 // ResetNode implements reputation.Engine: the node's rating-profile history
 // is forgotten here and the reset is forwarded to the wrapped engine. The
 // caller is responsible for the social-graph side

@@ -272,6 +272,61 @@ func (p *Plan) Events() []Event {
 	return append([]Event(nil), p.events...)
 }
 
+// State is a plan's complete persistent state at an interval boundary. The
+// random streams themselves are not serialized; instead the number of draws
+// consumed from each is recorded, and ImportState fast-forwards freshly
+// seeded streams to the same position (internal/xrand sources advance exactly
+// once per draw). A restored plan therefore produces the same verdict
+// sequence the uninterrupted plan would have.
+type State struct {
+	Interval      int
+	DownUntil     []int
+	Events        []Event
+	DeliveryDraws []uint64 // per-shard draws consumed from the delivery streams
+	CrashDraws    uint64   // draws consumed from the crash stream
+}
+
+// ExportState deep-copies the plan state for snapshotting.
+func (p *Plan) ExportState() State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := State{
+		Interval:      p.interval,
+		DownUntil:     append([]int(nil), p.downUntil...),
+		Events:        append([]Event(nil), p.events...),
+		DeliveryDraws: make([]uint64, p.shards),
+		CrashDraws:    p.crash.SourceDraws(),
+	}
+	for i, s := range p.delivery {
+		st.DeliveryDraws[i] = s.SourceDraws()
+	}
+	return st
+}
+
+// ImportState restores a previously exported state into a plan built with the
+// same Config and shard count, discarding stream draws so future verdicts
+// match the exporting plan's continuation exactly.
+func (p *Plan) ImportState(st State) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(st.DownUntil) != p.shards || len(st.DeliveryDraws) != p.shards {
+		panic(fmt.Sprintf("fault: state for %d shards imported into %d-shard plan", len(st.DownUntil), p.shards))
+	}
+	p.interval = st.Interval
+	p.downUntil = append(p.downUntil[:0], st.DownUntil...)
+	p.events = append([]Event(nil), st.Events...)
+	for i, s := range p.delivery {
+		if n := s.SourceDraws(); n > st.DeliveryDraws[i] {
+			panic(fmt.Sprintf("fault: delivery stream %d already past restore point (%d > %d)", i, n, st.DeliveryDraws[i]))
+		}
+		s.Discard(st.DeliveryDraws[i] - s.SourceDraws())
+	}
+	if n := p.crash.SourceDraws(); n > st.CrashDraws {
+		panic(fmt.Sprintf("fault: crash stream already past restore point (%d > %d)", n, st.CrashDraws))
+	}
+	p.crash.Discard(st.CrashDraws - p.crash.SourceDraws())
+}
+
 // log appends one event; callers hold p.mu.
 func (p *Plan) log(shard int, kind string) {
 	p.events = append(p.events, Event{

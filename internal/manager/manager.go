@@ -53,6 +53,7 @@ import (
 	"socialtrust/internal/obs"
 	"socialtrust/internal/obs/event"
 	"socialtrust/internal/obs/span"
+	"socialtrust/internal/persist"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 )
@@ -200,6 +201,14 @@ type Options struct {
 	// (default 200µs).
 	RetryAttempts int
 	RetryBackoff  time.Duration
+
+	// StateDir enables the durability layer: each shard's primary ledger is
+	// journaled to <StateDir>/shard-<i>.wal before submissions are
+	// acknowledged, and the overlay exposes the crash-restart recovery
+	// surface (DrainedSeqs, Resume, CompactWALs). Empty disables persistence.
+	StateDir string
+	// Persist tunes the shard WALs (fsync policy).
+	Persist persist.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -234,6 +243,13 @@ type Overlay struct {
 	wg       sync.WaitGroup
 	closed   chan struct{}
 	once     sync.Once
+
+	// Durability layer (nil/empty without Options.StateDir): per-shard WALs
+	// journaling primary ledgers, the per-shard drained sequence high-water
+	// marks, and the interval counter stamped on WAL marks. All guarded by mu.
+	wals       []*persist.WAL
+	drainedSeq []uint64
+	intervals  uint64
 }
 
 // Typed overlay errors.
@@ -281,12 +297,19 @@ func NewWithOptions(numNodes, numManagers int, engine reputation.Engine, opts Op
 	}
 	initial := engine.Reputations()
 	o.lastReps = append([]float64(nil), initial...)
+	if err := o.openWALs(numManagers); err != nil {
+		return nil, err
+	}
 	for m := 0; m < numManagers; m++ {
 		s := &shard{
 			id:    m,
 			depth: obs.G(obs.Label("manager_mailbox_depth", "shard", strconv.Itoa(m))),
 		}
-		s.cur.Store(o.newIncarnation(m, initial))
+		st := o.newIncarnation(m, initial)
+		if o.persistent() {
+			st.ledger.SetJournal(walJournal{o.wals[m]})
+		}
+		s.cur.Store(st)
 		o.shards = append(o.shards, s)
 		o.wg.Add(1)
 		go o.serve(s, s.cur.Load())
@@ -1119,21 +1142,33 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 	}
 	wg.Wait()
 	// Phase 2: assemble the interval's snapshots — primaries where they
-	// arrived, replica mirrors where they did not — and merge.
+	// arrived, replica mirrors where they did not — and merge. With
+	// persistence on, each shard's drained high-water mark advances to the
+	// max ingest sequence of whatever snapshot stood in for its data: WAL
+	// records at or below the mark are covered by this (or an earlier) drain.
+	o.intervals++
 	snaps := make([]rating.Snapshot, 0, len(o.shards))
 	for i := range o.shards {
 		if replies[i] != nil {
 			snaps = append(snaps, replies[i].primary)
+			o.noteDrained(i, replies[i].primary.MaxSeq)
 			status.Drained++
 			continue
 		}
 		if j := o.replicaOf(i); o.replicated() && j != i && replies[j] != nil {
 			snaps = append(snaps, replies[j].replica)
+			o.noteDrained(i, replies[j].replica.MaxSeq)
 			status.ReplicaUsed = append(status.ReplicaUsed, i)
 			mDrainReplica.Inc()
 			continue
 		}
 		status.Missing = append(status.Missing, i)
+	}
+	// Stamp (and, per the fsync policy, sync) an interval mark on every WAL:
+	// the tail of a completed interval must reach stable storage before the
+	// caller snapshots against it.
+	for i := range o.wals {
+		_ = o.wals[i].AppendMark(o.intervals)
 	}
 	if len(status.Missing) > 0 {
 		status.Partial = true
@@ -1229,7 +1264,13 @@ func (o *Overlay) crashShardLocked(i int) {
 
 // restartShardLocked installs a fresh incarnation synced to the last
 // broadcast reputation vector. Callers hold o.mu. A live shard is left
-// untouched.
+// untouched. With persistence on, the shard's recoverable WAL tail — rating
+// records above its drained high-water mark, journaled by the incarnation
+// that crashed — is replayed into the fresh primary ledger before the journal
+// is reattached, so a WAL-backed shard crash loses nothing that was
+// acknowledged (the replica mirror alone can miss replica-dropped
+// deliveries). Replay happens before the incarnation is published, so no
+// concurrent traffic races the ledger.
 func (o *Overlay) restartShardLocked(i int) {
 	s := o.shards[i]
 	st := s.cur.Load()
@@ -1239,6 +1280,10 @@ func (o *Overlay) restartShardLocked(i int) {
 		return // still alive
 	}
 	fresh := o.newIncarnation(i, o.lastReps)
+	if o.persistent() {
+		o.replayShardWAL(i, fresh.ledger, 0, false)
+		fresh.ledger.SetJournal(walJournal{o.wals[i]})
+	}
 	s.cur.Store(fresh)
 	o.wg.Add(1)
 	go o.serve(s, fresh)
@@ -1298,5 +1343,6 @@ func (o *Overlay) Close() {
 		defer o.mu.Unlock()
 		close(o.closed)
 		o.wg.Wait()
+		o.closeWALs()
 	})
 }

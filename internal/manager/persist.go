@@ -1,0 +1,226 @@
+// Manager-side durability: each shard's primary ledger is journaled to a
+// per-shard write-ahead log under Options.StateDir, and the overlay exposes
+// the recovery surface the simulator's crash-restart path drives — drained
+// sequence high-water marks for snapshots, WAL replay on shard restart, and
+// whole-process Resume.
+//
+// Only primary ledgers are journaled. The replica mirror is an in-memory
+// availability mechanism (it survives a *shard* crash); the WAL is the
+// durability mechanism (it survives a *process* crash). Journaling both would
+// double every record without widening either guarantee: after a process
+// crash every replica mirror is rebuilt empty and the re-executed interval
+// repopulates it deterministically.
+//
+// The dedupe key is the rating's ingest sequence number (rating.Rating.Seq,
+// assigned by the producer before submission). A drain's snapshot carries the
+// max Seq it drained; the overlay keeps, per shard, the highest such mark
+// ever applied on that shard's behalf (primary drain or replica
+// substitution). WAL records at or below the mark are covered by completed
+// drains; records above it are the shard's recoverable tail.
+package manager
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"socialtrust/internal/persist"
+	"socialtrust/internal/rating"
+)
+
+// walJournal adapts a persist.WAL to the ledger's write-ahead hook.
+type walJournal struct{ w *persist.WAL }
+
+func (j walJournal) Append(rs []rating.Rating) error {
+	recs := make([]persist.Record, len(rs))
+	for i, r := range rs {
+		recs[i] = persist.Record{
+			Kind:     persist.KindRating,
+			Seq:      r.Seq,
+			Rater:    int32(r.Rater),
+			Ratee:    int32(r.Ratee),
+			Cycle:    int32(r.Cycle),
+			Category: int32(r.Category),
+			Value:    r.Value,
+		}
+	}
+	return j.w.Append(recs)
+}
+
+// openWALs opens one WAL per shard under StateDir, scanning (and truncating)
+// any torn tail a crash left behind. Called once from NewWithOptions before
+// the shard goroutines start.
+func (o *Overlay) openWALs(numManagers int) error {
+	if o.opts.StateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.opts.StateDir, 0o755); err != nil {
+		return err
+	}
+	o.wals = make([]*persist.WAL, numManagers)
+	o.drainedSeq = make([]uint64, numManagers)
+	for i := range o.wals {
+		path := filepath.Join(o.opts.StateDir, fmt.Sprintf("shard-%d.wal", i))
+		w, _, err := persist.Open(path, o.opts.Persist)
+		if err != nil {
+			o.closeWALs()
+			return err
+		}
+		o.wals[i] = w
+	}
+	return nil
+}
+
+// persistent reports whether the durability layer is active.
+func (o *Overlay) persistent() bool { return len(o.wals) > 0 }
+
+// noteDrained raises shard i's drained high-water mark. Callers hold o.mu.
+func (o *Overlay) noteDrained(i int, maxSeq uint64) {
+	if o.persistent() && maxSeq > o.drainedSeq[i] {
+		o.drainedSeq[i] = maxSeq
+	}
+}
+
+// replayShardWAL replays shard i's recoverable WAL tail — rating records with
+// Seq above the drained mark and aboveOnly — into the ledger, bypassing the
+// journal (the records are already durable). When markRecovered is set, every
+// replayed Seq strictly above aboveOnly is registered with the ledger as
+// recovered, with multiplicity, so the re-executed interval's duplicate
+// submissions are acknowledged without double-counting. Corrupt tails are not
+// fatal: the valid prefix is replayed and the torn remainder ignored (the
+// re-executed interval regenerates whatever was lost). Callers hold o.mu and
+// guarantee no concurrent traffic to the ledger.
+func (o *Overlay) replayShardWAL(i int, ledger *rating.Ledger, aboveOnly uint64, markRecovered bool) {
+	w := o.wals[i]
+	recs, _ := w.ReadBack()
+	floor := o.drainedSeq[i]
+	if aboveOnly > floor {
+		floor = aboveOnly
+	}
+	var recovered map[uint64]int
+	for _, rec := range recs {
+		if rec.Kind != persist.KindRating || rec.Seq <= floor {
+			continue
+		}
+		r := rating.Rating{
+			Rater:    int(rec.Rater),
+			Ratee:    int(rec.Ratee),
+			Value:    rec.Value,
+			Cycle:    int(rec.Cycle),
+			Category: int(rec.Category),
+			Seq:      rec.Seq,
+		}
+		if err := ledger.Add(r); err != nil {
+			continue // validated at original ingest; defensive only
+		}
+		if markRecovered {
+			if recovered == nil {
+				recovered = make(map[uint64]int)
+			}
+			recovered[rec.Seq]++
+		}
+	}
+	if len(recovered) > 0 {
+		ledger.MarkRecovered(recovered)
+	}
+}
+
+// DrainedSeqs returns the per-shard drained sequence high-water marks — the
+// values an interval-boundary snapshot must record so a restarted process can
+// tell which WAL records completed drains already cover. Nil without a state
+// directory.
+func (o *Overlay) DrainedSeqs() []uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.persistent() {
+		return nil
+	}
+	return append([]uint64(nil), o.drainedSeq...)
+}
+
+// ResetWALs discards all shard WAL contents. The simulator calls it when a
+// state directory holds no snapshot (a fresh run over a possibly stale
+// directory): with no snapshot to anchor them, leftover records are
+// meaningless.
+func (o *Overlay) ResetWALs() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range o.wals {
+		if err := o.wals[i].Rotate(); err != nil {
+			return err
+		}
+		o.drainedSeq[i] = 0
+	}
+	return nil
+}
+
+// CompactWALs rotates every shard WAL whose records are all covered by
+// completed drains — i.e. by the snapshot the caller just wrote. A WAL still
+// holding records above its shard's drained mark (a crashed shard's
+// recoverable tail, awaiting its restart replay) is kept. Call at a quiescent
+// point, after a successful snapshot write; crash between snapshot and
+// compaction is safe because replay filters by sequence number.
+func (o *Overlay) CompactWALs() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := range o.wals {
+		if o.wals[i].MaxSeq() > o.drainedSeq[i] {
+			continue
+		}
+		if err := o.wals[i].Rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resume restores the overlay from an interval-boundary snapshot taken by a
+// previous process: per-shard drained marks, the reputation vector to serve,
+// and lastSeq — the global ingest sequence high-water at the snapshot
+// boundary. It must run on a freshly constructed overlay, before any traffic,
+// with the fault plan's state (if any) already imported.
+//
+// Shards the restored fault plan holds down are crashed; their WAL tails
+// replay later, at their scheduled restart — exactly when the uninterrupted
+// run would have replayed them. Live shards replay only records above
+// lastSeq: the acknowledged tail of the interrupted interval. Those replayed
+// sequences are registered as recovered so the deterministically re-executed
+// interval's duplicate submissions are acknowledged without double-counting —
+// the crash-restart dedupe of the WAL replay / replica mirror overlap.
+func (o *Overlay) Resume(drainedSeqs []uint64, lastSeq uint64, reps []float64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.persistent() {
+		return fmt.Errorf("manager: Resume requires a state directory")
+	}
+	if len(drainedSeqs) != len(o.shards) {
+		return fmt.Errorf("manager: resume state for %d shards, overlay has %d", len(drainedSeqs), len(o.shards))
+	}
+	if len(reps) != o.numNodes {
+		return fmt.Errorf("manager: resume vector for %d nodes, overlay has %d", len(reps), o.numNodes)
+	}
+	copy(o.drainedSeq, drainedSeqs)
+	o.lastReps = append(o.lastReps[:0], reps...)
+	for i, s := range o.shards {
+		if o.plan != nil && o.plan.Down(i) {
+			o.crashShardLocked(i)
+			continue
+		}
+		st := s.cur.Load()
+		st.ledger.SetJournal(nil)
+		o.replayShardWAL(i, st.ledger, lastSeq, true)
+		st.ledger.SetJournal(walJournal{o.wals[i]})
+		st.reps = append(st.reps[:0], reps...)
+	}
+	return nil
+}
+
+// closeWALs flushes and closes every shard WAL. Callers hold o.mu.
+func (o *Overlay) closeWALs() {
+	for i := range o.wals {
+		if o.wals[i] != nil {
+			_ = o.wals[i].Close()
+		}
+	}
+	o.wals = nil
+}

@@ -278,6 +278,20 @@ func (r *Recorder) Drain() []Event {
 	return out
 }
 
+// AdvanceSeq raises the recorder's sequence counter to at least n, so the
+// next recorded event carries Seq n+1. A crash-restarted run uses this to
+// continue the event stream of its pre-crash process: events recovered from
+// the durable checkpoint keep their original numbers and freshly recorded
+// ones follow contiguously, exactly as an uninterrupted run would number
+// them. A lower n than the current counter is ignored.
+func (r *Recorder) AdvanceSeq(n uint64) {
+	r.mu.Lock()
+	if n > r.seq {
+		r.seq = n
+	}
+	r.mu.Unlock()
+}
+
 // Len returns the number of currently buffered events.
 func (r *Recorder) Len() int {
 	r.mu.Lock()

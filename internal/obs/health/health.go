@@ -92,6 +92,9 @@ type Config struct {
 	ResidualStallStreak   int // consecutive maxiter-hit samples with non-decreasing residual before failing (3)
 	LeakWindow            int // samples of strictly monotonic goroutine/heap growth before degraded (30)
 	Hold                  int // samples a cleared non-ok verdict lingers before decaying to ok (2)
+	// FsyncDegradedSeconds is the mean WAL-fsync latency above which the
+	// persist component is degraded; 10x it is failing (0.1s).
+	FsyncDegradedSeconds float64
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.Hold <= 0 {
 		c.Hold = 2
 	}
+	if c.FsyncDegradedSeconds <= 0 {
+		c.FsyncDegradedSeconds = 0.1
+	}
 	return c
 }
 
@@ -150,6 +156,15 @@ type Sample struct {
 	Failovers     float64 `json:"failovers"`
 	Retries       float64 `json:"retries"`
 	Crashes       float64 `json:"crashes"`
+
+	// Durability layer (internal/persist). Fsync fields mirror the
+	// persist_wal_fsync_seconds histogram; errors count failed WAL appends,
+	// fsyncs, and snapshot writes.
+	PersistWALBytes   float64 `json:"persist_wal_bytes"`
+	PersistErrors     float64 `json:"persist_errors"`
+	PersistRecoveries float64 `json:"persist_recoveries"`
+	PersistFsyncCount float64 `json:"persist_fsync_count"`
+	PersistFsyncSum   float64 `json:"persist_fsync_sum"`
 
 	// EigenTrust engine.
 	Residual    float64 `json:"residual"`
@@ -358,6 +373,10 @@ func flatten(snap obs.Snapshot, rt obs.RuntimeStats) Sample {
 		Retries:       c("manager_submit_retries_total"),
 		Crashes:       c("manager_shard_crashes_total"),
 
+		PersistWALBytes:   c("persist_wal_bytes_total"),
+		PersistErrors:     c("persist_errors_total"),
+		PersistRecoveries: c("persist_recoveries_total"),
+
 		Residual:    g("eigentrust_residual"),
 		Converged:   g("eigentrust_converged"),
 		MaxIterHits: c("eigentrust_maxiter_hits_total"),
@@ -376,6 +395,9 @@ func flatten(snap obs.Snapshot, rt obs.RuntimeStats) Sample {
 	}
 	if h, ok := snap.Histograms["sim_cycle_seconds"]; ok {
 		smp.CycleCount, smp.CycleSum = float64(h.Count), h.Sum
+	}
+	if h, ok := snap.Histograms["persist_wal_fsync_seconds"]; ok {
+		smp.PersistFsyncCount, smp.PersistFsyncSum = float64(h.Count), h.Sum
 	}
 	if h, ok := snap.Histograms["manager_drain_seconds"]; ok {
 		smp.DrainSeconds = h.Sum

@@ -156,6 +156,42 @@ func newRules(cfg Config) []*rule {
 			}
 			return ok()
 		}},
+		// Durability failures: WAL appends, fsyncs, or snapshot writes
+		// erroring. The run continues (checkpoint failures degrade
+		// durability, not correctness) but acknowledged data may no longer
+		// survive a crash — degraded immediately, failing when sustained.
+		{name: "persist-errors", component: "persist", eval: func(r *rule, _ *Sampler, prev, cur *Sample) verdict {
+			if prev == nil || cur.PersistErrors <= prev.PersistErrors {
+				r.streak = 0
+				return ok()
+			}
+			r.streak++
+			st := StatusDegraded
+			if r.streak >= cfg.StreakFailing {
+				st = StatusFailing
+			}
+			return verdict{st,
+				fmt.Sprintf("%g durability failures this sample (streak %d)", cur.PersistErrors-prev.PersistErrors, r.streak),
+				cur.PersistErrors - prev.PersistErrors, float64(cfg.StreakFailing)}
+		}},
+		// WAL fsync latency: the mean fsync since the last sample overran
+		// the budget — the disk is slowing the durable ingest ack path.
+		{name: "wal-fsync-slow", component: "persist", eval: func(_ *rule, _ *Sampler, prev, cur *Sample) verdict {
+			if prev == nil || cur.PersistFsyncCount <= prev.PersistFsyncCount {
+				return ok()
+			}
+			mean := (cur.PersistFsyncSum - prev.PersistFsyncSum) / (cur.PersistFsyncCount - prev.PersistFsyncCount)
+			budget := cfg.FsyncDegradedSeconds
+			switch {
+			case mean > 10*budget:
+				return verdict{StatusFailing,
+					fmt.Sprintf("mean WAL fsync %.3fs > 10x %.3fs budget", mean, budget), mean, 10 * budget}
+			case mean > budget:
+				return verdict{StatusDegraded,
+					fmt.Sprintf("mean WAL fsync %.3fs > %.3fs budget", mean, budget), mean, budget}
+			}
+			return ok()
+		}},
 		// Leak heuristics: strictly monotonic goroutine/heap growth across
 		// the whole leak window. Plateaus and dips reset the suspicion —
 		// workloads legitimately grow, but never without a single pause.

@@ -1,0 +1,118 @@
+package persist
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+type snapPayload struct {
+	Interval int
+	Seq      uint64
+	Reps     []float64
+	Counts   map[int]float64
+	Nested   [][]int
+}
+
+func samplePayload() snapPayload {
+	return snapPayload{
+		Interval: 7,
+		Seq:      12345,
+		Reps:     []float64{0.1, math.Pi, 1e-300, math.SmallestNonzeroFloat64, -0.0},
+		Counts:   map[int]float64{3: 1.5, 9: 0.25},
+		Nested:   [][]int{{1, 2}, nil, {3}},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.st")
+	want := samplePayload()
+	if err := WriteSnapshot(path, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got snapPayload
+	if err := LoadSnapshot(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	// gob turns empty non-nil slices into nil; the fields here are either
+	// populated or nil, so DeepEqual is exact — including float64 bits.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	for i := range want.Reps {
+		if math.Float64bits(got.Reps[i]) != math.Float64bits(want.Reps[i]) {
+			t.Fatalf("float bits diverge at %d", i)
+		}
+	}
+	if !SnapshotExists(path) {
+		t.Fatal("SnapshotExists false for a written snapshot")
+	}
+}
+
+func TestSnapshotOverwriteIsAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.st")
+	first := samplePayload()
+	if err := WriteSnapshot(path, &first); err != nil {
+		t.Fatal(err)
+	}
+	second := samplePayload()
+	second.Interval = 8
+	second.Reps[0] = 0.99
+	if err := WriteSnapshot(path, &second); err != nil {
+		t.Fatal(err)
+	}
+	var got snapPayload
+	if err := LoadSnapshot(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Interval != 8 || got.Reps[0] != 0.99 {
+		t.Fatalf("overwrite not visible: %+v", got)
+	}
+	// No temp files may linger.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files after atomic write: %v", entries)
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.st")
+	p := samplePayload()
+	if err := WriteSnapshot(path, &p); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+
+	cases := map[string][]byte{
+		"flipped byte": append(append([]byte{}, raw[:len(raw)/2]...), append([]byte{raw[len(raw)/2] ^ 0xFF}, raw[len(raw)/2+1:]...)...),
+		"truncated":    raw[:len(raw)-5],
+		"bad magic":    append([]byte("NOTSNAPS"), raw[8:]...),
+		"empty":        {},
+	}
+	for name, data := range cases {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got snapPayload
+		if err := LoadSnapshot(path, &got); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("%s: error %v does not wrap ErrCorruptSnapshot", name, err)
+		}
+	}
+}
+
+func TestSnapshotMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.st")
+	if SnapshotExists(path) {
+		t.Fatal("SnapshotExists true for a missing file")
+	}
+	var got snapPayload
+	if err := LoadSnapshot(path, &got); !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist, got %v", err)
+	}
+}

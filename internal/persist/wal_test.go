@@ -1,0 +1,228 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Kind: KindRating, Seq: 1, Rater: 3, Ratee: 9, Cycle: 0, Category: 2, Value: 1},
+		{Kind: KindRating, Seq: 2, Rater: 7, Ratee: 9, Cycle: 0, Category: 5, Value: -1},
+		{Kind: KindMark, Seq: 1},
+		{Kind: KindRating, Seq: 3, Rater: 1, Ratee: 4, Cycle: 1, Category: 0, Value: 0.4375},
+		{Kind: KindRating, Seq: 4, Rater: 120, Ratee: 8, Cycle: 1, Category: 11, Value: math.Pi},
+	}
+}
+
+func TestWALAppendRecoverRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, rec, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 0 || rec.Corrupt != nil {
+		t.Fatalf("fresh WAL reported recovery %+v", rec)
+	}
+	want := testRecords()
+	if err := w.Append(want[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendMark(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(want[3:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec2.Corrupt != nil {
+		t.Fatalf("clean log reported corruption: %v", rec2.Corrupt)
+	}
+	if !reflect.DeepEqual(rec2.Records, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", rec2.Records, want)
+	}
+	// Appending after recovery must extend, not clobber.
+	extra := Record{Kind: KindRating, Seq: 5, Rater: 2, Ratee: 2, Value: 1}
+	if err := w2.Append([]Record{extra}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, rec3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec3.Records); got != len(want)+1 {
+		t.Fatalf("after append-on-recovered log: %d records, want %d", got, len(want)+1)
+	}
+	if !reflect.DeepEqual(rec3.Records[len(want)], extra) {
+		t.Fatalf("appended record mismatch: %+v", rec3.Records[len(want)])
+	}
+}
+
+// TestWALTornFinalRecordEveryOffset is the satellite contract: truncate the
+// log at every byte offset inside the final record and recovery must return
+// every earlier record, report a typed ErrCorruptRecord, truncate the tail,
+// and never panic.
+func TestWALTornFinalRecordEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	w, _, err := Open(full, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	if err := w.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastFrame := frameHeaderLen + ratingPayloadLen // final record is a rating
+	prefixLen := len(raw) - lastFrame
+
+	for cut := prefixLen + 1; cut < len(raw); cut++ {
+		path := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, rec, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: Open failed: %v", cut, err)
+		}
+		if rec.Corrupt == nil {
+			t.Fatalf("cut=%d: torn tail not reported", cut)
+		}
+		if !errors.Is(rec.Corrupt, ErrCorruptRecord) {
+			t.Fatalf("cut=%d: error %v does not wrap ErrCorruptRecord", cut, rec.Corrupt)
+		}
+		if !reflect.DeepEqual(rec.Records, want[:len(want)-1]) {
+			t.Fatalf("cut=%d: recovered %d records, want the %d complete ones", cut, len(rec.Records), len(want)-1)
+		}
+		// The torn bytes must be gone from disk and the log appendable.
+		if err := w.Append([]Record{{Kind: KindRating, Seq: 99, Value: 1}}); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		w.Close()
+		_, rec2, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if rec2.Corrupt != nil {
+			t.Fatalf("cut=%d: corruption survived truncation: %v", cut, rec2.Corrupt)
+		}
+		if got := len(rec2.Records); got != len(want) {
+			t.Fatalf("cut=%d: %d records after truncate+append, want %d", cut, got, len(want))
+		}
+	}
+}
+
+// A flipped byte mid-record must be caught by the checksum, not decoded.
+func TestWALChecksumCatchesCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testRecords()); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	raw, _ := os.ReadFile(path)
+	// Flip a byte inside the second record's payload.
+	idx := len(walMagic) + frameHeaderLen + ratingPayloadLen + frameHeaderLen + 5
+	raw[idx] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(rec.Corrupt, ErrCorruptRecord) {
+		t.Fatalf("corrupted payload not detected: %v", rec.Corrupt)
+	}
+	if len(rec.Records) != 1 {
+		t.Fatalf("recovered %d records before the corrupt one, want 1", len(rec.Records))
+	}
+}
+
+func TestWALRotate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	after := Record{Kind: KindRating, Seq: 42, Rater: 1, Ratee: 2, Value: -1}
+	if err := w.Append([]Record{after}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, rec, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Corrupt != nil {
+		t.Fatal(rec.Corrupt)
+	}
+	if len(rec.Records) != 1 || !reflect.DeepEqual(rec.Records[0], after) {
+		t.Fatalf("after rotation: %+v, want just %+v", rec.Records, after)
+	}
+}
+
+func TestWALRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-wal")
+	if err := os.WriteFile(path, []byte("hello, I am not a WAL at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, Options{}); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("foreign file opened as WAL: %v", err)
+	}
+}
+
+func TestDecodeRecordsEmptyAndGarbage(t *testing.T) {
+	if recs, n, err := DecodeRecords(bytes.NewReader(nil)); err != nil || n != 0 || len(recs) != 0 {
+		t.Fatalf("empty stream: recs=%v n=%d err=%v", recs, n, err)
+	}
+	garbage := bytes.Repeat([]byte{0xFF}, 64)
+	if _, _, err := DecodeRecords(bytes.NewReader(garbage)); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("garbage stream decoded: %v", err)
+	}
+}
+
+func TestWALFsyncAlwaysPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := Open(path, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(testRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

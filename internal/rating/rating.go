@@ -14,13 +14,17 @@ import (
 // Rating is one service rating issued by Rater about Ratee. The paper's P2P
 // evaluation uses Value ∈ {+1,−1}; the Overstock trace uses [−2,+2]. Cycle
 // is the query cycle the rating was issued in and Category the interest
-// category of the underlying transaction.
+// category of the underlying transaction. Seq is an optional ingest sequence
+// number assigned by the producer: zero means unsequenced; nonzero values
+// key write-ahead-log replay deduplication after a crash restart. Seq never
+// participates in rating semantics or ordering.
 type Rating struct {
 	Rater    int
 	Ratee    int
 	Value    float64
 	Cycle    int
 	Category int
+	Seq      uint64
 }
 
 // PairKey identifies a directed (rater, ratee) pair.
@@ -37,12 +41,29 @@ func (p PairCounts) Total() int { return p.Positive + p.Negative }
 
 const numShards = 16
 
+// Journal receives every accepted rating before the ledger acknowledges it —
+// the write-ahead hook durability layers implement. Append must return only
+// after the ratings are safe against process death; an error vetoes the
+// ingest.
+type Journal interface {
+	Append(rs []Rating) error
+}
+
 // Ledger collects ratings for the current reputation-update interval T.
 // Writes are sharded by ratee so concurrent clients rating different servers
 // rarely contend. EndInterval atomically drains the interval.
 type Ledger struct {
 	numNodes int
+	journal  Journal
 	shards   [numShards]ledgerShard
+
+	// recovered maps sequence numbers already restored from a WAL replay to
+	// how many times each was durably applied. While an entry is pending,
+	// re-executed submissions carrying that Seq are acknowledged without
+	// being applied or re-journaled — the crash-restart dedupe that keeps a
+	// replayed interval from double-counting ratings.
+	recMu     sync.Mutex
+	recovered map[uint64]int
 }
 
 type ledgerShard struct {
@@ -66,6 +87,48 @@ func NewLedger(numNodes int) *Ledger {
 // NumNodes reports the population size the ledger was created for.
 func (l *Ledger) NumNodes() int { return l.numNodes }
 
+// SetJournal installs (or, with nil, removes) the write-ahead journal.
+// Ratings accepted afterwards are appended to the journal before they are
+// acknowledged. Not safe to call concurrently with Add/AddBatch.
+func (l *Ledger) SetJournal(j Journal) { l.journal = j }
+
+// MarkRecovered registers sequence numbers restored from a WAL replay, with
+// per-seq multiplicity (fault injection can legitimately duplicate a
+// delivery). Until consumed, a submission carrying one of these Seqs is
+// acknowledged as a success but neither re-applied nor re-journaled.
+func (l *Ledger) MarkRecovered(seqs map[uint64]int) {
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	if l.recovered == nil {
+		l.recovered = make(map[uint64]int, len(seqs))
+	}
+	for s, n := range seqs {
+		if s != 0 && n > 0 {
+			l.recovered[s] += n
+		}
+	}
+}
+
+// consumeRecovered reports whether the rating's Seq is pending as recovered
+// and, if so, consumes one occurrence.
+func (l *Ledger) consumeRecovered(seq uint64) bool {
+	if seq == 0 || l.recovered == nil {
+		return false
+	}
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	n := l.recovered[seq]
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		delete(l.recovered, seq)
+	} else {
+		l.recovered[seq] = n - 1
+	}
+	return true
+}
+
 func (l *Ledger) shard(ratee int) *ledgerShard {
 	return &l.shards[ratee%numShards]
 }
@@ -79,6 +142,14 @@ func (l *Ledger) Add(r Rating) error {
 	}
 	if r.Rater == r.Ratee {
 		return fmt.Errorf("rating: self-rating by node %d rejected", r.Rater)
+	}
+	if l.consumeRecovered(r.Seq) {
+		return nil
+	}
+	if l.journal != nil {
+		if err := l.journal.Append([]Rating{r}); err != nil {
+			return fmt.Errorf("rating: journal append: %w", err)
+		}
 	}
 	s := l.shard(r.Ratee)
 	s.mu.Lock()
@@ -103,6 +174,8 @@ func (l *Ledger) Add(r Rating) error {
 // every rating landed.
 func (l *Ledger) AddBatch(rs []Rating) []error {
 	var errs []error
+	var skip []bool
+	var toJournal []Rating
 	var need [numShards]int
 	for i := range rs {
 		r := &rs[i]
@@ -116,7 +189,32 @@ func (l *Ledger) AddBatch(rs []Rating) []error {
 			errs[i] = fmt.Errorf("rating: self-rating by node %d rejected", r.Rater)
 			continue
 		}
+		if l.consumeRecovered(r.Seq) {
+			if skip == nil {
+				skip = make([]bool, len(rs))
+			}
+			skip[i] = true
+			continue
+		}
+		if l.journal != nil {
+			toJournal = append(toJournal, *r)
+		}
 		need[r.Ratee%numShards]++
+	}
+	if len(toJournal) > 0 {
+		if err := l.journal.Append(toJournal); err != nil {
+			// The write-ahead append failed, so nothing was made durable:
+			// veto every rating that was about to be applied.
+			if errs == nil {
+				errs = make([]error, len(rs))
+			}
+			for i := range rs {
+				if errs[i] == nil && (skip == nil || !skip[i]) {
+					errs[i] = fmt.Errorf("rating: journal append: %w", err)
+				}
+			}
+			return errs
+		}
 	}
 	// Counting sort: perm groups the indices of valid ratings by destination
 	// shard, preserving input order within each shard (the same per-shard
@@ -129,6 +227,9 @@ func (l *Ledger) AddBatch(rs []Rating) []error {
 	fill := starts
 	for i := range rs {
 		if errs != nil && errs[i] != nil {
+			continue
+		}
+		if skip != nil && skip[i] {
 			continue
 		}
 		s := rs[i].Ratee % numShards
@@ -188,10 +289,14 @@ func (l *Ledger) IntervalSize() int {
 	return n
 }
 
-// Snapshot is the drained content of one reputation-update interval.
+// Snapshot is the drained content of one reputation-update interval. MaxSeq
+// is the highest ingest sequence number among the drained ratings (zero when
+// they are unsequenced) — the high-water mark durability layers use to tell
+// which journaled records a completed drain already accounts for.
 type Snapshot struct {
 	Ratings []Rating
 	Counts  map[PairKey]PairCounts
+	MaxSeq  uint64
 }
 
 // EndInterval atomically drains and returns the interval's ratings and
@@ -220,6 +325,11 @@ func (l *Ledger) EndInterval() Snapshot {
 	}
 	for _, c := range chunks {
 		snap.Ratings = append(snap.Ratings, c.ratings...)
+	}
+	for i := range snap.Ratings {
+		if s := snap.Ratings[i].Seq; s > snap.MaxSeq {
+			snap.MaxSeq = s
+		}
 	}
 	sort.SliceStable(snap.Ratings, func(a, b int) bool {
 		x, y := snap.Ratings[a], snap.Ratings[b]
@@ -397,4 +507,79 @@ func sortedKeys(m map[int]bool) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// HistoryState is the serializable form of a History, captured by
+// ExportState and reinstated by ImportState. Rater/ratee sets are stored as
+// sorted slices so the payload is canonical.
+type HistoryState struct {
+	NumNodes int
+	Sums     map[PairKey]float64
+	Counts   map[PairKey]int
+	Raters   map[int][]int
+	Ratees   map[int][]int
+	Vers     []uint64
+}
+
+// ExportState deep-copies the all-time aggregates for snapshotting.
+func (h *History) ExportState() HistoryState {
+	st := HistoryState{
+		NumNodes: h.numNodes,
+		Sums:     make(map[PairKey]float64, len(h.sums)),
+		Counts:   make(map[PairKey]int, len(h.counts)),
+		Raters:   make(map[int][]int, len(h.raters)),
+		Ratees:   make(map[int][]int, len(h.ratees)),
+		Vers:     append([]uint64(nil), h.vers...),
+	}
+	for k, v := range h.sums {
+		st.Sums[k] = v
+	}
+	for k, v := range h.counts {
+		st.Counts[k] = v
+	}
+	for n, set := range h.raters {
+		if len(set) > 0 {
+			st.Raters[n] = sortedKeys(set)
+		}
+	}
+	for n, set := range h.ratees {
+		if len(set) > 0 {
+			st.Ratees[n] = sortedKeys(set)
+		}
+	}
+	return st
+}
+
+// ImportState replaces the history's contents with a previously exported
+// state. Sum, Count and the rater/ratee sets afterwards are bit-identical to
+// the instance the state was exported from.
+func (h *History) ImportState(st HistoryState) {
+	if st.NumNodes != h.numNodes {
+		panic(fmt.Sprintf("rating: history state for %d nodes imported into %d-node history", st.NumNodes, h.numNodes))
+	}
+	h.sums = make(map[PairKey]float64, len(st.Sums))
+	for k, v := range st.Sums {
+		h.sums[k] = v
+	}
+	h.counts = make(map[PairKey]int, len(st.Counts))
+	for k, v := range st.Counts {
+		h.counts[k] = v
+	}
+	h.raters = make(map[int]map[int]bool, len(st.Raters))
+	for n, list := range st.Raters {
+		set := make(map[int]bool, len(list))
+		for _, v := range list {
+			set[v] = true
+		}
+		h.raters[n] = set
+	}
+	h.ratees = make(map[int]map[int]bool, len(st.Ratees))
+	for n, list := range st.Ratees {
+		set := make(map[int]bool, len(list))
+		for _, v := range list {
+			set[v] = true
+		}
+		h.ratees[n] = set
+	}
+	h.vers = append(h.vers[:0], st.Vers...)
 }

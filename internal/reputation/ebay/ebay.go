@@ -106,6 +106,25 @@ func (e *Engine) Reputation(node int) float64 {
 // RawScore exposes the unnormalized accumulated feedback score.
 func (e *Engine) RawScore(node int) float64 { return e.scores[node] }
 
+// State is the engine's complete persistent state: the accumulated raw
+// feedback scores.
+type State struct {
+	Scores []float64
+}
+
+// ExportState deep-copies the engine state for snapshotting.
+func (e *Engine) ExportState() State {
+	return State{Scores: append([]float64(nil), e.scores...)}
+}
+
+// ImportState restores a previously exported state bit-exactly.
+func (e *Engine) ImportState(st State) {
+	if len(st.Scores) != e.numNodes {
+		panic(fmt.Sprintf("ebay: state with %d scores imported into %d-node engine", len(st.Scores), e.numNodes))
+	}
+	e.scores = append(e.scores[:0], st.Scores...)
+}
+
 // contribution is one rater's deduplicated feedback for the interval:
 // the sign of the rater's net feedback, scaled by the mean rating magnitude
 // capped at 1. For raw ±1 ratings this is the pure eBay weekly sign (+1 when

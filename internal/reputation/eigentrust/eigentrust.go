@@ -637,3 +637,56 @@ func (e *Engine) Reputation(node int) float64 {
 func (e *Engine) LocalTrust(i, j int) float64 {
 	return e.sums[rating.PairKey{Rater: i, Ratee: j}]
 }
+
+// State is the persistent core of an engine: the local trust sums, the
+// global trust vector, and the convergence statistics. The outlink map and
+// CSR matrix are derived from Sums and rebuilt on import; scratch buffers
+// are not state.
+type State struct {
+	Sums  map[rating.PairKey]float64
+	T     []float64
+	Stats Stats
+}
+
+// ExportState deep-copies the engine's persistent state for snapshotting.
+func (e *Engine) ExportState() State {
+	st := State{
+		Sums:  make(map[rating.PairKey]float64, len(e.sums)),
+		T:     append([]float64(nil), e.t...),
+		Stats: e.stats,
+	}
+	for k, v := range e.sums {
+		st.Sums[k] = v
+	}
+	return st
+}
+
+// ImportState restores a previously exported state. The outlink map is
+// rebuilt from the positive sums and the CSR matrix is reconstructed
+// eagerly, leaving the dirty flags clean — exactly the state the exporting
+// engine was in at its interval boundary, so a subsequent quiet interval
+// still takes the warm-start skip and a busy one folds in bit-identically.
+func (e *Engine) ImportState(st State) {
+	if len(st.T) != e.cfg.NumNodes {
+		panic(fmt.Sprintf("eigentrust: state with %d-node trust vector imported into %d-node engine", len(st.T), e.cfg.NumNodes))
+	}
+	e.sums = make(map[rating.PairKey]float64, len(st.Sums))
+	e.out = make(map[int]map[int]float64)
+	for k, v := range st.Sums {
+		e.sums[k] = v
+		if v > 0 {
+			row := e.out[k.Rater]
+			if row == nil {
+				row = make(map[int]float64)
+				e.out[k.Rater] = row
+			}
+			row[k.Ratee] = v
+		}
+	}
+	e.t = append(e.t[:0], st.T...)
+	e.csr.shapeDirty = true
+	e.csr.valsDirty = false
+	e.clearDirtyRows()
+	e.rebuildCSR()
+	e.stats = st.Stats
+}

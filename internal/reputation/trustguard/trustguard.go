@@ -217,3 +217,53 @@ func (e *Engine) Reputation(node int) float64 {
 	}
 	return e.rep[node]
 }
+
+// OpinionState is one rater's all-time aggregate about one ratee, the
+// serializable form of the internal opinion record.
+type OpinionState struct {
+	Key rating.PairKey
+	Sum float64
+	N   int
+}
+
+// State is the engine's complete persistent state.
+type State struct {
+	Opinions []OpinionState // sorted by (Rater, Ratee) for a canonical payload
+	HistSum  []float64
+	HistN    []int
+	Rep      []float64
+}
+
+// ExportState deep-copies the engine state for snapshotting.
+func (e *Engine) ExportState() State {
+	st := State{
+		Opinions: make([]OpinionState, 0, len(e.opinions)),
+		HistSum:  append([]float64(nil), e.histSum...),
+		HistN:    append([]int(nil), e.histN...),
+		Rep:      append([]float64(nil), e.rep...),
+	}
+	for k, op := range e.opinions {
+		st.Opinions = append(st.Opinions, OpinionState{Key: k, Sum: op.sum, N: op.n})
+	}
+	sort.Slice(st.Opinions, func(a, b int) bool {
+		if st.Opinions[a].Key.Rater != st.Opinions[b].Key.Rater {
+			return st.Opinions[a].Key.Rater < st.Opinions[b].Key.Rater
+		}
+		return st.Opinions[a].Key.Ratee < st.Opinions[b].Key.Ratee
+	})
+	return st
+}
+
+// ImportState restores a previously exported state bit-exactly.
+func (e *Engine) ImportState(st State) {
+	if len(st.HistSum) != e.cfg.NumNodes {
+		panic(fmt.Sprintf("trustguard: state for %d nodes imported into %d-node engine", len(st.HistSum), e.cfg.NumNodes))
+	}
+	e.opinions = make(map[rating.PairKey]*opinion, len(st.Opinions))
+	for _, o := range st.Opinions {
+		e.opinions[o.Key] = &opinion{sum: o.Sum, n: o.N}
+	}
+	e.histSum = append(e.histSum[:0], st.HistSum...)
+	e.histN = append(e.histN[:0], st.HistN...)
+	e.rep = append(e.rep[:0], st.Rep...)
+}

@@ -279,6 +279,22 @@ type Config struct {
 	// concurrent runs would interleave their events.
 	AuditDir string
 
+	// StateDir, when non-empty, makes the run durable: every accepted rating
+	// is journaled to a write-ahead log under this directory before it is
+	// acknowledged (per manager shard in Managers mode, one run-wide log
+	// otherwise), and a snapshot of the complete run state — ledger history,
+	// social graph, reputation vectors, filter history, RNG stream positions,
+	// fault-plan state and the audit event stream — is written atomically at
+	// every interval boundary. A run restarted over the same directory after
+	// a crash loads the last snapshot, replays the WAL tail (truncating a
+	// torn final record), and resumes mid-interval, producing reputations,
+	// detection tables and audit event streams bit-identical to an
+	// uninterrupted run of the same seed. The directory must either be fresh
+	// or have been written by the same configuration; only Workers and the
+	// output directories (AuditDir/TraceDir) may differ between the original
+	// and the resumed process.
+	StateDir string
+
 	// TraceDir, when non-empty, makes Run record the interval trace: the
 	// package-level span recorder (internal/obs/span) is enabled for the run
 	// and on completion the span stream (trace_spans.jsonl) plus a Chrome

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -9,6 +10,8 @@ import (
 	"socialtrust/internal/fault"
 	"socialtrust/internal/interest"
 	"socialtrust/internal/manager"
+	"socialtrust/internal/obs/event"
+	"socialtrust/internal/persist"
 	"socialtrust/internal/rating"
 	"socialtrust/internal/reputation"
 	"socialtrust/internal/reputation/ebay"
@@ -97,8 +100,33 @@ type Network struct {
 	// (nil) when the run has no overlay.
 	pending []rating.Rating
 
+	// inner is the bare reputation engine (the same object Engine is, or
+	// wraps) — the handle state snapshots export from and import into.
+	inner reputation.Engine
+
+	// Durability layer (all zero without Config.StateDir). seq numbers every
+	// generated rating, the WAL-replay dedupe key; simWAL is the run-wide
+	// rating journal of the direct-ledger path (Managers mode journals per
+	// shard inside the overlay instead); resume holds the interval-boundary
+	// snapshot found at construction, applied at the top of Run; savedEvents
+	// accumulates the audit events drained into checkpoints so the final
+	// stream spans the whole (possibly multi-process) run.
+	seq         uint64
+	simWAL      *persist.WAL
+	resume      *runState
+	savedEvents []event.Event
+
+	// haltAt, when non-nil, abandons the run right before executing query
+	// cycle qc of simulation cycle cycle — the crash-restart tests' stand-in
+	// for the process dying mid-interval (WAL appends are already flushed to
+	// the OS, exactly what a kill -9 would leave behind).
+	haltAt *haltPoint
+
 	root *xrand.Stream
 }
+
+// haltPoint is the crash-injection coordinate of the haltAt test hook.
+type haltPoint struct{ cycle, qc int }
 
 // NewNetwork constructs the experiment per Config. Construction is
 // deterministic in Config.Seed.
@@ -128,6 +156,14 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.buildEngine()
 	if err := n.buildOverlay(); err != nil {
 		return nil, err
+	}
+	if cfg.StateDir != "" {
+		if err := n.initPersist(); err != nil {
+			if n.Overlay != nil {
+				n.Overlay.Close()
+			}
+			return nil, err
+		}
 	}
 	n.online = make([]bool, cfg.NumNodes)
 	for i := range n.online {
@@ -419,6 +455,7 @@ func (n *Network) buildEngine() {
 			FullRecompute:  cfg.FullRecompute,
 		})
 	}
+	n.inner = inner
 	if !cfg.SocialTrust {
 		n.Engine = inner
 		return
@@ -473,6 +510,11 @@ func (n *Network) buildOverlay() error {
 		opts.SubmitTimeout = 2 * time.Second
 		opts.QueryTimeout = 2 * time.Second
 		opts.DrainTimeout = 30 * time.Second
+	}
+	if n.Cfg.StateDir != "" {
+		// Shard WALs live in their own subdirectory so the run-level
+		// snapshot and the per-shard journals cannot collide.
+		opts.StateDir = filepath.Join(n.Cfg.StateDir, "shards")
 	}
 	o, err := manager.NewWithOptions(n.Cfg.NumNodes, n.Cfg.Managers, n.Engine, opts)
 	if err != nil {

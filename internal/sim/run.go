@@ -158,6 +158,12 @@ func Run(cfg Config) (*Result, error) {
 	res := net.Run()
 	if rec != nil {
 		events := rec.Drain()
+		if len(net.savedEvents) > 0 {
+			// Durable run: checkpoints drained the ring along the way (and a
+			// resumed run inherits its predecessor's stream); the full audit
+			// trail is the saved prefix plus whatever the ring still holds.
+			events = append(append([]event.Event(nil), net.savedEvents...), events...)
+		}
 		if dropped := rec.Dropped(); dropped > 0 {
 			obs.Logger().Warn("audit ring overflowed; oldest events lost",
 				"dropped", dropped, "kept", len(events), "capacity", rec.Capacity())
@@ -238,7 +244,23 @@ func (n *Network) Run() *Result {
 		}
 	}
 
-	for sc := 0; sc < cfg.SimulationCycles; sc++ {
+	start := 0
+	if n.resume != nil {
+		// Crash restart: restore every state surface at the last interval
+		// boundary (overwriting the fresh-start honeymoon initialization
+		// above), replay the interrupted interval's acknowledged WAL tail,
+		// and re-execute that interval from its start. Restored random stream
+		// positions make the re-execution regenerate exactly the ratings the
+		// dead process generated; replayed sequence numbers are acknowledged
+		// without double-counting.
+		reps, start = n.applyResume(res, lastAbove, everAbove)
+		lastTotal, lastColl = res.TotalRequests, res.RequestsToColluders
+	} else {
+		n.startFresh(res, lastAbove, everAbove, reps)
+	}
+	n.attachJournal()
+
+	for sc := start; sc < cfg.SimulationCycles; sc++ {
 		cycleStart := time.Now()
 		// Interval tracing: one trace per simulation cycle. The root span is
 		// installed as the ambient context so components reached through the
@@ -269,6 +291,10 @@ func (n *Network) Run() *Result {
 		isp := root.Child("sim.ingest", span.PhaseIngest).SetInt("query_cycles", int64(cfg.QueryCycles))
 		span.SetAmbient(isp.Context())
 		for qc := 0; qc < cfg.QueryCycles; qc++ {
+			if n.haltAt != nil && n.haltAt.cycle == sc && n.haltAt.qc == qc {
+				n.abandon() // test hook: die mid-interval like a kill -9
+				return nil
+			}
 			cycle := sc*cfg.QueryCycles + qc
 			for i := range capacities {
 				if n.online[i] {
@@ -326,10 +352,12 @@ func (n *Network) Run() *Result {
 		span.SetAmbient(prevAmb)
 		root.End()
 		n.observeCycle(res, sc, cycleStart, reqBefore, authBefore, inauthBefore, collBefore, departed, rejoined, root.TraceID())
+		n.checkpoint(res, lastAbove, everAbove, reps, sc+1)
 	}
 	if n.Overlay != nil {
 		n.Overlay.Close() // stop the manager goroutines; state is harvested
 	}
+	n.closePersist()
 	res.RatingsLost = n.ratingsLost
 	res.FinalReputations = reps
 	for ci := range res.ConvergenceCycles {
@@ -578,7 +606,11 @@ func (n *Network) chooseServer(it *intent, capacities []int, reps []float64) int
 // substrates always record the interaction immediately — only delivery to
 // the reputation system is batched.
 func (n *Network) record(rater, ratee int, value float64, cycle int, cat interest.Category) {
-	r := rating.Rating{Rater: rater, Ratee: ratee, Value: value, Cycle: cycle, Category: int(cat)}
+	// Every rating gets a run-global ingest sequence number, durable or not:
+	// it is the WAL replay dedupe key, and assigning it unconditionally keeps
+	// persisted and plain runs on identical code paths (bit-identical output).
+	n.seq++
+	r := rating.Rating{Rater: rater, Ratee: ratee, Value: value, Cycle: cycle, Category: int(cat), Seq: n.seq}
 	if n.Overlay != nil {
 		n.pending = append(n.pending, r)
 	} else if err := n.Ledger.Add(r); err != nil {

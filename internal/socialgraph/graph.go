@@ -558,6 +558,88 @@ func (g *Graph) RemoveNodeEdges(i NodeID) {
 	g.bumpTouched(touched...)
 }
 
+// EdgeState is one undirected friendship edge (I < J) with its relationship
+// list, as captured by ExportState.
+type EdgeState struct {
+	I, J NodeID
+	Rels []Relationship
+}
+
+// State is the serializable form of a Graph: the full topology plus the
+// directed interaction table. Epochs and touch logs are deliberately absent —
+// they are invalidation bookkeeping for in-memory caches, which start cold
+// after a restore anyway.
+type State struct {
+	NumNodes     int
+	Edges        []EdgeState // sorted by (I, J), I < J
+	Interactions []map[NodeID]float64
+}
+
+// ExportState deep-copies the graph's persistent content in canonical order.
+func (g *Graph) ExportState() State {
+	st := State{NumNodes: g.n, Interactions: make([]map[NodeID]float64, g.n)}
+	g.mu.RLock()
+	for i := range g.adj {
+		for j, e := range g.adj[i] {
+			if NodeID(i) < j {
+				st.Edges = append(st.Edges, EdgeState{I: NodeID(i), J: j, Rels: append([]Relationship(nil), e.rels...)})
+			}
+		}
+	}
+	g.mu.RUnlock()
+	sort.Slice(st.Edges, func(a, b int) bool {
+		if st.Edges[a].I != st.Edges[b].I {
+			return st.Edges[a].I < st.Edges[b].I
+		}
+		return st.Edges[a].J < st.Edges[b].J
+	})
+	for i := range g.interactions {
+		row := &g.interactions[i]
+		row.mu.Lock()
+		if len(row.counts) > 0 {
+			m := make(map[NodeID]float64, len(row.counts))
+			for k, v := range row.counts {
+				m[k] = v
+			}
+			st.Interactions[i] = m
+		}
+		row.mu.Unlock()
+	}
+	return st
+}
+
+// ImportState replaces the graph's topology and interaction table with a
+// previously exported state and signals full invalidation to derived-state
+// consumers. Every relationship list and interaction count afterwards is
+// bit-identical to the exporting instance.
+func (g *Graph) ImportState(st State) {
+	if st.NumNodes != g.n {
+		panic(fmt.Sprintf("socialgraph: state for %d nodes imported into %d-node graph", st.NumNodes, g.n))
+	}
+	g.mu.Lock()
+	g.adj = make([]map[NodeID]*edge, g.n)
+	for _, es := range st.Edges {
+		for _, r := range es.Rels {
+			g.addHalf(es.I, es.J, r)
+			g.addHalf(es.J, es.I, r)
+		}
+	}
+	g.mu.Unlock()
+	for i := range g.interactions {
+		row := &g.interactions[i]
+		row.mu.Lock()
+		row.counts = nil
+		if m := st.Interactions[i]; len(m) > 0 {
+			row.counts = make(map[NodeID]float64, len(m))
+			for k, v := range m {
+				row.counts[k] = v
+			}
+		}
+		row.mu.Unlock()
+	}
+	g.bumpAll()
+}
+
 // ResetInteractions clears the interaction table, used between trace epochs.
 func (g *Graph) ResetInteractions() {
 	for i := range g.interactions {

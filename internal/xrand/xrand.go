@@ -20,14 +20,56 @@ import (
 // one Stream per goroutine with Split.
 type Stream struct {
 	rng  *rand.Rand
+	src  *countingSource
 	seed uint64
+}
+
+// countingSource wraps the math/rand source and counts how many times its
+// state advances. math/rand's generator steps exactly once per Int63 or
+// Uint64 call, so the count is a complete description of how far the stream
+// has progressed from its seed — which is what lets durable snapshots record
+// a stream as (seed, draws) and restore it bit-exactly with Discard.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.n = 0
+	c.src.Seed(seed)
 }
 
 // New returns a Stream rooted at the given seed. Two Streams created with the
 // same seed produce identical sequences.
 func New(seed uint64) *Stream {
 	mixed := mix(seed)
-	return &Stream{rng: rand.New(rand.NewSource(int64(mixed))), seed: seed}
+	src := &countingSource{src: rand.NewSource(int64(mixed)).(rand.Source64)}
+	return &Stream{rng: rand.New(src), src: src, seed: seed}
+}
+
+// SourceDraws reports how many times the underlying generator state has
+// advanced since the stream was created. Together with Seed it fully
+// identifies the stream's position: New(Seed()) followed by
+// Discard(SourceDraws()) reproduces this stream exactly.
+func (s *Stream) SourceDraws() uint64 { return s.src.n }
+
+// Discard advances the stream by n source draws without producing values,
+// fast-forwarding a freshly seeded stream to a previously recorded position.
+func (s *Stream) Discard(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.src.Uint64()
+	}
+	s.src.n += n
 }
 
 // Split derives an independent child Stream identified by label. Children

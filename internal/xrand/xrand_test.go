@@ -300,3 +300,80 @@ func TestSeedAccessor(t *testing.T) {
 		t.Fatal("Seed() mismatch")
 	}
 }
+
+// exercise burns a deterministic but varied mix of draws, covering every
+// distribution helper the simulator uses, and returns a digest of what it
+// produced.
+func exercise(s *Stream, rounds int) []float64 {
+	out := make([]float64, 0, rounds*8)
+	for i := 0; i < rounds; i++ {
+		out = append(out,
+			s.Float64(),
+			float64(s.Intn(97)),
+			float64(s.IntRange(3, 900)),
+			s.FloatRange(-2, 9),
+			s.NormFloat64(),
+			s.Pareto(1, 1.4),
+			float64(s.Zipf(13, 1.1)),
+		)
+		if s.Bool(0.4) {
+			out = append(out, float64(s.Perm(11)[3]))
+		}
+		if i%5 == 0 {
+			out = append(out, float64(s.SampleWithout(40, 6, func(v int) bool { return v%3 == 0 })[0]))
+		}
+	}
+	return out
+}
+
+func TestSourceDrawsCountsEveryHelper(t *testing.T) {
+	s := New(21)
+	if s.SourceDraws() != 0 {
+		t.Fatalf("fresh stream reports %d draws, want 0", s.SourceDraws())
+	}
+	exercise(s, 50)
+	if s.SourceDraws() == 0 {
+		t.Fatal("SourceDraws did not advance")
+	}
+}
+
+// TestDiscardRestoresExactPosition is the durability contract: a stream's
+// position is fully captured by (seed, SourceDraws), and a fresh stream
+// fast-forwarded with Discard continues bit-identically across every
+// distribution helper, including rejection-sampling paths (Intn, Pareto)
+// whose draw count varies per call.
+func TestDiscardRestoresExactPosition(t *testing.T) {
+	for _, rounds := range []int{0, 1, 7, 133} {
+		orig := New(99)
+		exercise(orig, rounds)
+		draws := orig.SourceDraws()
+
+		restored := New(99)
+		restored.Discard(draws)
+		if restored.SourceDraws() != draws {
+			t.Fatalf("restored stream reports %d draws, want %d", restored.SourceDraws(), draws)
+		}
+		a := exercise(orig, 60)
+		b := exercise(restored, 60)
+		if len(a) != len(b) {
+			t.Fatalf("rounds=%d: continuation lengths diverge: %d vs %d", rounds, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rounds=%d: continuation diverges at %d: %v vs %v", rounds, i, a[i], b[i])
+			}
+		}
+		if orig.SourceDraws() != restored.SourceDraws() {
+			t.Fatalf("draw counters diverge after identical continuations: %d vs %d",
+				orig.SourceDraws(), restored.SourceDraws())
+		}
+	}
+}
+
+func TestDiscardZeroIsNoop(t *testing.T) {
+	a, b := New(5), New(5)
+	a.Discard(0)
+	if a.Float64() != b.Float64() {
+		t.Fatal("Discard(0) changed the stream")
+	}
+}

@@ -41,16 +41,17 @@ type pipelineBench struct {
 // small category universe, a SocialTrust-wrapped EigenTrust engine, and a
 // manager overlay sharded pipelineShards ways. Closeness paths are capped at
 // 3 hops — the paper's observed transaction radius — which keeps the Ωc BFS
-// bounded at 50k nodes.
-func buildPipeline(tb testing.TB, n int) *pipelineBench {
-	return buildPipelineSparse(tb, n, n)
+// bounded at 50k nodes. A non-empty stateDir makes the overlay durable:
+// every shard journals its ingest to a WAL there before acknowledging.
+func buildPipeline(tb testing.TB, n int, stateDir string) *pipelineBench {
+	return buildPipelineSparse(tb, n, n, stateDir)
 }
 
 // buildPipelineSparse is buildPipeline with the interval's rating activity
 // confined to the first activeRaters nodes (ratees still span the whole
 // population) — the sparse-activity regime where the incremental engine's
 // per-interval cost should track the active set, not n.
-func buildPipelineSparse(tb testing.TB, n, activeRaters int) *pipelineBench {
+func buildPipelineSparse(tb testing.TB, n, activeRaters int, stateDir string) *pipelineBench {
 	tb.Helper()
 	rng := xrand.New(uint64(n))
 	g := socialgraph.New(n)
@@ -90,7 +91,7 @@ func buildPipelineSparse(tb testing.TB, n, activeRaters int) *pipelineBench {
 	fc := core.Config{NumNodes: n}
 	fc.Closeness.MaxPathHops = 3
 	filter := core.New(fc, g, sets, tracker, inner)
-	o, err := manager.New(n, pipelineShards, filter)
+	o, err := manager.NewWithOptions(n, pipelineShards, filter, manager.Options{StateDir: stateDir})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -108,6 +109,7 @@ func buildPipelineSparse(tb testing.TB, n, activeRaters int) *pipelineBench {
 		trace = append(trace, rating.Rating{
 			Rater: rater, Ratee: ratee, Value: v,
 			Cycle: i / n, Category: rng.Intn(pipelineCats),
+			Seq: uint64(i + 1), // WAL replay dedupe key (durable overlays)
 		})
 	}
 	return &pipelineBench{overlay: o, trace: trace}
@@ -134,7 +136,16 @@ func (p *pipelineBench) runInterval(tb testing.TB) {
 }
 
 func benchmarkPipeline(b *testing.B, n int) {
-	p := buildPipeline(b, n)
+	benchmarkPipelineDir(b, n, "")
+}
+
+// benchmarkPipelineDir is benchmarkPipeline over an optionally durable
+// overlay: with a state directory, every SubmitBatch is journaled to the
+// per-shard WALs before acknowledging — the ingest-overhead cost of
+// durability, priced by comparing Pipeline2kWAL against Pipeline2k
+// (scripts/bench.sh persist; acceptance: <= 15%).
+func benchmarkPipelineDir(b *testing.B, n int, stateDir string) {
+	p := buildPipeline(b, n, stateDir)
 	defer p.overlay.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -152,10 +163,11 @@ func benchmarkPipeline(b *testing.B, n int) {
 	}
 }
 
-func BenchmarkPipeline2k(b *testing.B)   { benchmarkPipeline(b, 2_000) }
-func BenchmarkPipeline10k(b *testing.B)  { benchmarkPipeline(b, 10_000) }
-func BenchmarkPipeline50k(b *testing.B)  { benchmarkPipeline(b, 50_000) }
-func BenchmarkPipeline100k(b *testing.B) { benchmarkPipeline(b, 100_000) }
+func BenchmarkPipeline2k(b *testing.B)    { benchmarkPipeline(b, 2_000) }
+func BenchmarkPipeline2kWAL(b *testing.B) { benchmarkPipelineDir(b, 2_000, b.TempDir()) }
+func BenchmarkPipeline10k(b *testing.B)   { benchmarkPipeline(b, 10_000) }
+func BenchmarkPipeline50k(b *testing.B)   { benchmarkPipeline(b, 50_000) }
+func BenchmarkPipeline100k(b *testing.B)  { benchmarkPipeline(b, 100_000) }
 
 // benchmarkPipelineSparse measures the incremental engine's sparse-activity
 // regime: only activeFrac of the population rates each interval. Two
@@ -167,7 +179,7 @@ func benchmarkPipelineSparse(b *testing.B, n int, activeFrac float64) {
 	if active < 1 {
 		active = 1
 	}
-	p := buildPipelineSparse(b, n, active)
+	p := buildPipelineSparse(b, n, active, "")
 	defer p.overlay.Close()
 	p.runInterval(b) // cold: BFS + CSR build for the active set
 	p.runInterval(b) // warm verification pass

@@ -32,12 +32,20 @@
 #                      interval wall time (acceptance: overhead < 1% of
 #                      interval wall time at 10k nodes).
 #
+#   BENCH_persist.json — the durability set (scripts/bench.sh persist): the
+#                      WAL append cost per rating, one interval-boundary
+#                      snapshot write+load round trip at 10k nodes, the full
+#                      crash-recovery wall time at 10k nodes, and the durable
+#                      vs plain Pipeline2k interval comparison rolled up as
+#                      wal_overhead_pct (acceptance: <= 15%).
+#
 # Usage:
 #
 #   scripts/bench.sh [obs-output.json] [perf-output.json] [fault-output.json]
 #   scripts/bench.sh scale [scale-output.json]
 #   scripts/bench.sh trace [trace-output.json]
 #   scripts/bench.sh health [health-output.json]
+#   scripts/bench.sh persist [persist-output.json]
 #
 # BENCHTIME (default 1s; scale mode 1x for the pipeline set) tunes
 # go test -benchtime; use e.g. BENCHTIME=100x for a quick smoke pass.
@@ -111,6 +119,62 @@ if [[ ${1:-} == "health" ]]; then
       printf "  \"interval_seconds_10k\": %.6f,\n", interval
       printf "  \"overhead_pct_of_cadence\": %.6f,\n", sample / cadence * 100
       printf "  \"overhead_pct_of_interval\": %.6f\n", (interval > 0 ? sample / interval * 100 : 0)
+      printf "}\n"
+    }
+  ' > "$OUT"
+  echo "wrote $OUT"
+  exit 0
+fi
+
+if [[ ${1:-} == "persist" ]]; then
+  OUT=${2:-BENCH_persist.json}
+  raw1=$(
+    go test -run '^$' -bench '^BenchmarkWALAppend$' -benchmem \
+      -benchtime "${BENCHTIME:-1s}" ./internal/persist
+  ) || { echo "bench.sh: WAL benchmark failed:" >&2; echo "$raw1" >&2; exit 1; }
+  raw2=$(
+    go test -run '^$' -bench '^(BenchmarkSnapshotRestore10k|BenchmarkCrashRecovery10k)$' \
+      -benchtime "${PERSIST_BENCHTIME:-1x}" -timeout 30m ./internal/sim
+  ) || { echo "bench.sh: snapshot/recovery benchmarks failed:" >&2; echo "$raw2" >&2; exit 1; }
+  raw3=$(
+    go test -run '^$' -bench '^(BenchmarkPipeline2k|BenchmarkPipeline2kWAL)$' \
+      -benchmem -benchtime "${PIPELINE_BENCHTIME:-3x}" -timeout 30m .
+  ) || { echo "bench.sh: pipeline overhead benchmarks failed:" >&2; echo "$raw3" >&2; exit 1; }
+  raw="$raw1"$'\n'"$raw2"$'\n'"$raw3"
+  echo "$raw"
+  echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      sub(/^Benchmark/, "", name)
+      order[n++] = name
+      for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/-/, "_", unit)
+        vals[name, unit] = $i
+        units[name] = units[name] (units[name] == "" ? "" : ",") unit
+      }
+    }
+    END {
+      printf "{\n"
+      printf "  \"generated\": \"%s\",\n", date
+      printf "  \"benchmarks\": {\n"
+      for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {", name
+        cnt = split(units[name], us, ",")
+        for (u = 1; u <= cnt; u++)
+          printf "\"%s\": %s%s", us[u], vals[name, us[u]], (u < cnt ? ", " : "")
+        printf "}%s\n", (i < n - 1 ? "," : "")
+      }
+      printf "  },\n"
+      printf "  \"wal_append_ns_per_rating\": %s,\n", vals["WALAppend", "ns_per_rating"]
+      printf "  \"snapshot_restore_seconds_10k\": %s,\n", vals["SnapshotRestore10k", "s_per_roundtrip"]
+      printf "  \"recovery_seconds_10k\": %s,\n", vals["CrashRecovery10k", "s_per_recovery"]
+      plain = vals["Pipeline2k", "s_per_interval"]
+      wal = vals["Pipeline2kWAL", "s_per_interval"]
+      printf "  \"wal_overhead_pct\": %.2f\n", (plain > 0 ? (wal - plain) / plain * 100 : 0)
       printf "}\n"
     }
   ' > "$OUT"

@@ -20,7 +20,7 @@ func TestPipelineTraceCoverage(t *testing.T) {
 	const n, intervals = 2_000, 2
 	rec := span.Enable(0)
 	defer span.Disable()
-	p := buildPipeline(t, n)
+	p := buildPipeline(t, n, "")
 	defer p.overlay.Close()
 	for iv := 0; iv < intervals; iv++ {
 		root := span.Root("pipeline.interval")
