@@ -1,0 +1,119 @@
+// Bit-identity of the multi-process shard cluster: a simulation whose
+// manager shards live in worker processes (SimConfig.Cluster) must produce
+// exactly the results of the single-process run — reputations, request
+// accounting, churn and fault tallies — across every collusion model, with
+// faults and churn enabled. Shard placement is an operational choice, never
+// an experimental variable.
+package socialtrust_test
+
+import (
+	"os"
+	"testing"
+
+	"socialtrust"
+	"socialtrust/internal/cluster"
+)
+
+// TestMain hosts the worker side of cluster runs: SimConfig.Cluster re-execs
+// this test binary as shard daemons, and WorkerMainIfChild diverts those
+// children before the test framework sees them.
+func TestMain(m *testing.M) {
+	cluster.WorkerMainIfChild()
+	os.Exit(m.Run())
+}
+
+func clusterIdentityConfig(model socialtrust.CollusionModel) socialtrust.SimConfig {
+	cfg := socialtrust.DefaultSimConfig(model, socialtrust.EngineEigenTrust, 0.4, true)
+	cfg.NumNodes = 60
+	cfg.NumPretrusted = 3
+	cfg.NumColluders = 10
+	cfg.NumBoosted = 3
+	cfg.QueryCycles = 4
+	cfg.SimulationCycles = 3
+	cfg.Seed = 42
+	cfg.Managers = 4
+	cfg.Churn = socialtrust.DefaultChurn()
+	cfg.Faults = socialtrust.FaultConfig{Seed: 7, Drop: 0.1, CrashRate: 0.3}
+	return cfg
+}
+
+func TestClusterSimBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	for _, model := range []socialtrust.CollusionModel{socialtrust.PCM, socialtrust.MCM, socialtrust.MMM} {
+		t.Run(model.String(), func(t *testing.T) {
+			inproc, err := socialtrust.RunSim(clusterIdentityConfig(model))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ccfg := clusterIdentityConfig(model)
+			ccfg.Cluster = 2
+			clustered, err := socialtrust.RunSim(ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(clustered.FinalReputations) != len(inproc.FinalReputations) {
+				t.Fatalf("reputation vector length %d != %d", len(clustered.FinalReputations), len(inproc.FinalReputations))
+			}
+			for i := range inproc.FinalReputations {
+				if clustered.FinalReputations[i] != inproc.FinalReputations[i] {
+					t.Fatalf("reputation[%d]: cluster %v != in-process %v (bit-identity broken)",
+						i, clustered.FinalReputations[i], inproc.FinalReputations[i])
+				}
+			}
+			if len(clustered.History) != len(inproc.History) {
+				t.Fatalf("history length %d != %d", len(clustered.History), len(inproc.History))
+			}
+			for c := range inproc.History {
+				for i := range inproc.History[c] {
+					if clustered.History[c][i] != inproc.History[c][i] {
+						t.Fatalf("cycle %d reputation[%d] diverged", c, i)
+					}
+				}
+			}
+			if clustered.TotalRequests != inproc.TotalRequests ||
+				clustered.RequestsToColluders != inproc.RequestsToColluders ||
+				clustered.AuthenticServed != inproc.AuthenticServed ||
+				clustered.InauthenticServed != inproc.InauthenticServed {
+				t.Fatalf("request accounting diverged: cluster %+v in-process %+v", clustered, inproc)
+			}
+			if clustered.Churn != inproc.Churn {
+				t.Fatalf("churn stats diverged: %+v != %+v", clustered.Churn, inproc.Churn)
+			}
+			if clustered.RatingsLost != inproc.RatingsLost ||
+				clustered.PartialDrains != inproc.PartialDrains ||
+				clustered.ReplicaDrains != inproc.ReplicaDrains {
+				t.Fatalf("fault accounting diverged: lost %d/%d partial %d/%d replica %d/%d",
+					clustered.RatingsLost, inproc.RatingsLost,
+					clustered.PartialDrains, inproc.PartialDrains,
+					clustered.ReplicaDrains, inproc.ReplicaDrains)
+			}
+			if clustered.Whitewashes != inproc.Whitewashes {
+				t.Fatalf("whitewash count diverged: %d != %d", clustered.Whitewashes, inproc.Whitewashes)
+			}
+		})
+	}
+}
+
+// TestClusterConfigValidation pins the Cluster knob's contract: it requires
+// explicit manager sharding and excludes single-process run-state snapshots.
+func TestClusterConfigValidation(t *testing.T) {
+	cfg := socialtrust.DefaultSimConfig(socialtrust.MCM, socialtrust.EngineEigenTrust, 0.4, true)
+	cfg.NumNodes = 30
+	cfg.Cluster = 2
+	if _, err := socialtrust.RunSim(cfg); err == nil {
+		t.Error("Cluster without Managers should be rejected")
+	}
+	cfg.Managers = 4
+	cfg.StateDir = t.TempDir()
+	if _, err := socialtrust.RunSim(cfg); err == nil {
+		t.Error("Cluster with StateDir should be rejected")
+	}
+	cfg.StateDir = ""
+	cfg.Cluster = -1
+	if _, err := socialtrust.RunSim(cfg); err == nil {
+		t.Error("negative Cluster should be rejected")
+	}
+}

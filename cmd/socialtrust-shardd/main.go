@@ -1,0 +1,54 @@
+// Command socialtrust-shardd is the cluster worker daemon: it hosts manager
+// shards behind a socket, speaking the framed batch protocol the coordinator's
+// cluster client drives, and owns the hosted shards' write-ahead logs.
+//
+//	socialtrust-shardd -listen unix:/tmp/w0.sock -state-dir /var/lib/st/w0
+//	socialtrust-shardd -listen tcp:127.0.0.1:7401 -health :9101 -fsync always
+//
+// SIGTERM drains gracefully: in-flight batches finish, WAL tails sync,
+// /readyz turns 503, and the process exits 0. The same binary also starts as
+// a worker when spawned with SOCIALTRUST_SHARDD_LISTEN set (the self-exec
+// path the simulator and stress harness use).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"socialtrust/internal/cluster"
+)
+
+func main() {
+	cluster.WorkerMainIfChild()
+	var (
+		listen   = flag.String("listen", "", "serving address: unix:/path, tcp:host:port, or host:port (required)")
+		stateDir = flag.String("state-dir", "", "per-shard WAL directory (empty = no worker-side durability)")
+		fsync    = flag.String("fsync", "marks", "WAL fsync policy: marks|always|never")
+		health   = flag.String("health", "", "ops endpoint address serving /healthz /readyz /statusz /metrics")
+		pprof    = flag.Bool("pprof", false, "also serve /debug/pprof on the ops endpoint")
+		linger   = flag.Duration("linger", 0, "keep serving readiness-down for this long after a drain completes")
+	)
+	flag.Parse()
+	if *listen == "" {
+		fmt.Fprintln(os.Stderr, "socialtrust-shardd: -listen is required")
+		os.Exit(2)
+	}
+	policy, err := cluster.ParseFsync(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socialtrust-shardd:", err)
+		os.Exit(2)
+	}
+	cfg := cluster.Config{
+		Listen:     *listen,
+		StateDir:   *stateDir,
+		HealthAddr: *health,
+		Pprof:      *pprof,
+		Linger:     *linger,
+	}
+	cfg.Persist.Fsync = policy
+	if err := cluster.NewWorker(cfg).RunSignals(); err != nil {
+		fmt.Fprintln(os.Stderr, "socialtrust-shardd:", err)
+		os.Exit(1)
+	}
+}

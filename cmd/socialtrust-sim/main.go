@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"socialtrust/internal/audit"
+	"socialtrust/internal/cluster"
 	"socialtrust/internal/experiments"
 	"socialtrust/internal/fault"
 	"socialtrust/internal/obs"
@@ -68,6 +69,7 @@ import (
 )
 
 func main() {
+	cluster.WorkerMainIfChild() // -cluster re-execs this binary as a shard worker
 	var (
 		list    = flag.Bool("list", false, "list available experiments")
 		exp     = flag.String("experiment", "", "experiment id to run (or 'all')")
@@ -75,7 +77,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "base random seed")
 		quick   = flag.Bool("quick", false, "shortened horizon for smoke runs")
 		series  = flag.Bool("series", false, "also emit per-node reputation vectors as CSV")
-		mgrs    = flag.Int("managers", 0, "route ratings through a resource-manager overlay of this many shards (0 = direct ledger)")
+		mgrs     = flag.Int("managers", 0, "route ratings through a resource-manager overlay of this many shards (0 = direct ledger)")
+		clusterN = flag.Int("cluster", 0, "host the audited run's manager shards in this many worker processes over the socket transport (0 = in-process; requires -managers)")
 		mAddr   = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address while running")
 		mPprof  = flag.Bool("pprof", false, "mount net/http/pprof on the metrics server (requires -metrics-addr)")
 		mDump   = flag.String("metrics-dump", "", "print a metrics snapshot after each experiment: text|json")
@@ -162,13 +165,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "socialtrust-sim: durable state applies to the audited run; add -audit <dir>")
 		os.Exit(2)
 	}
+	if *clusterN < 0 {
+		fmt.Fprintf(os.Stderr, "socialtrust-sim: -cluster must be >= 0, got %d\n", *clusterN)
+		os.Exit(2)
+	}
+	if *clusterN > 0 && *auditDir == "" {
+		fmt.Fprintln(os.Stderr, "socialtrust-sim: cluster mode applies to the audited run; add -audit <dir>")
+		os.Exit(2)
+	}
 
 	if *auditDir != "" {
 		var churnCfg sim.ChurnConfig
 		if *churn {
 			churnCfg = sim.DefaultChurn()
 		}
-		if err := runAudited(*auditDir, *traceDir, *stateDir, *auditModel, *auditNodes, *auditB, *seed, *quick, *mgrs, churnCfg, faults); err != nil {
+		if err := runAudited(*auditDir, *traceDir, *stateDir, *auditModel, *auditNodes, *auditB, *seed, *quick, *mgrs, *clusterN, churnCfg, faults); err != nil {
 			fmt.Fprintf(os.Stderr, "socialtrust-sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -213,7 +224,7 @@ func main() {
 // optionally under churn, a deterministic fault-injection regime, interval
 // tracing (traceDir non-empty), and durable state with crash-restart
 // recovery (stateDir non-empty).
-func runAudited(dir, traceDir, stateDir, model string, nodes int, b float64, seed uint64, quick bool, managers int,
+func runAudited(dir, traceDir, stateDir, model string, nodes int, b float64, seed uint64, quick bool, managers, clusterN int,
 	churn sim.ChurnConfig, faults fault.Config) error {
 	var m sim.CollusionModel
 	switch strings.ToUpper(model) {
@@ -242,6 +253,12 @@ func runAudited(dir, traceDir, stateDir, model string, nodes int, b float64, see
 	}
 	cfg.Seed = seed
 	cfg.Managers = managers
+	cfg.Cluster = clusterN
+	if clusterN > 0 && cfg.Managers <= 0 {
+		// Worker processes host manager shards; default an overlay in.
+		cfg.Managers = 8
+		fmt.Fprintln(os.Stderr, "-cluster requires the manager overlay; defaulting -managers to 8")
+	}
 	cfg.AuditDir = dir
 	cfg.TraceDir = traceDir
 	cfg.StateDir = stateDir

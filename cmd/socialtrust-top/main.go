@@ -8,6 +8,14 @@
 //
 //	socialtrust-top -once          # one frame, no screen control (scripts/CI)
 //	socialtrust-top -interval 2s   # slower refresh
+//
+// With a comma-separated -addr list it watches a whole cluster — the
+// coordinator plus each socialtrust-shardd worker's ops endpoint — and
+// renders a fleet view: one column per process, one row per health
+// component, plus per-process throughput and footprint.
+//
+//	stress -nodes 10k -cluster 4 -worker-health-base 9101 -health-addr :9091 &
+//	socialtrust-top -addr localhost:9091,localhost:9101,localhost:9102,localhost:9103,localhost:9104
 package main
 
 import (
@@ -25,14 +33,30 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:9091", "host:port of the ops plane (-health-addr of the watched process)")
+		addr     = flag.String("addr", "localhost:9091", "host:port of the ops plane (-health-addr of the watched process); a comma-separated list renders the fleet view, one column per process")
 		interval = flag.Duration("interval", time.Second, "refresh cadence")
 		once     = flag.Bool("once", false, "render one frame without screen control and exit")
 	)
 	flag.Parse()
 
-	url := "http://" + *addr + "/statusz"
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "socialtrust-top: -addr lists no endpoints")
+		os.Exit(2)
+	}
 	client := &http.Client{Timeout: 5 * time.Second}
+
+	if len(addrs) > 1 {
+		watchFleet(client, addrs, *interval, *once)
+		return
+	}
+
+	url := "http://" + addrs[0] + "/statusz"
 	for {
 		p, err := fetch(client, url)
 		if err != nil {
@@ -57,6 +81,146 @@ func main() {
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// watchFleet polls every endpoint each cadence and renders the multi-process
+// view. In -once mode the exit status is 1 if any reachable process reports
+// an overall failing verdict or any endpoint is unreachable.
+func watchFleet(client *http.Client, addrs []string, interval time.Duration, once bool) {
+	for {
+		payloads := make([]*health.StatusPayload, len(addrs))
+		errs := make([]error, len(addrs))
+		for i, a := range addrs {
+			p, err := fetch(client, "http://"+a+"/statusz")
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			payloads[i] = &p
+		}
+		var b strings.Builder
+		renderFleet(&b, addrs, payloads, errs, !once)
+		if !once {
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		os.Stdout.WriteString(b.String())
+		if once {
+			for i := range addrs {
+				if errs[i] != nil || payloads[i].Overall == health.StatusFailing {
+					os.Exit(1)
+				}
+			}
+			return
+		}
+		time.Sleep(interval)
+	}
+}
+
+// renderFleet draws the multi-process frame: a component-by-process verdict
+// matrix followed by one stats line per process. The first endpoint is
+// conventionally the coordinator; the rest are workers.
+func renderFleet(w io.Writer, addrs []string, payloads []*health.StatusPayload, errs []error, color bool) {
+	fmt.Fprintf(w, "socialtrust-top  fleet of %d processes\n\n", len(addrs))
+
+	// Union of component names across the fleet, first-seen order.
+	var comps []string
+	seen := map[string]bool{}
+	for _, p := range payloads {
+		if p == nil {
+			continue
+		}
+		for _, c := range p.Components {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				comps = append(comps, c.Name)
+			}
+		}
+	}
+
+	colW := 12
+	for _, a := range addrs {
+		if len(a) > colW {
+			colW = len(a)
+		}
+	}
+	fmt.Fprintf(w, "  %-12s", "component")
+	for _, a := range addrs {
+		fmt.Fprintf(w, "  %-*s", colW, a)
+	}
+	fmt.Fprintln(w)
+
+	row := func(name string, cell func(i int) string) {
+		fmt.Fprintf(w, "  %-12s", name)
+		for i := range addrs {
+			c := cell(i)
+			// ANSI escapes break %-*s padding; pad the visible text instead.
+			fmt.Fprintf(w, "  %s%s", c, strings.Repeat(" ", max(0, colW-visibleLen(c))))
+		}
+		fmt.Fprintln(w)
+	}
+
+	row("overall", func(i int) string {
+		if errs[i] != nil {
+			return "unreachable"
+		}
+		return paint(payloads[i].Overall, color)
+	})
+	for _, name := range comps {
+		row(name, func(i int) string {
+			if errs[i] != nil {
+				return "-"
+			}
+			for _, c := range payloads[i].Components {
+				if c.Name == name {
+					return paint(c.Status, color)
+				}
+			}
+			return "-"
+		})
+	}
+
+	fmt.Fprintln(w)
+	for i, a := range addrs {
+		if errs[i] != nil {
+			fmt.Fprintf(w, "  %-*s  (waiting: %v)\n", colW, a, errs[i])
+			continue
+		}
+		p := payloads[i]
+		var cur *health.Sample
+		if len(p.Window) > 0 {
+			cur = &p.Window[len(p.Window)-1]
+		}
+		if cur == nil {
+			fmt.Fprintf(w, "  %-*s  up %s\n", colW, a,
+				(time.Duration(p.UptimeSeconds * float64(time.Second))).Round(time.Second))
+			continue
+		}
+		ratingsPS := last(rates(p.Window, func(s *health.Sample) float64 { return s.Submits }))
+		fmt.Fprintf(w, "  %-*s  up %-8s ratings/s %-9.0f rss %-10s goroutines %-6d shards %g (%g down)\n",
+			colW, a,
+			(time.Duration(p.UptimeSeconds * float64(time.Second))).Round(time.Second),
+			ratingsPS, fmtBytes(float64(cur.RSSBytes)), cur.Goroutines, cur.Shards, cur.ShardsDown)
+	}
+}
+
+// visibleLen counts the characters a terminal renders: ANSI color escapes
+// contribute zero width.
+func visibleLen(s string) int {
+	n := 0
+	inEsc := false
+	for _, r := range s {
+		switch {
+		case inEsc:
+			if r == 'm' {
+				inEsc = false
+			}
+		case r == '\x1b':
+			inEsc = true
+		default:
+			n++
+		}
+	}
+	return n
 }
 
 // fetch pulls and decodes one /statusz payload.

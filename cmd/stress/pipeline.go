@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"socialtrust/internal/audit"
+	"socialtrust/internal/cluster"
 	"socialtrust/internal/core"
 	"socialtrust/internal/interest"
 	"socialtrust/internal/manager"
@@ -38,7 +40,7 @@ const (
 // sharded sweepShards ways. Closeness paths are capped at 3 hops — the
 // paper's observed transaction radius — which keeps the Ωc BFS bounded at
 // 50k nodes.
-func buildSweepPipeline(n int, seed uint64, stateDir string) (*manager.Overlay, *xrand.Stream, error) {
+func buildSweepPipeline(n int, seed uint64, stateDir string, pc *cluster.ProcCluster) (*manager.Overlay, *xrand.Stream, error) {
 	rng := xrand.New(seed + uint64(n))
 	g := socialgraph.New(n)
 	for i := 0; i < n; i++ {
@@ -66,7 +68,11 @@ func buildSweepPipeline(n int, seed uint64, stateDir string) (*manager.Overlay, 
 	fc := core.Config{NumNodes: n}
 	fc.Closeness.MaxPathHops = 3
 	filter := core.New(fc, g, sets, interest.NewTracker(n), inner)
-	o, err := manager.NewWithOptions(n, sweepShards, filter, manager.Options{StateDir: stateDir})
+	opts := manager.Options{StateDir: stateDir}
+	if pc != nil {
+		opts.Transport = pc.Client()
+	}
+	o, err := manager.NewWithOptions(n, sweepShards, filter, opts)
 	return o, rng, err
 }
 
@@ -104,13 +110,68 @@ func sweepTrace(n int, rng *xrand.Stream, sparse float64, seq *uint64) []rating.
 	return trace
 }
 
+// sweepIngest pushes one interval's trace through SubmitBatch, optionally
+// from several concurrent submitter goroutines — the knob that fills a
+// cluster transport's pipeline with more than one batch in flight per shard.
+// Batches are dealt round-robin so every submitter touches every shard.
+func sweepIngest(o *manager.Overlay, trace []rating.Rating, submitters int) error {
+	var batches [][]rating.Rating
+	for lo := 0; lo < len(trace); lo += sweepBatchSize {
+		hi := lo + sweepBatchSize
+		if hi > len(trace) {
+			hi = len(trace)
+		}
+		batches = append(batches, trace[lo:hi])
+	}
+	if submitters <= 1 {
+		for _, b := range batches {
+			if errs := o.SubmitBatch(b); errs != nil {
+				for _, err := range errs {
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(batches); i += submitters {
+				if errs := o.SubmitBatch(batches[i]); errs != nil {
+					for _, err := range errs {
+						if err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // runPipelineSweep measures the raw interval pipeline at each size: batched
 // ingest throughput (ratings/sec through SubmitBatch) and the adjust+iterate
 // wall time of the EndInterval drain, per interval. With traced set, each
 // interval runs under a root span (mirroring the simulator's interval
 // instrumentation) and its phase attribution is printed beneath the row;
 // traceDir additionally exports the span stream for socialtrust-trace.
-func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, traced bool, sparse float64, stateDir string) {
+func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, traced bool, sparse float64, stateDir string,
+	clusterN, submitters, workerHealthBase int) {
 	if traced {
 		span.Enable(0)
 		defer span.Disable()
@@ -122,12 +183,44 @@ func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, 
 		if stateDir != "" {
 			dir = filepath.Join(stateDir, fmt.Sprintf("n%d", n))
 		}
-		o, rng, err := buildSweepPipeline(n, seed, dir)
+		// Cluster mode spawns a fresh worker fleet per size so the per-process
+		// peak-RSS figures in the cluster-summary line belong to that size
+		// alone, not to the largest size the sweep has touched so far.
+		var pc *cluster.ProcCluster
+		if clusterN > 0 {
+			wdir, err := os.MkdirTemp("", "stsweep")
+			if err != nil {
+				fmt.Printf("stress: n=%d: %v\n", n, err)
+				return
+			}
+			pc, err = cluster.Spawn(cluster.SpawnOptions{
+				Workers:    clusterN,
+				Shards:     sweepShards,
+				StateDir:   wdir,
+				HealthBase: workerHealthBase,
+			})
+			if err != nil {
+				_ = os.RemoveAll(wdir)
+				fmt.Printf("stress: n=%d: %v\n", n, err)
+				return
+			}
+			defer os.RemoveAll(wdir)
+		}
+		o, rng, err := buildSweepPipeline(n, seed, dir, pc)
 		if err != nil {
+			if pc != nil {
+				_ = pc.Close()
+			}
 			fmt.Printf("stress: n=%d: %v\n", n, err)
 			return
 		}
-		var seq uint64
+		wireSent0, wireRecv0 := cluster.WireStats()
+		var (
+			seq           uint64
+			totalRatings  int
+			totalIngest   time.Duration
+			totalInterval time.Duration
+		)
 		for iv := 0; iv < intervals; iv++ {
 			trace := sweepTrace(n, rng, sparse, &seq)
 			root := span.Root("sweep.interval")
@@ -136,19 +229,12 @@ func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, 
 			isp := span.Ambient("sweep.ingest", span.PhaseIngest).SetInt("ratings", int64(len(trace)))
 			prevIngest := span.SetAmbient(isp.Context())
 			start := time.Now()
-			for lo := 0; lo < len(trace); lo += sweepBatchSize {
-				hi := lo + sweepBatchSize
-				if hi > len(trace) {
-					hi = len(trace)
+			if err := sweepIngest(o, trace, submitters); err != nil {
+				fmt.Printf("stress: n=%d: %v\n", n, err)
+				if pc != nil {
+					_ = pc.Close()
 				}
-				if errs := o.SubmitBatch(trace[lo:hi]); errs != nil {
-					for _, err := range errs {
-						if err != nil {
-							fmt.Printf("stress: n=%d: %v\n", n, err)
-							return
-						}
-					}
-				}
+				return
 			}
 			ingest := time.Since(start)
 			span.SetAmbient(prevIngest)
@@ -158,6 +244,9 @@ func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, 
 			drain := time.Since(start)
 			span.SetAmbient(prev)
 			root.End()
+			totalRatings += len(trace)
+			totalIngest += ingest
+			totalInterval += ingest + drain
 			fmt.Printf("%-8d %-9d %-12v %-14.0f %-16v\n",
 				n, iv+1, ingest.Round(time.Microsecond),
 				float64(len(trace))/ingest.Seconds(), drain.Round(time.Millisecond))
@@ -167,6 +256,21 @@ func runPipelineSweep(sizes []int, intervals int, seed uint64, traceDir string, 
 			}
 		}
 		o.Close()
+		if pc != nil {
+			// One machine-parseable line per size for scripts/bench.sh
+			// (BENCH_cluster.json). Wire bytes are the coordinator's counters
+			// over the measured intervals; RSS figures are kernel VmHWM peaks.
+			wireSent, wireRecv := cluster.WireStats()
+			wireBytes := float64(wireSent - wireSent0 + wireRecv - wireRecv0)
+			fmt.Printf("cluster-summary nodes=%d procs=%d ratings=%d ratings_per_s=%.0f s_per_interval=%.4f coordinator_peak_rss_mb=%.1f worker_peak_rss_mb_max=%.1f wire_bytes_per_rating=%.1f\n",
+				n, clusterN, totalRatings,
+				float64(totalRatings)/totalIngest.Seconds(),
+				totalInterval.Seconds()/float64(intervals),
+				cluster.SelfPeakRSSMB(), pc.WorkerPeakRSSMB(), wireBytes/float64(totalRatings))
+			if err := pc.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "stress: cluster teardown: %v\n", err)
+			}
+		}
 	}
 	if traced && traceDir != "" {
 		rec := span.Current()

@@ -1,0 +1,37 @@
+package cluster
+
+import "socialtrust/internal/obs"
+
+// Cluster transport metrics. Both sides of the wire record into their own
+// process's registry: the coordinator's client and the worker daemon each
+// expose the same families, so a fleet-wide dashboard sums them per process.
+var (
+	mBytesSent  = obs.C("cluster_bytes_sent_total")
+	mBytesRecv  = obs.C("cluster_bytes_received_total")
+	mFramesSent = obs.C("cluster_frames_sent_total")
+	mFramesRecv = obs.C("cluster_frames_received_total")
+	mInflight   = obs.G("cluster_inflight_batches")
+	mReconnects = obs.C("cluster_reconnects_total")
+	mRespawns   = obs.C("cluster_worker_respawns_total")
+	mEncodeLat  = obs.H("cluster_encode_seconds")
+	mDecodeLat  = obs.H("cluster_decode_seconds")
+)
+
+// WireStats returns this process's cumulative transport byte counters
+// (frame headers included) — the numerator of a wire-bytes-per-rating figure.
+// Counters only advance while obs recording is enabled.
+func WireStats() (sent, received int64) {
+	return mBytesSent.Value(), mBytesRecv.Value()
+}
+
+func init() {
+	obs.Help("cluster_bytes_sent_total", "Bytes written to cluster transport connections (frame headers included).")
+	obs.Help("cluster_bytes_received_total", "Bytes read from cluster transport connections (frame headers included).")
+	obs.Help("cluster_frames_sent_total", "Frames written to cluster transport connections.")
+	obs.Help("cluster_frames_received_total", "Frames read from cluster transport connections.")
+	obs.Help("cluster_inflight_batches", "Requests currently awaiting a reply on cluster connections (pipelining depth).")
+	obs.Help("cluster_reconnects_total", "Reconnect attempts after a cluster connection failure.")
+	obs.Help("cluster_worker_respawns_total", "Worker processes respawned by the cluster spawner after an unexpected exit.")
+	obs.Help("cluster_encode_seconds", "Wall time encoding one cluster frame (payload build plus framing).")
+	obs.Help("cluster_decode_seconds", "Wall time decoding one cluster frame payload.")
+}

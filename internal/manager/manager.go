@@ -119,18 +119,10 @@ type message struct {
 	drainC   chan drainReply
 	reps     []float64
 	errC     chan error
-	batch    []batchEntry    // msgSubmitBatch payload (fault mode): one ledger op per entry
+	batch    []BatchEntry    // msgSubmitBatch payload (fault mode): one ledger op per entry
 	plain    []rating.Rating // msgSubmitBatch payload (direct mode): primary ledger adds only
 	errsC    chan []error    // msgSubmitBatch reply, index-aligned; nil = every entry landed
 	tctx     span.Context    // trace context: parent for shard-side span emission (zero when off)
-}
-
-// batchEntry is one rating of a batched submission, carrying the same
-// per-rating replica/deferred fate bits a standalone msgSubmit would.
-type batchEntry struct {
-	r        rating.Rating
-	replica  bool
-	deferred bool
 }
 
 // drainReply is one shard's answer to a drain: its primary interval
@@ -173,10 +165,14 @@ type shardState struct {
 }
 
 // shard is the stable identity of one manager slot across incarnations.
+// Exactly one of the two hosting forms is active: remote nil means the shard
+// runs as an in-process goroutine behind cur; remote non-nil means every
+// operation goes through the transport endpoint and cur is never populated.
 type shard struct {
-	id    int
-	cur   atomic.Pointer[shardState]
-	depth *obs.Gauge // mailbox depth after the last handled message
+	id     int
+	cur    atomic.Pointer[shardState]
+	remote ShardConn
+	depth  *obs.Gauge // mailbox depth after the last handled message
 }
 
 // Options tunes the overlay's fault-tolerance machinery. The zero Options
@@ -209,6 +205,15 @@ type Options struct {
 	StateDir string
 	// Persist tunes the shard WALs (fsync policy).
 	Persist persist.Options
+
+	// Transport, when non-nil, routes shards out of process: each shard the
+	// transport claims (Shard(i) != nil) is driven over the wire instead of
+	// by an in-process goroutine. Remote shards own their WALs — StateDir,
+	// if also set, applies only to the shards the transport leaves local —
+	// and the overlay keeps their drained high-water marks so crash/restart
+	// replay floors travel with the Restart operation. See internal/cluster
+	// for the socket implementation.
+	Transport Transport
 }
 
 func (o Options) withDefaults() Options {
@@ -247,9 +252,26 @@ type Overlay struct {
 	// Durability layer (nil/empty without Options.StateDir): per-shard WALs
 	// journaling primary ledgers, the per-shard drained sequence high-water
 	// marks, and the interval counter stamped on WAL marks. All guarded by mu.
+	// With a transport installed, wals holds nil entries for remote shards
+	// (they own their WAL files) while drainedSeq still tracks every shard —
+	// the drained marks are the replay floors Restart ships over the wire.
 	wals       []*persist.WAL
 	drainedSeq []uint64
+	// replicaSeq tracks, per shard, the max ingest sequence of the replica
+	// snapshot the shard shipped in a completed drain — the replay floor for
+	// the fated (replica/deferred) records a remote shard journals.
+	replicaSeq []uint64
 	intervals  uint64
+
+	// Remote-shard coordination (nil without Options.Transport). remoteDown
+	// mirrors the crash/restart lifecycle the in-process path expresses with
+	// incarnation channels; remoteReps is the coordinator's copy of the last
+	// vector every live remote shard holds, serving queries without a wire
+	// round trip (live shards are always synced to it: broadcast updates
+	// them, and a restarting shard receives it with its Restart).
+	transport  Transport
+	remoteDown []atomic.Bool
+	remoteReps atomic.Pointer[[]float64]
 }
 
 // Typed overlay errors.
@@ -297,6 +319,15 @@ func NewWithOptions(numNodes, numManagers int, engine reputation.Engine, opts Op
 	}
 	initial := engine.Reputations()
 	o.lastReps = append([]float64(nil), initial...)
+	if opts.Transport != nil {
+		o.transport = opts.Transport
+		if err := o.transport.Start(numNodes, opts.Fault != nil, initial); err != nil {
+			return nil, fmt.Errorf("manager: transport start: %w", err)
+		}
+		o.remoteDown = make([]atomic.Bool, numManagers)
+		vec := append([]float64(nil), initial...)
+		o.remoteReps.Store(&vec)
+	}
 	if err := o.openWALs(numManagers); err != nil {
 		return nil, err
 	}
@@ -305,14 +336,21 @@ func NewWithOptions(numNodes, numManagers int, engine reputation.Engine, opts Op
 			id:    m,
 			depth: obs.G(obs.Label("manager_mailbox_depth", "shard", strconv.Itoa(m))),
 		}
-		st := o.newIncarnation(m, initial)
-		if o.persistent() {
-			st.ledger.SetJournal(walJournal{o.wals[m]})
+		if o.transport != nil {
+			s.remote = o.transport.Shard(m)
 		}
-		s.cur.Store(st)
+		if s.remote == nil {
+			st := o.newIncarnation(m, initial)
+			if o.wals != nil && o.wals[m] != nil {
+				st.ledger.SetJournal(walJournal{o.wals[m]})
+			}
+			s.cur.Store(st)
+		}
 		o.shards = append(o.shards, s)
-		o.wg.Add(1)
-		go o.serve(s, s.cur.Load())
+		if s.remote == nil {
+			o.wg.Add(1)
+			go o.serve(s, s.cur.Load())
+		}
 	}
 	mShards.Set(float64(numManagers))
 	mShardsDown.Set(0)
@@ -362,7 +400,7 @@ func (o *Overlay) serve(s *shard, st *shardState) {
 					tsp.SetInt("entries", int64(len(msg.plain)+len(msg.batch)))
 					replicas := 0
 					for _, e := range msg.batch {
-						if e.replica {
+						if e.Replica {
 							replicas++
 						}
 					}
@@ -437,14 +475,14 @@ func (st *shardState) handleSubmitBatch(msg message) {
 	for i, e := range msg.batch {
 		var err error
 		switch {
-		case e.deferred && e.replica:
-			st.deferredReplica = append(st.deferredReplica, e.r)
-		case e.deferred:
-			st.deferred = append(st.deferred, e.r)
-		case e.replica:
-			err = st.replica.Add(e.r)
+		case e.Deferred && e.Replica:
+			st.deferredReplica = append(st.deferredReplica, e.R)
+		case e.Deferred:
+			st.deferred = append(st.deferred, e.R)
+		case e.Replica:
+			err = st.replica.Add(e.R)
 		default:
-			err = st.ledger.Add(e.r)
+			err = st.ledger.Add(e.R)
 		}
 		if err != nil {
 			if errs == nil {
@@ -496,6 +534,23 @@ func (o *Overlay) downOrClosed() error {
 	}
 }
 
+// remoteErr maps a transport-level failure onto the overlay's typed errors:
+// deadlines stay ErrTimeout (retryable), everything else is the remote
+// analogue of a dead incarnation — ErrShardDown, or ErrClosed when the
+// overlay itself is shutting down.
+func (o *Overlay) remoteErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrTimeout) {
+		return ErrTimeout
+	}
+	if errors.Is(err, ErrClosed) {
+		return ErrClosed
+	}
+	return o.downOrClosed()
+}
+
 // Submit routes one rating to the ratee's manager. Safe for concurrent use.
 // Returns ErrClosed after Close, ErrShardDown when the responsible shard
 // (and, in fault-tolerant mode, its replica) has crashed, and ErrTimeout
@@ -525,7 +580,23 @@ func (o *Overlay) submit(r rating.Rating) error {
 // shard, with no replication or deadline. It cannot hang: a dead
 // incarnation's down signal aborts both the send and the ack wait.
 func (o *Overlay) submitDirect(r rating.Rating) error {
-	st := o.shards[o.ManagerOf(r.Ratee)].cur.Load()
+	s := o.shards[o.ManagerOf(r.Ratee)]
+	if s.remote != nil {
+		select {
+		case <-o.closed:
+			return ErrClosed
+		default:
+		}
+		res, terr := s.remote.SubmitPlain([]rating.Rating{r})()
+		if terr != nil {
+			return o.remoteErr(terr)
+		}
+		if len(res) > 0 {
+			return res[0]
+		}
+		return nil
+	}
+	st := s.cur.Load()
 	errC := make(chan error, 1)
 	select {
 	case <-o.closed:
@@ -623,13 +694,30 @@ func (o *Overlay) submitBatchDirect(rs []rating.Rating, tctx span.Context) []err
 		idx[fill[s]] = i
 		fill[s]++
 	}
+	// Send every shard its sub-batch — in-process mailboxes and pipelined
+	// transport writes alike — before collecting any acknowledgement, so the
+	// shards chew their batches concurrently whether they live in this
+	// process or behind a socket.
 	replies := make([]chan []error, k)
+	var waits []func() ([]error, error)
 	for s := 0; s < k; s++ {
 		lo, hi := starts[s], starts[s+1]
 		if lo == hi {
 			continue
 		}
 		mBatchSize.Observe(float64(hi - lo))
+		if rc := o.shards[s].remote; rc != nil {
+			select {
+			case <-o.closed:
+				failGroup(&errs, len(rs), idx[lo:hi], ErrClosed)
+			default:
+				if waits == nil {
+					waits = make([]func() ([]error, error), k)
+				}
+				waits[s] = rc.SubmitPlain(arena[lo:hi])
+			}
+			continue
+		}
 		st := o.shards[s].cur.Load()
 		errsC := make(chan []error, 1)
 		select {
@@ -642,10 +730,23 @@ func (o *Overlay) submitBatchDirect(rs []rating.Rating, tctx span.Context) []err
 		}
 	}
 	for s := 0; s < k; s++ {
+		lo, hi := starts[s], starts[s+1]
+		if waits != nil && waits[s] != nil {
+			res, terr := waits[s]()
+			if terr != nil {
+				failGroup(&errs, len(rs), idx[lo:hi], o.remoteErr(terr))
+				continue
+			}
+			for x, e := range res { // nil res = whole sub-batch landed
+				if e != nil {
+					fail(idx[lo+x], e)
+				}
+			}
+			continue
+		}
 		if replies[s] == nil {
 			continue
 		}
-		lo, hi := starts[s], starts[s+1]
 		st := o.shards[s].cur.Load()
 		select {
 		case res := <-replies[s]:
@@ -775,22 +876,37 @@ func (o *Overlay) deliverBatchRound(rs []rating.Rating, dels []batchDelivery, pe
 		if len(group) == 0 {
 			continue
 		}
-		st := o.shards[s].cur.Load()
-		select {
-		case <-st.down:
-			err := o.downOrClosed()
-			for _, di := range group {
-				dels[di].err = err
+		// The down check precedes the verdict draws — the remote flag mirrors
+		// the incarnation signal exactly, so the plan's RNG stream consumes
+		// the same draws in the same order either way.
+		rc := o.shards[s].remote
+		var st *shardState
+		if rc != nil {
+			if o.remoteDown[s].Load() {
+				err := o.downOrClosed()
+				for _, di := range group {
+					dels[di].err = err
+				}
+				continue
 			}
-			continue
-		default:
+		} else {
+			st = o.shards[s].cur.Load()
+			select {
+			case <-st.down:
+				err := o.downOrClosed()
+				for _, di := range group {
+					dels[di].err = err
+				}
+				continue
+			default:
+			}
 		}
 		// Draw each delivery's fate from the plan — per rating, exactly as
 		// the unbatched path — and assemble the surviving entries. slots
 		// maps batch entries back to deliveries; a duplicate-injected copy
 		// gets slot -1 (its ledger ack is deliberately ignored, matching
 		// deliverOnce's fire-and-forget duplicate).
-		batch := make([]batchEntry, 0, len(group))
+		batch := make([]BatchEntry, 0, len(group))
 		slots := make([]int, 0, len(group))
 		for _, di := range group {
 			d := &dels[di]
@@ -802,10 +918,10 @@ func (o *Overlay) deliverBatchRound(rs []rating.Rating, dels []batchDelivery, pe
 				still = append(still, di)
 				continue
 			}
-			batch = append(batch, batchEntry{r: rs[d.idx], replica: d.replica, deferred: v.Delay})
+			batch = append(batch, BatchEntry{R: rs[d.idx], Replica: d.replica, Deferred: v.Delay})
 			slots = append(slots, di)
 			if v.Duplicate {
-				batch = append(batch, batchEntry{r: rs[d.idx], replica: d.replica, deferred: v.Delay})
+				batch = append(batch, BatchEntry{R: rs[d.idx], Replica: d.replica, Deferred: v.Delay})
 				slots = append(slots, -1)
 			}
 		}
@@ -813,6 +929,33 @@ func (o *Overlay) deliverBatchRound(rs []rating.Rating, dels []batchDelivery, pe
 			continue
 		}
 		mBatchSize.Observe(float64(len(batch)))
+		if rc != nil {
+			res, terr := rc.SubmitEntries(batch, o.opts.SubmitTimeout)()
+			if terr != nil {
+				terr = o.remoteErr(terr)
+				for _, di := range slots {
+					if di < 0 {
+						continue
+					}
+					dels[di].err = terr
+					if errors.Is(terr, ErrTimeout) {
+						still = append(still, di)
+					}
+				}
+				continue
+			}
+			for x, di := range slots {
+				if di < 0 {
+					continue
+				}
+				if res == nil {
+					dels[di].err = nil
+				} else {
+					dels[di].err = res[x]
+				}
+			}
+			continue
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), o.opts.SubmitTimeout)
 		msg := message{kind: msgSubmitBatch, batch: batch, errsC: make(chan []error, 1), tctx: tctx}
 		if err := o.send(ctx, st, msg); err != nil {
@@ -929,6 +1072,29 @@ func (o *Overlay) deliverRetry(shardID int, r rating.Rating, replica bool) error
 // deliverOnce performs one submission delivery under the submit deadline,
 // consulting the fault plan for the message's fate.
 func (o *Overlay) deliverOnce(shardID int, r rating.Rating, replica bool) error {
+	if rc := o.shards[shardID].remote; rc != nil {
+		if o.remoteDown[shardID].Load() {
+			return o.downOrClosed()
+		}
+		v := o.plan.DeliveryVerdict(shardID)
+		if v.Drop {
+			return ErrTimeout
+		}
+		entries := []BatchEntry{{R: r, Replica: replica, Deferred: v.Delay}}
+		if v.Duplicate {
+			// The duplicate rides in the same wire batch; its per-entry ack
+			// is ignored, matching the in-process fire-and-forget copy.
+			entries = append(entries, entries[0])
+		}
+		res, terr := rc.SubmitEntries(entries, o.opts.SubmitTimeout)()
+		if terr != nil {
+			return o.remoteErr(terr)
+		}
+		if len(res) > 0 {
+			return res[0]
+		}
+		return nil
+	}
 	st := o.shards[shardID].cur.Load()
 	select {
 	case <-st.down:
@@ -1014,7 +1180,26 @@ func (o *Overlay) Query(node int) (float64, error) {
 
 // queryShard asks one shard for node's reputation. Fault-tolerant mode
 // bounds the wait with the query deadline.
+//
+// Remote shards are served from the coordinator's remoteReps mirror instead
+// of a wire round trip: every live remote shard holds exactly the last
+// broadcast vector (UpdateReps at each drain, Restart on rejoin), so the
+// mirror answers identically — including the down/failover behavior, which
+// keys off remoteDown just as the in-process path keys off the incarnation
+// signal. This keeps the simulator's millions of per-cycle queries off the
+// socket.
 func (o *Overlay) queryShard(shardID, node int) (float64, error) {
+	if o.shards[shardID].remote != nil {
+		select {
+		case <-o.closed:
+			return 0, ErrClosed
+		default:
+		}
+		if o.remoteDown[shardID].Load() {
+			return 0, o.downOrClosed()
+		}
+		return (*o.remoteReps.Load())[node], nil
+	}
 	st := o.shards[shardID].cur.Load()
 	repC := make(chan float64, 1)
 	msg := message{kind: msgQuery, node: node, repC: repC}
@@ -1152,6 +1337,7 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 		if replies[i] != nil {
 			snaps = append(snaps, replies[i].primary)
 			o.noteDrained(i, replies[i].primary.MaxSeq)
+			o.noteReplicaDrained(i, replies[i].replica.MaxSeq)
 			status.Drained++
 			continue
 		}
@@ -1164,11 +1350,39 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 		}
 		status.Missing = append(status.Missing, i)
 	}
+	// A remote shard that failed its drain while not plan-down is in an
+	// unknown state: the worker process may still hold — or later replay —
+	// interval data this drain just recovered through the mirror. Force a
+	// restart carrying the post-drain floors so the worker discards its
+	// stale interval state and rebuilds only the uncovered WAL tail: the
+	// out-of-process analogue of a crashed incarnation's discarded ledger.
+	for i := range o.shards {
+		rc := o.shards[i].remote
+		if rc == nil || replies[i] != nil || o.remoteDown[i].Load() {
+			continue
+		}
+		var floor, replicaFloor uint64
+		if o.drainedSeq != nil {
+			floor = o.drainedSeq[i]
+		}
+		if o.replicaSeq != nil {
+			replicaFloor = o.replicaSeq[i]
+		}
+		_ = rc.Restart(o.lastReps, floor, replicaFloor, false)
+	}
 	// Stamp (and, per the fsync policy, sync) an interval mark on every WAL:
 	// the tail of a completed interval must reach stable storage before the
-	// caller snapshots against it.
+	// caller snapshots against it. Remote shards receive the mark as a wire
+	// operation — their worker process applies it to the WAL it owns.
 	for i := range o.wals {
-		_ = o.wals[i].AppendMark(o.intervals)
+		if o.wals[i] != nil {
+			_ = o.wals[i].AppendMark(o.intervals)
+		}
+	}
+	for _, s := range o.shards {
+		if s.remote != nil && !o.remoteDown[s.id].Load() {
+			_ = s.remote.Mark(o.intervals)
+		}
 	}
 	if len(status.Missing) > 0 {
 		status.Partial = true
@@ -1187,6 +1401,16 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 	// they sync on restart.
 	bsp := span.Ambient("manager.broadcast", span.PhaseDrain).SetInt("shards", int64(len(o.shards)))
 	for _, s := range o.shards {
+		if rc := s.remote; rc != nil {
+			if !o.remoteDown[s.id].Load() {
+				var timeout time.Duration
+				if o.plan != nil {
+					timeout = o.opts.DrainTimeout
+				}
+				_ = rc.UpdateReps(reps, timeout)
+			}
+			continue
+		}
 		st := s.cur.Load()
 		errC := make(chan error, 1)
 		msg := message{kind: msgUpdateReps, reps: append([]float64(nil), reps...), errC: errC}
@@ -1204,6 +1428,12 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 			}
 		}
 		cancel()
+	}
+	if o.transport != nil {
+		// Refresh the query mirror: every live remote shard now holds reps,
+		// and a down shard will receive the same vector with its Restart.
+		vec := append([]float64(nil), reps...)
+		o.remoteReps.Store(&vec)
 	}
 	bsp.End()
 	if rec != nil {
@@ -1224,6 +1454,20 @@ func (o *Overlay) EndIntervalStatus() ([]float64, DrainStatus) {
 // drainShard sends one drain request and collects the reply, bounded by the
 // drain deadline in fault mode. Returns nil when the shard is unreachable.
 func (o *Overlay) drainShard(i int, tctx span.Context) *drainReply {
+	if rc := o.shards[i].remote; rc != nil {
+		if o.remoteDown[i].Load() {
+			return nil
+		}
+		var timeout time.Duration
+		if o.plan != nil {
+			timeout = o.opts.DrainTimeout
+		}
+		ds, err := rc.Drain(timeout)
+		if err != nil {
+			return nil
+		}
+		return &drainReply{primary: ds.Primary, replica: ds.Replica}
+	}
 	st := o.shards[i].cur.Load()
 	drainC := make(chan drainReply, 1)
 	msg := message{kind: msgDrain, drainC: drainC, tctx: tctx}
@@ -1251,6 +1495,15 @@ func (o *Overlay) drainShard(i int, tctx span.Context) *drainReply {
 // crashShardLocked kills the shard's current incarnation, losing its
 // interval ledgers. Callers hold o.mu. Idempotent on already-down shards.
 func (o *Overlay) crashShardLocked(i int) {
+	if rc := o.shards[i].remote; rc != nil {
+		if o.remoteDown[i].Load() {
+			return // already down
+		}
+		_ = rc.Crash()
+		o.remoteDown[i].Store(true)
+		mShardsDown.Add(1)
+		return
+	}
 	st := o.shards[i].cur.Load()
 	select {
 	case <-st.down:
@@ -1273,6 +1526,25 @@ func (o *Overlay) crashShardLocked(i int) {
 // concurrent traffic races the ledger.
 func (o *Overlay) restartShardLocked(i int) {
 	s := o.shards[i]
+	if rc := s.remote; rc != nil {
+		if !o.remoteDown[i].Load() {
+			return // still alive
+		}
+		var floor, replicaFloor uint64
+		if o.drainedSeq != nil {
+			floor = o.drainedSeq[i]
+		}
+		if o.replicaSeq != nil {
+			replicaFloor = o.replicaSeq[i]
+		}
+		// The worker replays its own WAL above the drained floors — the exact
+		// records the in-process replayShardWAL would restore, plus the fated
+		// replica/deferred records only worker-side durability journals.
+		_ = rc.Restart(o.lastReps, floor, replicaFloor, false)
+		o.remoteDown[i].Store(false)
+		mShardsDown.Add(-1)
+		return
+	}
 	st := s.cur.Load()
 	select {
 	case <-st.down:
@@ -1280,7 +1552,7 @@ func (o *Overlay) restartShardLocked(i int) {
 		return // still alive
 	}
 	fresh := o.newIncarnation(i, o.lastReps)
-	if o.persistent() {
+	if o.wals != nil && o.wals[i] != nil {
 		o.replayShardWAL(i, fresh.ledger, 0, false)
 		fresh.ledger.SetJournal(walJournal{o.wals[i]})
 	}
@@ -1344,5 +1616,8 @@ func (o *Overlay) Close() {
 		close(o.closed)
 		o.wg.Wait()
 		o.closeWALs()
+		if o.transport != nil {
+			_ = o.transport.Close()
+		}
 	})
 }

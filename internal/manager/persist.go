@@ -47,10 +47,18 @@ func (j walJournal) Append(rs []rating.Rating) error {
 	return j.w.Append(recs)
 }
 
-// openWALs opens one WAL per shard under StateDir, scanning (and truncating)
-// any torn tail a crash left behind. Called once from NewWithOptions before
-// the shard goroutines start.
+// openWALs opens one WAL per local shard under StateDir, scanning (and
+// truncating) any torn tail a crash left behind. Called once from
+// NewWithOptions before the shard goroutines start. Shards routed through a
+// transport are skipped — their worker process owns the WAL file — but their
+// drained high-water marks are still tracked (they are the replay floors
+// Restart ships over the wire), so drainedSeq is allocated whenever either a
+// state directory or a transport is configured.
 func (o *Overlay) openWALs(numManagers int) error {
+	if o.transport != nil {
+		o.drainedSeq = make([]uint64, numManagers)
+		o.replicaSeq = make([]uint64, numManagers)
+	}
 	if o.opts.StateDir == "" {
 		return nil
 	}
@@ -58,8 +66,13 @@ func (o *Overlay) openWALs(numManagers int) error {
 		return err
 	}
 	o.wals = make([]*persist.WAL, numManagers)
-	o.drainedSeq = make([]uint64, numManagers)
+	if o.drainedSeq == nil {
+		o.drainedSeq = make([]uint64, numManagers)
+	}
 	for i := range o.wals {
+		if o.transport != nil && o.transport.Shard(i) != nil {
+			continue // remote shard: the worker owns shard-<i>.wal
+		}
 		path := filepath.Join(o.opts.StateDir, fmt.Sprintf("shard-%d.wal", i))
 		w, _, err := persist.Open(path, o.opts.Persist)
 		if err != nil {
@@ -71,13 +84,24 @@ func (o *Overlay) openWALs(numManagers int) error {
 	return nil
 }
 
-// persistent reports whether the durability layer is active.
-func (o *Overlay) persistent() bool { return len(o.wals) > 0 }
+// persistent reports whether the durability layer is active: drained marks
+// are tracked either for local WALs (StateDir) or on behalf of remote shards
+// that journal worker-side (Transport).
+func (o *Overlay) persistent() bool { return o.drainedSeq != nil }
 
 // noteDrained raises shard i's drained high-water mark. Callers hold o.mu.
 func (o *Overlay) noteDrained(i int, maxSeq uint64) {
 	if o.persistent() && maxSeq > o.drainedSeq[i] {
 		o.drainedSeq[i] = maxSeq
+	}
+}
+
+// noteReplicaDrained raises shard i's replica-drain high-water mark — the
+// replay floor for the fated records backing the replica mirror and deferred
+// queues shard i hosts. Callers hold o.mu.
+func (o *Overlay) noteReplicaDrained(i int, maxSeq uint64) {
+	if o.replicaSeq != nil && maxSeq > o.replicaSeq[i] {
+		o.replicaSeq[i] = maxSeq
 	}
 }
 
@@ -146,9 +170,21 @@ func (o *Overlay) ResetWALs() error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for i := range o.wals {
+		if o.wals[i] == nil {
+			continue
+		}
 		if err := o.wals[i].Rotate(); err != nil {
 			return err
 		}
+	}
+	for _, s := range o.shards {
+		if s.remote != nil {
+			if err := s.remote.ResetWAL(); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range o.drainedSeq {
 		o.drainedSeq[i] = 0
 	}
 	return nil
@@ -164,11 +200,24 @@ func (o *Overlay) CompactWALs() error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for i := range o.wals {
+		if o.wals[i] == nil {
+			continue
+		}
 		if o.wals[i].MaxSeq() > o.drainedSeq[i] {
 			continue
 		}
 		if err := o.wals[i].Rotate(); err != nil {
 			return err
+		}
+	}
+	for _, s := range o.shards {
+		if s.remote != nil {
+			// The worker compares the covered mark against its own WAL's max
+			// sequence, so the still-recoverable-tail check needs no extra
+			// round trip.
+			if err := s.remote.CompactWAL(o.drainedSeq[s.id]); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -190,7 +239,13 @@ func (o *Overlay) CompactWALs() error {
 func (o *Overlay) Resume(drainedSeqs []uint64, lastSeq uint64, reps []float64) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if !o.persistent() {
+	if o.transport != nil {
+		// Whole-process snapshot resume is a coordinator-side feature; remote
+		// shards recover through their own WALs (Restart replay), not
+		// through Resume. The simulator rejects state-dir + cluster up front.
+		return fmt.Errorf("manager: Resume is not supported with a transport")
+	}
+	if len(o.wals) == 0 {
 		return fmt.Errorf("manager: Resume requires a state directory")
 	}
 	if len(drainedSeqs) != len(o.shards) {

@@ -16,18 +16,33 @@ const walMagic = "STWALv1\n"
 
 // Record kinds. A rating record carries one accepted rating; a mark record
 // is appended at each completed interval drain and carries the interval
-// number, delimiting which records a snapshot already covers.
+// number, delimiting which records a snapshot already covers. A fated rating
+// is a rating accepted into a substrate other than the primary interval
+// ledger — a replica mirror or a deferred-delivery queue — tagged with the
+// fate flags that route it back there on replay. Only the cluster worker
+// writes them: an out-of-process shard cannot rely on whole-interval
+// re-execution to rebuild those substrates after a kill, so they must be as
+// durable as the primary ledger.
 const (
-	KindRating byte = 1
-	KindMark   byte = 2
+	KindRating      byte = 1
+	KindMark        byte = 2
+	KindFatedRating byte = 3
+)
+
+// Fate flags carried by KindFatedRating records.
+const (
+	FateReplica  byte = 1 << 0
+	FateDeferred byte = 1 << 1
 )
 
 // Record is one WAL entry. For KindRating, Seq is the rating's global
 // sequence number (assigned at ingest, the dedupe key for replay) and the
 // remaining fields are the rating itself. For KindMark, Seq is the interval
-// number and the rating fields are zero.
+// number and the rating fields are zero. KindFatedRating is a rating record
+// plus its Flags fate bits.
 type Record struct {
 	Kind            byte
+	Flags           byte
 	Seq             uint64
 	Rater, Ratee    int32
 	Cycle, Category int32
@@ -35,10 +50,12 @@ type Record struct {
 }
 
 // Frame layout: [uint32 LE payload length][uint32 LE CRC32-C of payload][payload].
-// Rating payload: kind(1) seq(8) rater(4) ratee(4) cycle(4) category(4) value(8).
+// Rating payload: kind(1) seq(8) rater(4) ratee(4) cycle(4) category(4) value(8);
+// a fated rating appends flags(1).
 const (
 	frameHeaderLen   = 8
 	ratingPayloadLen = 1 + 8 + 4 + 4 + 4 + 4 + 8
+	fatedPayloadLen  = ratingPayloadLen + 1
 	markPayloadLen   = 1 + 8
 	// maxPayloadLen bounds decoding so a corrupt length field cannot demand
 	// an absurd allocation.
@@ -64,6 +81,9 @@ func encodePayload(buf []byte, r Record) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Cycle))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Category))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Value))
+	if r.Kind == KindFatedRating {
+		buf = append(buf, r.Flags)
+	}
 	return buf
 }
 
@@ -79,9 +99,13 @@ func decodePayload(p []byte) (Record, error) {
 			return Record{}, fmt.Errorf("%w: mark payload %d bytes, want %d", ErrCorruptRecord, len(p), markPayloadLen)
 		}
 		r.Seq = binary.LittleEndian.Uint64(p[1:9])
-	case KindRating:
-		if len(p) != ratingPayloadLen {
-			return Record{}, fmt.Errorf("%w: rating payload %d bytes, want %d", ErrCorruptRecord, len(p), ratingPayloadLen)
+	case KindRating, KindFatedRating:
+		want := ratingPayloadLen
+		if r.Kind == KindFatedRating {
+			want = fatedPayloadLen
+		}
+		if len(p) != want {
+			return Record{}, fmt.Errorf("%w: rating payload %d bytes, want %d", ErrCorruptRecord, len(p), want)
 		}
 		r.Seq = binary.LittleEndian.Uint64(p[1:9])
 		r.Rater = int32(binary.LittleEndian.Uint32(p[9:13]))
@@ -89,6 +113,9 @@ func decodePayload(p []byte) (Record, error) {
 		r.Cycle = int32(binary.LittleEndian.Uint32(p[17:21]))
 		r.Category = int32(binary.LittleEndian.Uint32(p[21:25]))
 		r.Value = math.Float64frombits(binary.LittleEndian.Uint64(p[25:33]))
+		if r.Kind == KindFatedRating {
+			r.Flags = p[33]
+		}
 	default:
 		return Record{}, fmt.Errorf("%w: unknown record kind %d", ErrCorruptRecord, r.Kind)
 	}
@@ -146,6 +173,10 @@ type WAL struct {
 	opts   Options
 	buf    []byte
 	maxSeq uint64
+	// maxFatedSeq is the highest KindFatedRating sequence held, tracked
+	// separately because fated records are covered by replica/deferred drains,
+	// not by the primary drain floor that covers maxSeq.
+	maxFatedSeq uint64
 }
 
 // Recovery reports what Open found in an existing WAL file.
@@ -205,11 +236,23 @@ func Open(path string, opts Options) (*WAL, Recovery, error) {
 	}
 	w := &WAL{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, opts: opts}
 	for _, r := range rec.Records {
-		if r.Kind == KindRating && r.Seq > w.maxSeq {
-			w.maxSeq = r.Seq
-		}
+		w.noteSeqLocked(r)
 	}
 	return w, rec, nil
+}
+
+// noteSeqLocked advances the per-kind sequence high-water marks.
+func (w *WAL) noteSeqLocked(r Record) {
+	switch r.Kind {
+	case KindRating:
+		if r.Seq > w.maxSeq {
+			w.maxSeq = r.Seq
+		}
+	case KindFatedRating:
+		if r.Seq > w.maxFatedSeq {
+			w.maxFatedSeq = r.Seq
+		}
+	}
 }
 
 // Append frames, checksums and writes the records, then flushes them to the
@@ -223,9 +266,7 @@ func (w *WAL) Append(recs []Record) error {
 	defer w.mu.Unlock()
 	var total int64
 	for _, r := range recs {
-		if r.Kind == KindRating && r.Seq > w.maxSeq {
-			w.maxSeq = r.Seq
-		}
+		w.noteSeqLocked(r)
 		w.buf = encodePayload(w.buf[:0], r)
 		var hdr [frameHeaderLen]byte
 		putFrameHeader(hdr[:], w.buf)
@@ -305,18 +346,27 @@ func (w *WAL) Rotate() error {
 	}
 	w.w.Reset(w.f)
 	w.maxSeq = 0
+	w.maxFatedSeq = 0
 	if w.opts.Fsync != FsyncNever {
 		return w.syncLocked()
 	}
 	return nil
 }
 
-// MaxSeq reports the highest rating-record sequence number the log holds
-// (recovered at Open plus appended since), 0 for a log with no ratings.
+// MaxSeq reports the highest primary rating-record sequence number the log
+// holds (recovered at Open plus appended since), 0 for a log with no ratings.
 func (w *WAL) MaxSeq() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.maxSeq
+}
+
+// MaxFatedSeq reports the highest fated-rating sequence number the log holds,
+// 0 for a log with no fated records.
+func (w *WAL) MaxFatedSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.maxFatedSeq
 }
 
 // ReadBack flushes the writer and re-decodes the whole log from disk,

@@ -248,6 +248,15 @@ type Config struct {
 	// are not bit-equal across the two modes).
 	Managers int
 
+	// Cluster, when positive, hosts the manager shards in that many worker
+	// processes (cmd/socialtrust-shardd children of this process) driven over
+	// the socket transport instead of in-process goroutines. Requires
+	// Managers > 0; capped at Managers. Reputations, detection tables and
+	// audit streams are bit-identical to the in-process overlay. Mutually
+	// exclusive with StateDir: the workers own their shards' WALs, while
+	// run-state snapshots are a single-process feature.
+	Cluster int
+
 	// Churn, when enabled, applies session churn to the non-pretrusted
 	// population each simulation cycle (see ChurnConfig).
 	Churn ChurnConfig
@@ -412,6 +421,15 @@ func (c Config) validate() error {
 	}
 	if c.Faults.Enabled() && c.Managers <= 0 {
 		return fmt.Errorf("sim: fault injection targets the manager overlay; set Managers > 0")
+	}
+	if c.Cluster < 0 {
+		return fmt.Errorf("sim: Cluster %d invalid", c.Cluster)
+	}
+	if c.Cluster > 0 && c.Managers <= 0 {
+		return fmt.Errorf("sim: Cluster hosts manager shards in worker processes; set Managers > 0")
+	}
+	if c.Cluster > 0 && c.StateDir != "" {
+		return fmt.Errorf("sim: Cluster and StateDir are mutually exclusive (workers own their shard WALs; run-state snapshots are single-process)")
 	}
 	return nil
 }

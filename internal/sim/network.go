@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"fmt"
+	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
 	"socialtrust/internal/audit"
+	"socialtrust/internal/cluster"
 	"socialtrust/internal/core"
 	"socialtrust/internal/fault"
 	"socialtrust/internal/interest"
@@ -80,6 +83,12 @@ type Network struct {
 	// FaultPlan is non-nil when Config.Faults is enabled: the overlay runs
 	// in fault-tolerant mode against this deterministic injection plan.
 	FaultPlan *fault.Plan
+	// cluster is non-nil when Config.Cluster > 0: the spawned worker fleet
+	// hosting the overlay's shards out of process. clusterDir is the
+	// temporary root of the workers' WAL directories; both are torn down
+	// after the overlay closes.
+	cluster    *cluster.ProcCluster
+	clusterDir string
 
 	// byCategory[c] lists the nodes whose claimed profile includes c —
 	// the candidate server pool for a category-c request.
@@ -516,12 +525,53 @@ func (n *Network) buildOverlay() error {
 		// snapshot and the per-shard journals cannot collide.
 		opts.StateDir = filepath.Join(n.Cfg.StateDir, "shards")
 	}
+	if n.Cfg.Cluster > 0 {
+		// Out-of-process shards: spawn the worker fleet and route every
+		// shard through its socket transport. Workers journal to their own
+		// WALs under a temporary root so a killed-and-respawned worker
+		// recovers its acknowledged tail.
+		dir, err := os.MkdirTemp("", "stclst")
+		if err != nil {
+			return err
+		}
+		pc, err := cluster.Spawn(cluster.SpawnOptions{
+			Workers:  n.Cfg.Cluster,
+			Shards:   n.Cfg.Managers,
+			StateDir: dir,
+		})
+		if err != nil {
+			_ = os.RemoveAll(dir)
+			return err
+		}
+		n.cluster = pc
+		n.clusterDir = dir
+		opts.Transport = pc.Client()
+	}
 	o, err := manager.NewWithOptions(n.Cfg.NumNodes, n.Cfg.Managers, n.Engine, opts)
 	if err != nil {
+		n.closeCluster()
 		return err
 	}
 	n.Overlay = o
 	return nil
+}
+
+// closeCluster tears down the worker fleet and its WAL directory. Safe to
+// call repeatedly; must run only after the overlay has closed (the transport
+// is dead afterwards).
+func (n *Network) closeCluster() {
+	if n.cluster != nil {
+		_ = n.cluster.Close()
+		n.cluster = nil
+	}
+	if n.clusterDir != "" {
+		if os.Getenv("STSIM_KEEP_CLUSTER_DIR") == "" {
+			_ = os.RemoveAll(n.clusterDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "cluster dir kept: %s\n", n.clusterDir)
+		}
+		n.clusterDir = ""
+	}
 }
 
 // wireSlander builds the negative-collusion edges: each colluder attacks a

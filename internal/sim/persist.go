@@ -105,6 +105,7 @@ func (n *Network) fingerprint() string {
 	c := n.Cfg
 	c.StateDir, c.AuditDir, c.TraceDir = "", "", ""
 	c.Workers = 0
+	c.Cluster = 0 // shard placement cannot change results
 	return fmt.Sprintf("%+v", c)
 }
 
@@ -426,6 +427,7 @@ func (n *Network) abandon() {
 	if n.Overlay != nil {
 		n.Overlay.Close()
 	}
+	n.closeCluster()
 	n.closePersist()
 }
 

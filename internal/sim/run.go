@@ -357,6 +357,7 @@ func (n *Network) Run() *Result {
 	if n.Overlay != nil {
 		n.Overlay.Close() // stop the manager goroutines; state is harvested
 	}
+	n.closeCluster()
 	n.closePersist()
 	res.RatingsLost = n.ratingsLost
 	res.FinalReputations = reps

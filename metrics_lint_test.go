@@ -113,6 +113,14 @@ func TestMetricsExpositionHygiene(t *testing.T) {
 		"manager_drain_total", "manager_shards_down", "eigentrust_residual",
 		"eigentrust_converged", "sim_cycle_seconds", "sim_interval_last_seconds",
 		"runtime_rss_bytes", "runtime_gc_pause_seconds", "socialtrust_adjust_seconds",
+		// The cluster transport registers its families at init, so they must
+		// surface (with HELP) even in a single-process exposition — a fleet
+		// dashboard scraping a coordinator relies on that.
+		"cluster_bytes_sent_total", "cluster_bytes_received_total",
+		"cluster_frames_sent_total", "cluster_frames_received_total",
+		"cluster_inflight_batches", "cluster_reconnects_total",
+		"cluster_worker_respawns_total", "cluster_encode_seconds",
+		"cluster_decode_seconds",
 	} {
 		if !families[want] {
 			t.Errorf("fully instrumented snapshot missing family %s", want)

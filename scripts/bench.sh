@@ -39,6 +39,18 @@
 #                      vs plain Pipeline2k interval comparison rolled up as
 #                      wal_overhead_pct (acceptance: <= 15%).
 #
+#   BENCH_cluster.json — the multi-process set (scripts/bench.sh cluster):
+#                      the stress pipeline sweep with manager shards hosted
+#                      in worker processes over the socket transport, run
+#                      head-to-head at 1 worker vs CLUSTER_PROCS (default 4)
+#                      workers. Per size and process count: ingest ratings/s,
+#                      s/interval, coordinator and per-worker peak RSS
+#                      (kernel VmHWM), and wire bytes per rating; rolled up
+#                      at the largest size as ingest_speedup and
+#                      worker_rss_pct_of_single. The cpus field records the
+#                      core budget the speedup was measured under — ingest
+#                      scaling with worker count needs cores to scale onto.
+#
 # Usage:
 #
 #   scripts/bench.sh [obs-output.json] [perf-output.json] [fault-output.json]
@@ -46,6 +58,7 @@
 #   scripts/bench.sh trace [trace-output.json]
 #   scripts/bench.sh health [health-output.json]
 #   scripts/bench.sh persist [persist-output.json]
+#   scripts/bench.sh cluster [cluster-output.json]
 #
 # BENCHTIME (default 1s; scale mode 1x for the pipeline set) tunes
 # go test -benchtime; use e.g. BENCHTIME=100x for a quick smoke pass.
@@ -231,6 +244,74 @@ if [[ ${1:-} == "scale" ]]; then
       batch = vals["OverlaySubmitBatch", "ns_per_rating"]
       speedup = (batch > 0 ? base / batch : 0)
       printf "  \"submit_batch_speedup\": %.2f\n", speedup
+      printf "}\n"
+    }
+  ' > "$OUT"
+  echo "wrote $OUT"
+  exit 0
+fi
+
+if [[ ${1:-} == "cluster" ]]; then
+  OUT=${2:-BENCH_cluster.json}
+  NODES=${CLUSTER_NODES:-10k,50k}
+  INTERVALS=${CLUSTER_INTERVALS:-2}
+  PROCS=${CLUSTER_PROCS:-4}
+  SUBMITTERS=${CLUSTER_SUBMITTERS:-4}
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  go build -o "$tmp/stress" ./cmd/stress
+  # Both sides of the head-to-head go over the socket transport so the
+  # comparison isolates process count, not wire overhead: 1 worker owning
+  # every shard vs PROCS workers splitting them.
+  raw1=$(
+    "$tmp/stress" -nodes "$NODES" -intervals "$INTERVALS" \
+      -cluster 1 -submitters "$SUBMITTERS"
+  ) || { echo "bench.sh: single-worker cluster sweep failed:" >&2; echo "$raw1" >&2; exit 1; }
+  raw2=$(
+    "$tmp/stress" -nodes "$NODES" -intervals "$INTERVALS" \
+      -cluster "$PROCS" -submitters "$SUBMITTERS"
+  ) || { echo "bench.sh: $PROCS-worker cluster sweep failed:" >&2; echo "$raw2" >&2; exit 1; }
+  raw="$raw1"$'\n'"$raw2"
+  echo "$raw"
+  echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v cpus="$(nproc)" -v procs="$PROCS" '
+    /^cluster-summary / {
+      for (i = 2; i <= NF; i++) {
+        split($(i), kv, "=")
+        f[kv[1]] = kv[2]
+      }
+      key = f["nodes"] SUBSEP f["procs"]
+      for (k in f) vals[key, k] = f[k]
+      order[n++] = key
+      if (f["nodes"] + 0 > headline) headline = f["nodes"] + 0
+    }
+    END {
+      printf "{\n"
+      printf "  \"generated\": \"%s\",\n", date
+      printf "  \"cpus\": %d,\n", cpus
+      printf "  \"cluster_procs\": %d,\n", procs
+      printf "  \"runs\": [\n"
+      for (i = 0; i < n; i++) {
+        key = order[i]
+        printf "    {\"nodes\": %s, \"procs\": %s, \"ratings\": %s, \"ratings_per_s\": %s, \"s_per_interval\": %s, \"coordinator_peak_rss_mb\": %s, \"worker_peak_rss_mb_max\": %s, \"wire_bytes_per_rating\": %s}%s\n", \
+          vals[key, "nodes"], vals[key, "procs"], vals[key, "ratings"], \
+          vals[key, "ratings_per_s"], vals[key, "s_per_interval"], \
+          vals[key, "coordinator_peak_rss_mb"], vals[key, "worker_peak_rss_mb_max"], \
+          vals[key, "wire_bytes_per_rating"], (i < n - 1 ? "," : "")
+      }
+      printf "  ],\n"
+      single = headline SUBSEP 1
+      multi = headline SUBSEP procs
+      r1 = vals[single, "ratings_per_s"] + 0
+      rp = vals[multi, "ratings_per_s"] + 0
+      s1 = vals[single, "s_per_interval"] + 0
+      sp = vals[multi, "s_per_interval"] + 0
+      w1 = vals[single, "worker_peak_rss_mb_max"] + 0
+      wp = vals[multi, "worker_peak_rss_mb_max"] + 0
+      printf "  \"headline_nodes\": %d,\n", headline
+      printf "  \"ingest_speedup\": %.2f,\n", (r1 > 0 ? rp / r1 : 0)
+      printf "  \"interval_speedup\": %.2f,\n", (sp > 0 ? s1 / sp : 0)
+      printf "  \"worker_rss_pct_of_single\": %.1f\n", (w1 > 0 ? wp / w1 * 100 : 0)
       printf "}\n"
     }
   ' > "$OUT"
